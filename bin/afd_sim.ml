@@ -1,0 +1,295 @@
+(* afd_sim: command-line driver for the asynchronous-failure-detector
+   simulator.
+
+   Subcommands:
+     detector   run a detector automaton under a fault pattern, print
+                and check its trace
+     consensus  run a consensus algorithm (flood | synod | via-evp)
+     selfimpl   run Algorithm 3 (self-implementation) over a detector
+     tree       build the tagged execution tree, report valence/hooks
+
+   Examples:
+     afd_sim detector --fd omega -n 4 --crash 10:1 --crash 30:3
+     afd_sim consensus --algo synod -n 5 --crash 40:0 --seed 3
+     afd_sim tree -n 2 --crash-loc 1
+*)
+
+open Cmdliner
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+module T = Afd_tree
+
+(* --- shared argument parsing --- *)
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of locations.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler random seed.")
+
+let steps_arg =
+  Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"K" ~doc:"Scheduler step budget.")
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ step; loc ] -> (
+      match (int_of_string_opt step, int_of_string_opt loc) with
+      | Some k, Some i -> Ok (k, i)
+      | _ -> Error (`Msg "expected STEP:LOC"))
+    | _ -> Error (`Msg "expected STEP:LOC")
+  in
+  let print fmt (k, i) = Format.fprintf fmt "%d:%d" k i in
+  Arg.conv (parse, print)
+
+let crash_arg =
+  Arg.(
+    value
+    & opt_all crash_conv []
+    & info [ "crash" ] ~docv:"STEP:LOC" ~doc:"Crash location $(i,LOC) at step $(i,STEP); repeatable.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full event trace.")
+
+let crashable_of crash_at =
+  List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
+
+let print_verdict what v = Format.printf "%-24s %a@." what Verdict.pp v
+
+(* --- detector subcommand --- *)
+
+type which_fd = Omega_fd | P_fd | Evp_noisy_fd
+
+let fd_conv =
+  Arg.enum [ ("omega", Omega_fd); ("p", P_fd); ("evp", Evp_noisy_fd) ]
+
+let detector_cmd =
+  let fd_arg =
+    Arg.(value & opt fd_conv P_fd & info [ "fd" ] ~docv:"FD" ~doc:"Detector: omega, p, or evp.")
+  in
+  let run which n seed steps crash_at verbose =
+    let check_and_print pp spec trace =
+      if verbose then
+        List.iter (fun e -> Format.printf "  %a@." (Fd_event.pp pp) e) trace;
+      Format.printf "events: %d  faulty: %a@." (List.length trace) Loc.pp_set
+        (Fd_event.faulty trace);
+      print_verdict "spec membership:" (Afd.check spec ~n trace);
+      let rng = Random.State.make [| seed |] in
+      match Afd.check_all_properties spec ~n ~rng ~trials:50 trace with
+      | Ok () -> Format.printf "%-24s ok (50 transforms)@." "closure properties:"
+      | Error e -> Format.printf "%-24s %s@." "closure properties:" e
+    in
+    (match which with
+    | Omega_fd ->
+      let t =
+        Afd_automata.generate_trace ~detector:(Afd_automata.fd_omega ~n) ~n ~seed
+          ~crash_at ~steps
+      in
+      check_and_print Loc.pp Omega.spec t
+    | P_fd ->
+      let t =
+        Afd_automata.generate_trace ~detector:(Afd_automata.fd_perfect ~n) ~n ~seed
+          ~crash_at ~steps
+      in
+      check_and_print Loc.pp_set Perfect.spec t
+    | Evp_noisy_fd ->
+      let noise =
+        Afd_automata.noise_of_list
+          (List.map (fun i -> (i, Loc.Set.singleton ((i + 1) mod n))) (Loc.universe ~n))
+      in
+      let t =
+        Afd_automata.generate_trace
+          ~detector:(Afd_automata.fd_ev_perfect_noisy ~n ~noise) ~n ~seed ~crash_at
+          ~steps
+      in
+      check_and_print Loc.pp_set Ev_perfect.spec t);
+    0
+  in
+  let term = Term.(const run $ fd_arg $ n_arg $ seed_arg $ steps_arg $ crash_arg $ verbose_arg) in
+  Cmd.v (Cmd.info "detector" ~doc:"Run a failure-detector automaton and check its trace.") term
+
+(* --- consensus subcommand --- *)
+
+type which_algo = Flood | Synod | Via_evp | Sigma_omega
+
+let algo_conv =
+  Arg.enum
+    [ ("flood", Flood); ("synod", Synod); ("via-evp", Via_evp);
+      ("sigma-omega", Sigma_omega) ]
+
+let consensus_cmd =
+  let algo_arg =
+    Arg.(
+      value & opt algo_conv Synod
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"Algorithm: flood (uses P), synod (uses Omega), via-evp (EvP->Omega->synod), sigma-omega (dynamic quorums, f <= n-1).")
+  in
+  let f_arg =
+    Arg.(value & opt (some int) None & info [ "f" ] ~docv:"F" ~doc:"Crash tolerance (default: algorithm-specific).")
+  in
+  let run algo n f seed steps crash_at verbose =
+    let crashable = crashable_of crash_at in
+    let f =
+      match (f, algo) with
+      | Some f, _ -> f
+      | None, (Flood | Sigma_omega) -> n - 1
+      | None, (Synod | Via_evp) -> (n - 1) / 2
+    in
+    let net =
+      match algo with
+      | Flood -> C.Flood_p.net ~n ~f ~crashable ()
+      | Synod -> C.Synod_omega.net ~n ~crashable ()
+      | Via_evp -> C.Via_reduction.net ~n ~crashable ()
+      | Sigma_omega -> C.Synod_sigma.net ~n ~crashable ()
+    in
+    let r = Net.run net ~seed ~crash_at ~steps in
+    if verbose then
+      List.iter
+        (fun a ->
+          match a with
+          | Act.Fd _ -> ()
+          | _ -> Format.printf "  %a@." Act.pp a)
+        r.Net.trace;
+    Format.printf "events: %d@." (List.length r.Net.trace);
+    Format.printf "proposals: %a@."
+      Fmt.(list ~sep:comma (pair ~sep:(any "=") Loc.pp bool))
+      (Net.proposals r.Net.trace);
+    Format.printf "decisions: %a@."
+      Fmt.(list ~sep:comma (pair ~sep:(any "=") Loc.pp bool))
+      (Net.decisions r.Net.trace);
+    print_verdict "consensus spec:" (C.Spec.check ~n ~f r.Net.trace);
+    (match C.Spec.check ~n ~f r.Net.trace with Verdict.Violated _ -> 1 | _ -> 0)
+  in
+  let term =
+    Term.(const run $ algo_arg $ n_arg $ f_arg $ seed_arg $ steps_arg $ crash_arg $ verbose_arg)
+  in
+  Cmd.v (Cmd.info "consensus" ~doc:"Run a consensus algorithm over an AFD.") term
+
+(* --- selfimpl subcommand --- *)
+
+let selfimpl_cmd =
+  let fd_arg =
+    Arg.(value & opt fd_conv Omega_fd & info [ "fd" ] ~docv:"FD" ~doc:"Detector to self-implement.")
+  in
+  let run which n seed steps crash_at =
+    let report name r =
+      match r with
+      | Ok () -> Format.printf "theorem 13 holds for %s@." name; 0
+      | Error e -> Format.printf "FAILED: %s@." e; 1
+    in
+    (match which with
+    | Omega_fd ->
+      report "Omega"
+        (Self_impl.check_theorem13 ~spec:Omega.spec
+           ~detector:(Afd_automata.fd_omega ~n) ~n ~seed ~crash_at ~steps)
+    | P_fd ->
+      report "P"
+        (Self_impl.check_theorem13 ~spec:Perfect.spec
+           ~detector:(Afd_automata.fd_perfect ~n) ~n ~seed ~crash_at ~steps)
+    | Evp_noisy_fd ->
+      let noise = Afd_automata.noise_of_list [ (0, Loc.Set.singleton 1) ] in
+      report "EvP"
+        (Self_impl.check_theorem13 ~spec:Ev_perfect.spec
+           ~detector:(Afd_automata.fd_ev_perfect_noisy ~n ~noise) ~n ~seed ~crash_at
+           ~steps))
+  in
+  let term = Term.(const run $ fd_arg $ n_arg $ seed_arg $ steps_arg $ crash_arg) in
+  Cmd.v (Cmd.info "selfimpl" ~doc:"Run Algorithm 3 and verify Theorem 13.") term
+
+(* --- tree subcommand --- *)
+
+let tree_cmd =
+  let crash_loc_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-loc" ] ~docv:"LOC" ~doc:"Location crashed in t_D (omit for crash-free).")
+  in
+  let max_nodes_arg =
+    Arg.(value & opt int 3_000_000 & info [ "max-nodes" ] ~docv:"B" ~doc:"Quotient-node budget.")
+  in
+  let run n crash_loc max_nodes =
+    let f = 1 in
+    let td =
+      match crash_loc with
+      | Some c -> T.Tree_system.td_one_crash ~n ~crash:c ~pre:1 ~post:3
+      | None -> T.Tree_system.td_no_crash ~n ~rounds:3
+    in
+    Format.printf "t_D = %a@." (Fd_event.pp_trace Act.pp_fd_payload) td;
+    match
+      T.Tagged_tree.build
+        ~system:(T.Tree_system.flood_system ~n ~f)
+        ~detector:C.Flood_p.detector_name ~td ~max_nodes
+    with
+    | Error e -> Format.printf "build failed: %s@." e; 1
+    | Ok tree ->
+      let va = T.Valence.classify tree in
+      let hooks = T.Hook.find_all va in
+      let bad = List.filter (fun h -> Result.is_error (T.Hook.check_theorem59 va h)) hooks in
+      Format.printf "nodes=%d root-bivalent=%b bivalent=%d blocked=%d@."
+        (Array.length tree.T.Tagged_tree.nodes)
+        (T.Valence.root_bivalent va)
+        (T.Valence.count va T.Valence.Bivalent)
+        (T.Valence.count va T.Valence.Blocked);
+      Format.printf "hooks=%d theorem-59 failures=%d critical locations=%a@."
+        (List.length hooks) (List.length bad)
+        Fmt.(list ~sep:comma Loc.pp)
+        (List.filter_map T.Hook.critical_location hooks |> List.sort_uniq Loc.compare);
+      if bad = [] then 0 else 1
+  in
+  let term = Term.(const run $ n_arg $ crash_loc_arg $ max_nodes_arg) in
+  Cmd.v (Cmd.info "tree" ~doc:"Build the tagged execution tree; verify Theorem 59.") term
+
+(* --- kset subcommand --- *)
+
+let kset_cmd =
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Set-agreement parameter.") in
+  let run n k seed steps crash_at =
+    let crashable = crashable_of crash_at in
+    let net = C.Kset.net ~n ~k ~crashable in
+    let r = Net.run net ~seed ~crash_at ~steps in
+    Format.printf "decisions: %a@."
+      Fmt.(list ~sep:comma (pair ~sep:(any "->") Loc.pp Loc.pp))
+      (C.Kset.decisions r.Net.trace);
+    let distinct =
+      List.length (List.sort_uniq Loc.compare (List.map snd (C.Kset.decisions r.Net.trace)))
+    in
+    Format.printf "distinct values: %d (k = %d)@." distinct k;
+    print_verdict "k-set spec:" (C.Kset.check ~n ~k r.Net.trace);
+    (match C.Kset.check ~n ~k r.Net.trace with Verdict.Violated _ -> 1 | _ -> 0)
+  in
+  let term = Term.(const run $ n_arg $ k_arg $ seed_arg $ steps_arg $ crash_arg) in
+  Cmd.v (Cmd.info "kset" ~doc:"Run k-set agreement over Psi_k.") term
+
+(* --- trb subcommand --- *)
+
+let trb_cmd =
+  let sender_arg =
+    Arg.(value & opt int 0 & info [ "sender" ] ~docv:"LOC" ~doc:"Broadcast sender.")
+  in
+  let value_arg =
+    Arg.(value & opt bool true & info [ "value" ] ~docv:"BOOL" ~doc:"Broadcast value.")
+  in
+  let run n sender value seed steps crash_at =
+    let crashable = crashable_of crash_at in
+    let net = C.Trb.net ~n ~sender ~value ~crashable in
+    let r = Net.run net ~seed ~crash_at ~steps in
+    List.iter
+      (fun (i, d) ->
+        Format.printf "  %a delivered %s@." Loc.pp i
+          (match d with C.Trb.Value v -> string_of_bool v | C.Trb.Sender_faulty -> "SF"))
+      (C.Trb.deliveries r.Net.trace);
+    print_verdict "TRB spec:" (C.Trb.check ~n ~sender r.Net.trace);
+    (match C.Trb.check ~n ~sender r.Net.trace with Verdict.Violated _ -> 1 | _ -> 0)
+  in
+  let term = Term.(const run $ n_arg $ sender_arg $ value_arg $ seed_arg $ steps_arg $ crash_arg) in
+  Cmd.v (Cmd.info "trb" ~doc:"Run terminating reliable broadcast over P.") term
+
+let () =
+  let doc = "Asynchronous failure detectors: simulator and experiment driver." in
+  let info = Cmd.info "afd_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ detector_cmd; consensus_cmd; selfimpl_cmd; tree_cmd; kset_cmd; trb_cmd ]))

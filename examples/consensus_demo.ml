@@ -1,0 +1,46 @@
+(* Consensus with a crashing leader: the Synod protocol driven by the
+   Omega AFD (Section 9: how a sufficiently strong AFD circumvents the
+   FLP impossibility).
+
+   p0 is the initial leader (Algorithm 1's Omega elects the smallest
+   non-crashed location).  We crash it mid-protocol; Omega hands
+   leadership to p1, which re-runs the ballot and drives everyone to a
+   decision.
+
+     dune exec examples/consensus_demo.exe
+*)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+
+let interesting = function
+  | Act.Crash _ | Act.Propose _ | Act.Decide _ -> true
+  | Act.Fd _ -> false (* continual; too chatty to print *)
+  | Act.Send { msg = Msg.Prepare _; _ }
+  | Act.Send { msg = Msg.Accept _; _ }
+  | Act.Receive { msg = Msg.Accepted _; _ } -> true
+  | Act.Send _ | Act.Receive _ | Act.Step _ | Act.Query _ | Act.Resp _ | Act.Decide_id _ -> false
+
+let () =
+  let n = 3 in
+  let net = C.Synod_omega.net ~n ~crashable:(Loc.Set.singleton 0) () in
+  let r = Net.run net ~seed:7 ~crash_at:[ (30, 0) ] ~steps:4000 in
+
+  Format.printf "--- synod with Omega, n = %d, leader p0 crashes at step 30 ---@." n;
+  List.iter
+    (fun a -> if interesting a then Format.printf "  %a@." Act.pp a)
+    r.Net.trace;
+
+  Format.printf "@.--- outcome ---@.";
+  Format.printf "  proposals: %a@."
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") Loc.pp bool))
+    (Net.proposals r.Net.trace);
+  Format.printf "  decisions: %a@."
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") Loc.pp bool))
+    (Net.decisions r.Net.trace);
+  Format.printf "  consensus spec: %a@." Verdict.pp (C.Spec.check ~n ~f:1 r.Net.trace);
+  Format.printf "  Omega stream:   %a@." Verdict.pp
+    (Afd.check Omega.spec ~n
+       (Act.fd_trace_leader ~detector:C.Synod_omega.detector_name r.Net.trace))

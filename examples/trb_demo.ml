@@ -1,0 +1,38 @@
+(* Terminating reliable broadcast over P: the sender crashes halfway
+   through its broadcast, and survivors split between delivering the
+   value (those its messages reached, directly or by relay) and
+   delivering SF - exactly the behaviour the weak-TRB spec permits.
+
+     dune exec examples/trb_demo.exe
+*)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+
+let pp_delivery fmt = function
+  | C.Trb.Value v -> Format.fprintf fmt "value %b" v
+  | C.Trb.Sender_faulty -> Format.pp_print_string fmt "SF (sender faulty)"
+
+let run label ~crash_at =
+  let n = 4 in
+  let crashable =
+    List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
+  in
+  let net = C.Trb.net ~n ~sender:0 ~value:true ~crashable in
+  let r = Net.run net ~seed:11 ~crash_at ~steps:2500 in
+  Format.printf "@.--- %s ---@." label;
+  List.iter
+    (fun (i, d) -> Format.printf "  %a delivered %a@." Loc.pp i pp_delivery d)
+    (C.Trb.deliveries r.Net.trace);
+  Format.printf "  spec: %a@." Verdict.pp (C.Trb.check ~n ~sender:0 r.Net.trace)
+
+let () =
+  Format.printf "Terminating reliable broadcast, n = 4, sender p0, value = true@.";
+  run "sender lives" ~crash_at:[];
+  run "sender crashes before sending anything" ~crash_at:[ (0, 0) ];
+  run "sender crashes mid-broadcast" ~crash_at:[ (7, 0) ];
+  Format.printf
+    "@.TRB is a bounded problem (at most n deliveries), so by Theorem 21 it has@.";
+  Format.printf "no representative AFD - yet P suffices to solve it, as above.@."

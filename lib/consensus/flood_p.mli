@@ -1,0 +1,38 @@
+(** Flooding consensus using the perfect failure detector P.
+
+    The classic (f+1)-round FloodSet algorithm (Lynch, ch. 6), with P
+    emulating synchronous rounds in the asynchronous system: a process
+    in round [r] waits, for every other location [j], until it has
+    either received [j]'s round-[r] message or seen [j] in P's
+    suspicion output; P's strong accuracy makes skipping sound (only
+    actually-crashed locations are skipped), its strong completeness
+    makes waiting finite.  After round [f+1] every process decides the
+    smallest value in its accumulated value set; with at most [f]
+    crashes, one of the [f+1] rounds is free of "hiding" and the value
+    sets coincide.
+
+    Tolerates any [f <= n-1]. *)
+
+open Afd_ioa
+open Afd_system
+
+val detector_name : string
+(** The detector name the processes listen to ("P"). *)
+
+type st
+(** Algorithm state at one location (abstract; see [round] etc.). *)
+
+val round : st -> int
+val value_set : st -> Msg.vset
+val has_decided : st -> bool
+
+val process : n:int -> f:int -> loc:Loc.t -> (st * bool, Act.t) Automaton.t
+(** The process automaton at [loc]. *)
+
+val processes : n:int -> f:int -> Act.t Component.t list
+
+val net : n:int -> f:int -> ?values:bool list -> crashable:Loc.Set.t -> unit -> Net.t
+(** Full system: processes + channels + crash automaton + the FD-P
+    automaton (Algorithm 2) + environment.  With [values] the scripted
+    environment proposes those values; otherwise E_C (Algorithm 4)
+    lets the scheduler pick. *)

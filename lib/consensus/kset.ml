@@ -1,0 +1,324 @@
+open Afd_ioa
+open Afd_system
+open Afd_core
+
+let detector_name = "Psi"
+
+(* --- per-instance Synod state over location values --- *)
+
+type phase = Idle | Phase1 | Phase2
+
+type inst_st = {
+  ballot : int;
+  phase : phase;
+  promises : (Loc.t * (int * Loc.t) option) list;
+  max_seen : int;
+  promised : int;
+  accepted : (int * Loc.t) option;
+  learned : ((int * Loc.t) * Loc.Set.t) list;
+  chosen : Loc.t option;
+}
+
+let inst_init =
+  { ballot = -1;
+    phase = Idle;
+    promises = [];
+    max_seen = -1;
+    promised = -1;
+    accepted = None;
+    learned = [];
+    chosen = None;
+  }
+
+module Int_map = Map.Make (Int)
+
+type st = {
+  n : int;
+  k : int;
+  self : Loc.t;
+  started : bool;
+  leaders : Loc.t list;  (* latest Psi_k output, sorted ascending *)
+  insts : inst_st Int_map.t;
+  decided : Loc.t option;
+  decide_emitted : bool;
+  outbox : Process.Outbox.t;
+}
+
+let init ~n ~k ~self =
+  { n;
+    k;
+    self;
+    started = false;
+    leaders = [];
+    insts = Int_map.empty;
+    decided = None;
+    decide_emitted = false;
+    outbox = Process.Outbox.empty;
+  }
+
+let inst_of st j =
+  match Int_map.find_opt j st.insts with Some s -> s | None -> inst_init
+
+let set_inst st j is = { st with insts = Int_map.add j is st.insts }
+
+let majority st = (st.n / 2) + 1
+
+let send st dst msg =
+  { st with outbox = Process.Outbox.push st.outbox (Process.Send { dst; msg }) }
+
+let leads st j =
+  (* does this location hold the proposer role of instance j? *)
+  match List.nth_opt st.leaders j with
+  | Some l -> Loc.equal l st.self
+  | None -> false
+
+let next_ballot st is =
+  let floor = max is.max_seen is.ballot in
+  (((floor / st.n) + 1) * st.n) + st.self
+
+let rec deliver st ~src msg =
+  match msg with
+  | Msg.Kprepare { inst; bal } ->
+    let is = inst_of st inst in
+    let is = { is with max_seen = max is.max_seen bal } in
+    if bal > is.promised then
+      respond
+        (set_inst st inst { is with promised = bal })
+        ~dst:src
+        (Msg.Kpromise { inst; bal; accepted = is.accepted })
+    else respond (set_inst st inst is) ~dst:src (Msg.Knack { inst; bal })
+  | Msg.Kpromise { inst; bal; accepted } ->
+    let is = inst_of st inst in
+    let is = { is with max_seen = max is.max_seen bal } in
+    if is.phase = Phase1 && bal = is.ballot then begin
+      let is =
+        if List.exists (fun (j, _) -> Loc.equal j src) is.promises then is
+        else { is with promises = (src, accepted) :: is.promises }
+      in
+      if List.length is.promises >= majority st then
+        let v =
+          let best =
+            List.fold_left
+              (fun best (_, acc) ->
+                match (best, acc) with
+                | None, x -> x
+                | Some _, None -> best
+                | Some (b1, _), Some (b2, _) -> if b2 > b1 then acc else best)
+              None is.promises
+          in
+          match best with Some (_, v) -> v | None -> st.self
+        in
+        broadcast
+          (set_inst st inst { is with phase = Phase2 })
+          (Msg.Kaccept { inst; bal = is.ballot; v })
+      else set_inst st inst is
+    end
+    else set_inst st inst is
+  | Msg.Knack { inst; bal } ->
+    let is = inst_of st inst in
+    let is = { is with max_seen = max is.max_seen bal } in
+    if bal = is.ballot && is.phase <> Idle then set_inst st inst { is with phase = Idle }
+    else set_inst st inst is
+  | Msg.Kaccept { inst; bal; v } ->
+    let is = inst_of st inst in
+    let is = { is with max_seen = max is.max_seen bal } in
+    if bal >= is.promised then
+      broadcast
+        (set_inst st inst { is with promised = bal; accepted = Some (bal, v) })
+        (Msg.Kaccepted { inst; bal; v })
+    else respond (set_inst st inst is) ~dst:src (Msg.Knack { inst; bal })
+  | Msg.Kaccepted { inst; bal; v } ->
+    let is = inst_of st inst in
+    let key = (bal, v) in
+    let voters =
+      match List.assoc_opt key is.learned with
+      | None -> Loc.Set.singleton src
+      | Some s -> Loc.Set.add src s
+    in
+    let is = { is with learned = (key, voters) :: List.remove_assoc key is.learned } in
+    let is =
+      if Loc.Set.cardinal voters >= majority st && is.chosen = None then
+        { is with chosen = Some v }
+      else is
+    in
+    let st = set_inst st inst is in
+    if st.decided = None && is.chosen <> None then { st with decided = is.chosen }
+    else st
+  | Msg.Flood _ | Msg.Prepare _ | Msg.Promise _ | Msg.Nack _ | Msg.Accept _
+  | Msg.Accepted _ | Msg.Decided _ | Msg.Ping _ | Msg.Fd_relay _ -> st
+
+and respond st ~dst msg =
+  if Loc.equal dst st.self then deliver st ~src:st.self msg else send st dst msg
+
+and broadcast st msg =
+  let st =
+    { st with outbox = Process.Outbox.broadcast st.outbox ~n:st.n ~self:st.self msg }
+  in
+  deliver st ~src:st.self msg
+
+let start_ballot st j =
+  let is = inst_of st j in
+  let b = next_ballot st is in
+  let st = set_inst st j { is with ballot = b; phase = Phase1; promises = [] } in
+  broadcast st (Msg.Kprepare { inst = j; bal = b })
+
+(* On every Psi_k output: refresh the proposer roles; (re)start any
+   instance this location now leads that is idle or preempted. *)
+let on_leaders st set =
+  let leaders = Loc.Set.elements set in
+  let st = { st with leaders } in
+  if st.decided <> None then st
+  else
+    List.fold_left
+      (fun st j ->
+        if leads st j then
+          let is = inst_of st j in
+          if is.phase = Idle || is.max_seen > is.ballot then start_ballot st j else st
+        else st)
+      st
+      (List.init st.k Fun.id)
+
+let handle st = function
+  | Process.Receive { src; msg } -> deliver st ~src msg
+  | Process.Fd { detector; payload = Act.Pset set }
+    when String.equal detector detector_name ->
+    on_leaders { st with started = true } set
+  | Process.Fd _ | Process.Propose _ -> st
+
+let output st =
+  match Process.Outbox.peek st.outbox with
+  | Some o -> Some o
+  | None -> (
+    match st.decided with
+    | Some _ when not st.decide_emitted -> Some (Process.Internal "decide_id")
+    | Some _ | None -> None)
+
+let after_output st = function
+  | Process.Send _ -> { st with outbox = Process.Outbox.pop st.outbox }
+  | Process.Internal _ -> { st with decide_emitted = true }
+  | Process.Decide _ -> st
+
+(* The Process glue has no location-valued decide, so the process is
+   wrapped: its Internal "decide_id" step is renamed to the Decide_id
+   action carrying the chosen value.  Renaming needs the value, which
+   lives in the state, so we build the automaton directly. *)
+let process ~n ~k ~loc =
+  let inner =
+    Process.automaton ~name:"kset" ~loc ~fd_names:[ detector_name ]
+      { Process.init = init ~n ~k ~self:loc; handle; output; after_output }
+  in
+  let reveal act (st, _failed) =
+    (* translate the internal decide step into the visible Decide_id *)
+    match act with
+    | Act.Step { at; tag = "decide_id" } when Loc.equal at loc -> (
+      match st.decided with
+      | Some v -> Act.Decide_id { at = loc; v }
+      | None -> act)
+    | other -> other
+  in
+  let hide_back = function
+    | Act.Decide_id { at; _ } when Loc.equal at loc ->
+      Act.Step { at = loc; tag = "decide_id" }
+    | other -> other
+  in
+  let kind = function
+    | Act.Decide_id { at; _ } when Loc.equal at loc -> Some Automaton.Output
+    | Act.Step { at; tag = "decide_id" } when Loc.equal at loc -> None
+    | other -> inner.Automaton.kind other
+  in
+  let step s act = inner.Automaton.step s (hide_back act) in
+  let task t =
+    { Automaton.task_name = t.Automaton.task_name;
+      fair = t.Automaton.fair;
+      enabled = (fun s -> Option.map (fun a -> reveal a s) (t.Automaton.enabled s));
+    }
+  in
+  { Automaton.name = inner.Automaton.name;
+    kind;
+    start = inner.Automaton.start;
+    step;
+    tasks = List.map task inner.Automaton.tasks;
+  }
+
+let processes ~n ~k =
+  List.map (fun i -> Component.C (process ~n ~k ~loc:i)) (Loc.universe ~n)
+
+let net ~n ~k ~crashable =
+  let psi = Fd_bridge.lift_set ~detector:detector_name (Afd_automata.fd_psi_k ~n ~k) in
+  Net.assemble ~n
+    ~detectors:[ Component.C psi ]
+    ~crashable ~processes:(processes ~n ~k) ()
+
+(* --- monitors --- *)
+
+let decisions t =
+  List.filter_map (function Act.Decide_id { at; v } -> Some (at, v) | _ -> None) t
+
+let k_agreement ~k t =
+  let values =
+    List.sort_uniq Loc.compare (List.map snd (decisions t))
+  in
+  if List.length values <= k then Verdict.Sat
+  else
+    Verdict.Violated
+      (Printf.sprintf "%d distinct values decided, k = %d" (List.length values) k)
+
+let validity ~n t =
+  List.fold_left
+    (fun acc (i, v) ->
+      if v >= 0 && v < n then acc
+      else
+        Verdict.(
+          acc
+          &&& Violated
+                (Printf.sprintf "%s decided %s, not a location ID" (Loc.to_string i)
+                   (Loc.to_string v))))
+    Verdict.Sat (decisions t)
+
+let integrity t =
+  let crashed = ref Loc.Set.empty in
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Act.Crash i ->
+        crashed := Loc.Set.add i !crashed;
+        acc
+      | Act.Decide_id { at; _ } ->
+        let dup =
+          if Hashtbl.mem seen at then
+            Verdict.Violated (Printf.sprintf "two decisions at %s" (Loc.to_string at))
+          else Verdict.Sat
+        in
+        Hashtbl.replace seen at ();
+        let after =
+          if Loc.Set.mem at !crashed then
+            Verdict.Violated
+              (Printf.sprintf "decision at %s after its crash" (Loc.to_string at))
+          else Verdict.Sat
+        in
+        Verdict.(acc &&& dup &&& after)
+      | _ -> acc)
+    Verdict.Sat t
+
+let termination ~n t =
+  let faulty =
+    List.fold_left
+      (fun acc a -> match a with Act.Crash i -> Loc.Set.add i acc | _ -> acc)
+      Loc.Set.empty t
+  in
+  let decided =
+    List.fold_left (fun acc (i, _) -> Loc.Set.add i acc) Loc.Set.empty (decisions t)
+  in
+  Loc.Set.fold
+    (fun i acc ->
+      if Loc.Set.mem i decided then acc
+      else
+        Verdict.(
+          acc
+          &&& Undecided (Printf.sprintf "live %s has not decided yet" (Loc.to_string i))))
+    (Loc.Set.diff (Loc.set_of_universe ~n) faulty)
+    Verdict.Sat
+
+let check ~n ~k t =
+  Verdict.(k_agreement ~k t &&& validity ~n t &&& integrity t &&& termination ~n t)

@@ -1,0 +1,337 @@
+open Afd_ioa
+open Afd_core
+open Afd_system
+
+let detector_name = "participant"
+
+let queries t =
+  List.filteri (fun _ _ -> true) t
+  |> List.mapi (fun k a -> (k, a))
+  |> List.filter_map (fun (k, a) ->
+         match a with
+         | Act.Query { at; detector } when String.equal detector detector_name ->
+           Some (k, at)
+         | _ -> None)
+
+let responses t =
+  List.mapi (fun k a -> (k, a)) t
+  |> List.filter_map (fun (k, a) ->
+         match a with
+         | Act.Resp { at; detector; payload = Act.Pleader l }
+           when String.equal detector detector_name ->
+           Some (k, at, l)
+         | _ -> None)
+
+let check ~n t =
+  let qs = queries t and rs = responses t in
+  let common_id =
+    match rs with
+    | [] -> Verdict.Sat
+    | (_, _, l0) :: rest ->
+      if List.for_all (fun (_, _, l) -> Loc.equal l l0) rest then Verdict.Sat
+      else Verdict.Violated "responses name different IDs"
+  in
+  let queried_first =
+    List.fold_left
+      (fun acc (k, _, l) ->
+        if List.exists (fun (kq, i) -> Loc.equal i l && kq < k) qs then acc
+        else
+          Verdict.(
+            acc
+            &&& Violated
+                  (Fmt.str "response names %a which had not queried yet" Loc.pp l)))
+      Verdict.Sat rs
+  in
+  let crashed = ref Loc.Set.empty in
+  let no_resp_after_crash =
+    List.fold_left
+      (fun acc a ->
+        match a with
+        | Act.Crash i ->
+          crashed := Loc.Set.add i !crashed;
+          acc
+        | Act.Resp { at; detector; _ }
+          when String.equal detector detector_name && Loc.Set.mem at !crashed ->
+          Verdict.(acc &&& Violated (Fmt.str "response at crashed %a" Loc.pp at))
+        | _ -> acc)
+      Verdict.Sat t
+  in
+  let faulty =
+    List.fold_left
+      (fun acc a -> match a with Act.Crash i -> Loc.Set.add i acc | _ -> acc)
+      Loc.Set.empty t
+  in
+  let liveness =
+    List.fold_left
+      (fun acc i ->
+        let live = not (Loc.Set.mem i faulty) in
+        let queried = List.exists (fun (_, j) -> Loc.equal i j) qs in
+        let answered = List.exists (fun (_, j, _) -> Loc.equal i j) rs in
+        if live && queried && not answered then
+          Verdict.(
+            acc &&& Undecided (Fmt.str "live %a queried but has no response" Loc.pp i))
+        else acc)
+      Verdict.Sat (Loc.universe ~n)
+  in
+  Verdict.(common_id &&& queried_first &&& no_resp_after_crash &&& liveness)
+
+let automaton ~n =
+  let kind = function
+    | Act.Query { detector; _ } when String.equal detector detector_name ->
+      Some Automaton.Input
+    | Act.Resp { detector; _ } when String.equal detector detector_name ->
+      Some Automaton.Output
+    | Act.Crash _ -> Some Automaton.Input
+    | _ -> None
+  in
+  let step ((chosen, pending) as st) = function
+    | Act.Query { at; _ } ->
+      let chosen = match chosen with None -> Some at | some -> some in
+      Some (chosen, pending @ [ at ])
+    | Act.Crash _ -> Some st
+    | Act.Resp { at; payload = Act.Pleader l; _ } -> (
+      match (pending, chosen) with
+      | at' :: rest, Some c when Loc.equal at at' && Loc.equal l c -> Some (chosen, rest)
+      | _ -> None)
+    | _ -> None
+  in
+  let task =
+    { Automaton.task_name = "answer";
+      fair = true;
+      enabled =
+        (fun (chosen, pending) ->
+          match (pending, chosen) with
+          | at :: _, Some c ->
+            Some (Act.Resp { at; detector = detector_name; payload = Act.Pleader c })
+          | _ -> None);
+    }
+  in
+  ignore n;
+  { Automaton.name = "participant-fd"; kind; start = (None, []); step; tasks = [ task ] }
+
+(* --- direction 1: consensus using the participant detector --- *)
+
+type c_state = {
+  n : int;
+  self : Loc.t;
+  value : bool option;
+  values : bool Loc.Map.t;  (* proposals heard, by origin *)
+  queried : bool;
+  leader : Loc.t option;
+  decided : bool;
+  outbox : Process.Outbox.t;
+}
+
+let cons_handle st = function
+  | Process.Propose v ->
+    if st.value = None then
+      { st with
+        value = Some v;
+        values = Loc.Map.add st.self v st.values;
+        outbox = Process.Outbox.broadcast st.outbox ~n:st.n ~self:st.self (Msg.Decided { v });
+      }
+    else st
+  | Process.Receive { src; msg = Msg.Decided { v } } ->
+    { st with values = Loc.Map.add src v st.values }
+  | Process.Receive _ -> st
+  | Process.Fd _ -> st
+
+(* The process's locally controlled actions, in order: drain the
+   broadcast, then query, then (once the leader's value arrived)
+   decide.  The query needs to be an output the Process glue does not
+   know about, so this algorithm is built directly on Automaton. *)
+let cons_process ~n ~loc =
+  let kind = function
+    | Act.Crash i when Loc.equal i loc -> Some Automaton.Input
+    | Act.Propose { at; _ } when Loc.equal at loc -> Some Automaton.Input
+    | Act.Receive { dst; _ } when Loc.equal dst loc -> Some Automaton.Input
+    | Act.Resp { at; detector; _ }
+      when Loc.equal at loc && String.equal detector detector_name ->
+      Some Automaton.Input
+    | Act.Send { src; _ } when Loc.equal src loc -> Some Automaton.Output
+    | Act.Query { at; detector } when Loc.equal at loc && String.equal detector detector_name
+      ->
+      Some Automaton.Output
+    | Act.Decide { at; _ } when Loc.equal at loc -> Some Automaton.Output
+    | _ -> None
+  in
+  let current (st, failed) =
+    if failed then None
+    else
+      match Process.Outbox.peek st.outbox with
+      | Some (Process.Send { dst; msg }) -> Some (Act.Send { src = loc; dst; msg })
+      | Some (Process.Decide v) -> Some (Act.Decide { at = loc; v })
+      | Some (Process.Internal tag) -> Some (Act.Step { at = loc; tag })
+      | None ->
+        if st.value <> None && not st.queried then
+          Some (Act.Query { at = loc; detector = detector_name })
+        else if not st.decided then
+          match st.leader with
+          | Some l -> (
+            match Loc.Map.find_opt l st.values with
+            | Some v -> Some (Act.Decide { at = loc; v })
+            | None -> None)
+          | None -> None
+        else None
+  in
+  let step ((st, failed) as full) act =
+    match act with
+    | Act.Crash i when Loc.equal i loc -> Some (st, true)
+    | Act.Propose { at; v } when Loc.equal at loc ->
+      Some (cons_handle st (Process.Propose v), failed)
+    | Act.Receive { dst; src; msg } when Loc.equal dst loc ->
+      Some (cons_handle st (Process.Receive { src; msg }), failed)
+    | Act.Resp { at; payload = Act.Pleader l; _ } when Loc.equal at loc ->
+      Some ({ st with leader = Some l }, failed)
+    | _ ->
+      if current full = Some act then
+        (match act with
+        | Act.Send _ -> Some ({ st with outbox = Process.Outbox.pop st.outbox }, failed)
+        | Act.Query _ -> Some ({ st with queried = true }, failed)
+        | Act.Decide _ -> Some ({ st with decided = true }, failed)
+        | _ -> None)
+      else None
+  in
+  let task =
+    { Automaton.task_name = "step"; fair = true; enabled = current }
+  in
+  { Automaton.name = Printf.sprintf "partcons_%s" (Loc.to_string loc);
+    kind;
+    start =
+      ( { n;
+          self = loc;
+          value = None;
+          values = Loc.Map.empty;
+          queried = false;
+          leader = None;
+          decided = false;
+          outbox = Process.Outbox.empty;
+        },
+        false );
+    step;
+    tasks = [ task ];
+  }
+
+let consensus_net ~n ~values ~crashable =
+  let processes =
+    List.map (fun i -> Component.C (cons_process ~n ~loc:i)) (Loc.universe ~n)
+  in
+  Net.assemble ~n
+    ~detectors:[ Component.C (automaton ~n) ]
+    ~environment:(Environment.scripted ~values)
+    ~crashable ~processes ()
+
+(* --- direction 2: the participant detector using consensus --- *)
+
+(* Front-end at location i (n = 2): translate a query into a proposal
+   of the location's own ID (as a bool) for the underlying consensus,
+   and answer all local queries with the decided ID. *)
+type fe_state = {
+  fe_pending : int;  (* unanswered queries *)
+  fe_proposed : bool;
+  fe_decided : Loc.t option;
+  fe_failed : bool;
+}
+
+let frontend ~loc =
+  let kind = function
+    | Act.Crash i when Loc.equal i loc -> Some Automaton.Input
+    | Act.Query { at; detector } when Loc.equal at loc && String.equal detector detector_name
+      ->
+      Some Automaton.Input
+    | Act.Decide { at; _ } when Loc.equal at loc -> Some Automaton.Input
+    | Act.Propose { at; _ } when Loc.equal at loc -> Some Automaton.Output
+    | Act.Resp { at; detector; _ }
+      when Loc.equal at loc && String.equal detector detector_name ->
+      Some Automaton.Output
+    | _ -> None
+  in
+  let current st =
+    if st.fe_failed then None
+    else if st.fe_pending > 0 && not st.fe_proposed then
+      (* propose own ID: bool encodes the location for n = 2 *)
+      Some (Act.Propose { at = loc; v = Loc.equal loc 1 })
+    else
+      match (st.fe_pending > 0, st.fe_decided) with
+      | true, Some l ->
+        Some (Act.Resp { at = loc; detector = detector_name; payload = Act.Pleader l })
+      | _ -> None
+  in
+  let step st act =
+    match act with
+    | Act.Crash i when Loc.equal i loc -> Some { st with fe_failed = true }
+    | Act.Query { at; _ } when Loc.equal at loc ->
+      Some { st with fe_pending = st.fe_pending + 1 }
+    | Act.Decide { at; v } when Loc.equal at loc ->
+      Some { st with fe_decided = Some (if v then 1 else 0) }
+    | _ ->
+      if current st = Some act then
+        (match act with
+        | Act.Propose _ -> Some { st with fe_proposed = true }
+        | Act.Resp _ -> Some { st with fe_pending = st.fe_pending - 1 }
+        | _ -> None)
+      else None
+  in
+  let task = { Automaton.task_name = "frontend"; fair = true; enabled = current } in
+  { Automaton.name = Printf.sprintf "frontend_%s" (Loc.to_string loc);
+    kind;
+    start = { fe_pending = 0; fe_proposed = false; fe_decided = None; fe_failed = false };
+    step;
+    tasks = [ task ];
+  }
+
+(* Query environment: queries once per location (unless crashed). *)
+let query_env ~loc =
+  let kind = function
+    | Act.Crash i when Loc.equal i loc -> Some Automaton.Input
+    | Act.Query { at; detector } when Loc.equal at loc && String.equal detector detector_name
+      ->
+      Some Automaton.Internal (* owned below; see note *)
+    | _ -> None
+  in
+  ignore kind;
+  (* Queries are outputs of this environment and inputs of the
+     front-end. *)
+  let kind = function
+    | Act.Crash i when Loc.equal i loc -> Some Automaton.Input
+    | Act.Query { at; detector } when Loc.equal at loc && String.equal detector detector_name
+      ->
+      Some Automaton.Output
+    | Act.Resp { at; detector; _ }
+      when Loc.equal at loc && String.equal detector detector_name ->
+      Some Automaton.Input
+    | _ -> None
+  in
+  let step (queried, failed) = function
+    | Act.Crash i when Loc.equal i loc -> Some (queried, true)
+    | Act.Query _ when not queried && not failed -> Some (true, failed)
+    | Act.Resp _ -> Some (queried, failed)
+    | _ -> None
+  in
+  let task =
+    { Automaton.task_name = Printf.sprintf "query_%s" (Loc.to_string loc);
+      fair = true;
+      enabled =
+        (fun (queried, failed) ->
+          if queried || failed then None
+          else Some (Act.Query { at = loc; detector = detector_name }));
+    }
+  in
+  { Automaton.name = Printf.sprintf "queryenv_%s" (Loc.to_string loc);
+    kind;
+    start = (false, false);
+    step;
+    tasks = [ task ];
+  }
+
+let extraction_net ~crashable =
+  let n = 2 in
+  let flood = Flood_p.processes ~n ~f:1 in
+  let detector =
+    Fd_bridge.lift_set ~detector:Flood_p.detector_name (Afd_automata.fd_perfect ~n)
+  in
+  let frontends = List.map (fun i -> Component.C (frontend ~loc:i)) (Loc.universe ~n) in
+  let query_envs = List.map (fun i -> Component.C (query_env ~loc:i)) (Loc.universe ~n) in
+  Net.assemble ~n
+    ~detectors:[ Component.C detector ]
+    ~environment:query_envs ~extras:frontends ~crashable ~processes:flood ()

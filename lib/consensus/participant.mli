@@ -1,0 +1,59 @@
+(** The participant failure detector (Section 10.1) — a {e query-based}
+    detector that is representative for consensus, in contrast with
+    Theorem 21's result that no AFD is.
+
+    The participant detector answers every query, at every location and
+    at all times, with one fixed location ID, and guarantees that the
+    process with that ID has queried at least once before any answer is
+    issued.  Because queries are {e inputs from the processes}, the
+    detector can leak information beyond crashes — here, "that process
+    reached its query point" — which is precisely what the paper's
+    unilateral AFD interface forbids.
+
+    Both directions of representativeness are implemented:
+    - {!consensus_net}: solving consensus {e using} the detector — each
+      process broadcasts its proposal {e before} querying, so the
+      answered ID's proposal is already in the channels; everyone waits
+      for it and decides it;
+    - {!extraction_net}: solving the detector {e using} a black-box
+      consensus (the flooding algorithm): on its first query a location
+      proposes its own ID, and every query is answered with the decided
+      ID.  (Location IDs ride on binary consensus, so this direction is
+      exercised with [n = 2]; the construction generalizes with
+      multi-valued consensus.) *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+
+val detector_name : string
+(** "participant". *)
+
+val queries : Act.t list -> (int * Loc.t) list
+(** (position, location) of every query event. *)
+
+val responses : Act.t list -> (int * Loc.t * Loc.t) list
+(** (position, location, answered ID) of every response event. *)
+
+val check : n:int -> Act.t list -> Verdict.t
+(** The participant-detector specification on a finite trace:
+    (1) all responses carry one common ID [l];
+    (2) [l]'s first query precedes every response;
+    (3) no response at a location after its crash;
+    liveness: every live location that queried gets at least one
+    response ([Undecided] while missing). *)
+
+val automaton : n:int -> (Loc.t option * Loc.t list, Act.t) Automaton.t
+(** The detector automaton itself: latches the first querier as the
+    answer, answers queries in FIFO order. *)
+
+(** {1 Direction 1: consensus using the participant detector} *)
+
+val consensus_net : n:int -> values:bool list -> crashable:Loc.Set.t -> Net.t
+
+(** {1 Direction 2: the participant detector using consensus} *)
+
+val extraction_net : crashable:Loc.Set.t -> Net.t
+(** [n = 2]: flooding-consensus processes (over P), front-ends
+    translating queries to proposals and decisions to responses, and a
+    query-environment that queries once per location. *)

@@ -1,0 +1,149 @@
+open Afd_ioa
+open Afd_system
+open Afd_core
+
+let crashes_before t =
+  (* fold helper: visit events with the set of locations crashed so far *)
+  let crashed = ref Loc.Set.empty in
+  List.map
+    (fun a ->
+      let before = !crashed in
+      (match a with Act.Crash i -> crashed := Loc.Set.add i !crashed | _ -> ());
+      (a, before))
+    t
+
+let faulty t =
+  List.fold_left
+    (fun acc a -> match a with Act.Crash i -> Loc.Set.add i acc | _ -> acc)
+    Loc.Set.empty t
+
+let live ~n t = Loc.Set.diff (Loc.set_of_universe ~n) (faulty t)
+
+let environment_well_formedness ~n t =
+  let proposals = Net.proposals t in
+  let at_most_one =
+    let seen = Hashtbl.create 8 in
+    List.fold_left
+      (fun acc (i, _) ->
+        if Hashtbl.mem seen i then
+          Verdict.(
+            acc &&& Violated (Printf.sprintf "two proposals at %s" (Loc.to_string i)))
+        else begin
+          Hashtbl.add seen i ();
+          acc
+        end)
+      Verdict.Sat proposals
+  in
+  let none_after_crash =
+    List.fold_left
+      (fun acc (a, crashed) ->
+        match a with
+        | Act.Propose { at; _ } when Loc.Set.mem at crashed ->
+          Verdict.(
+            acc
+            &&& Violated (Printf.sprintf "proposal at %s after its crash" (Loc.to_string at)))
+        | _ -> acc)
+      Verdict.Sat (crashes_before t)
+  in
+  let live_proposed =
+    Loc.Set.fold
+      (fun i acc ->
+        if List.exists (fun (j, _) -> Loc.equal i j) proposals then acc
+        else
+          Verdict.(
+            acc
+            &&& Undecided (Printf.sprintf "live %s has not proposed yet" (Loc.to_string i))))
+      (live ~n t) Verdict.Sat
+  in
+  Verdict.(at_most_one &&& none_after_crash &&& live_proposed)
+
+let f_crash_limitation ~f t = Loc.Set.cardinal (faulty t) <= f
+
+let crash_validity t =
+  List.fold_left
+    (fun acc (a, crashed) ->
+      match a with
+      | Act.Decide { at; _ } when Loc.Set.mem at crashed ->
+        Verdict.(
+          acc
+          &&& Violated (Printf.sprintf "decision at %s after its crash" (Loc.to_string at)))
+      | _ -> acc)
+    Verdict.Sat (crashes_before t)
+
+let agreement t =
+  match Net.decisions t with
+  | [] -> Verdict.Sat
+  | (i0, v0) :: rest ->
+    List.fold_left
+      (fun acc (i, v) ->
+        if Bool.equal v v0 then acc
+        else
+          Verdict.(
+            acc
+            &&& Violated
+                  (Printf.sprintf "%s decided %b but %s decided %b" (Loc.to_string i0)
+                     v0 (Loc.to_string i) v)))
+      Verdict.Sat rest
+
+let validity t =
+  let proposed = List.map snd (Net.proposals t) in
+  List.fold_left
+    (fun acc (i, v) ->
+      if List.mem v proposed then acc
+      else
+        Verdict.(
+          acc
+          &&& Violated
+                (Printf.sprintf "%s decided %b which nobody proposed" (Loc.to_string i) v)))
+    Verdict.Sat (Net.decisions t)
+
+let termination ~n t =
+  let decisions = Net.decisions t in
+  let at_most_once =
+    let seen = Hashtbl.create 8 in
+    List.fold_left
+      (fun acc (i, _) ->
+        if Hashtbl.mem seen i then
+          Verdict.(
+            acc &&& Violated (Printf.sprintf "two decisions at %s" (Loc.to_string i)))
+        else begin
+          Hashtbl.add seen i ();
+          acc
+        end)
+      Verdict.Sat decisions
+  in
+  let live_decided =
+    Loc.Set.fold
+      (fun i acc ->
+        if List.exists (fun (j, _) -> Loc.equal i j) decisions then acc
+        else
+          Verdict.(
+            acc
+            &&& Undecided (Printf.sprintf "live %s has not decided yet" (Loc.to_string i))))
+      (live ~n t) Verdict.Sat
+  in
+  Verdict.(at_most_once &&& live_decided)
+
+let guarantees ~n t =
+  Verdict.(crash_validity t &&& agreement t &&& validity t &&& termination ~n t)
+
+let check ~n ~f t =
+  if not (f_crash_limitation ~f t) then Verdict.Sat
+  else
+    match environment_well_formedness ~n t with
+    | Verdict.Violated _ -> Verdict.Sat (* hypothesis broken: vacuous *)
+    | Verdict.Undecided r -> (
+      (* The environment has not finished providing inputs; safety
+         clauses still apply, liveness cannot be demanded yet. *)
+      match Verdict.(crash_validity t &&& agreement t &&& validity t) with
+      | Verdict.Sat -> Verdict.Undecided r
+      | v -> v)
+    | Verdict.Sat -> guarantees ~n t
+
+let problem ~n ~f =
+  { Problem.name = Printf.sprintf "consensus(n=%d,f=%d)" n f;
+    is_input = (function Act.Propose _ | Act.Crash _ -> true | _ -> false);
+    is_output = Act.is_decide;
+    is_crash = Act.is_crash;
+    check = (fun t -> check ~n ~f t);
+  }

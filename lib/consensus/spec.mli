@@ -1,0 +1,41 @@
+(** The f-crash-tolerant binary consensus problem (Section 9.1).
+
+    [T_P] is the set of sequences over [I_P ∪ O_P] such that {e if} the
+    trace satisfies environment well-formedness and f-crash limitation,
+    {e then} it satisfies crash validity, agreement, validity, and
+    termination.  Each clause is exposed separately (they are checked
+    individually by tests and reported individually by benches), and
+    {!problem} packages the full conditional. *)
+
+open Afd_system
+open Afd_core
+
+val environment_well_formedness : n:int -> Act.t list -> Verdict.t
+(** (1) at most one propose per location; (2) no propose at a location
+    after its crash; (3) exactly one propose at each live location
+    ([Undecided] while missing). *)
+
+val f_crash_limitation : f:int -> Act.t list -> bool
+(** At most [f] locations crash. *)
+
+val crash_validity : Act.t list -> Verdict.t
+(** No location decides after crashing. *)
+
+val agreement : Act.t list -> Verdict.t
+(** No two decide events carry different values. *)
+
+val validity : Act.t list -> Verdict.t
+(** Every decided value was proposed by someone. *)
+
+val termination : n:int -> Act.t list -> Verdict.t
+(** Each location decides at most once (violation otherwise); each live
+    location decides at least once ([Undecided] while missing). *)
+
+val guarantees : n:int -> Act.t list -> Verdict.t
+(** Conjunction of crash validity, agreement, validity, termination. *)
+
+val check : n:int -> f:int -> Act.t list -> Verdict.t
+(** Full membership in [T_P]: the conditional of Section 9.1.  Traces
+    whose hypothesis fails are vacuously [Sat]. *)
+
+val problem : n:int -> f:int -> Act.t Problem.t

@@ -1,0 +1,47 @@
+(** Ballot-based consensus using the leader oracle Ω (the Synod
+    protocol of Paxos, with Ω as the leader-election module).
+
+    Every location plays all three roles:
+    - {e proposer}: when Ω names it and it is idle (or preempted), it
+      starts a fresh ballot [b] (ballots at location [i] are the
+      integers congruent to [i] mod [n], so ballots never collide),
+      collects promises from a majority, picks the value of the
+      highest-ballot acceptance among them (or its own proposal), and
+      broadcasts accept requests;
+    - {e acceptor}: standard promise/accept with ballot comparisons;
+    - {e learner}: decides when a majority of acceptors have accepted
+      one ballot.
+
+    Safety (agreement, validity) holds under any scheduling and any
+    crashes; termination needs a live majority ([f < n/2]) and relies
+    on Ω eventually electing one live leader: its continual outputs
+    retrigger preempted proposers, so ballots stop colliding once the
+    leader stabilizes.  This is the executable content of Section 9's
+    claim that a sufficiently strong AFD circumvents FLP. *)
+
+open Afd_ioa
+open Afd_system
+
+val detector_name : string
+(** "Omega". *)
+
+type st
+
+val ballot : st -> int
+val has_decided : st -> bool
+val promised : st -> int
+val accepted : st -> (int * bool) option
+
+val process : n:int -> loc:Loc.t -> (st * bool, Act.t) Automaton.t
+val processes : n:int -> Act.t Component.t list
+
+val net :
+  n:int ->
+  ?values:bool list ->
+  ?detector:Act.t Component.t ->
+  crashable:Loc.Set.t ->
+  unit ->
+  Net.t
+(** Full system.  Default detector is Algorithm 1's FD-Ω lifted into
+    the system; pass [detector] to substitute another Ω source (e.g.
+    the ◇P→Ω transformer pipeline of the Via_reduction module). *)

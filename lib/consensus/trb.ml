@@ -1,0 +1,184 @@
+open Afd_ioa
+open Afd_core
+open Afd_system
+
+let detector_name = "P"
+let sf_tag = "deliver_SF"
+
+type delivery = Value of bool | Sender_faulty
+
+let deliveries t =
+  List.filter_map
+    (function
+      | Act.Decide { at; v } -> Some (at, Value v)
+      | Act.Step { at; tag } when String.equal tag sf_tag -> Some (at, Sender_faulty)
+      | _ -> None)
+    t
+
+let crashes_before t =
+  let crashed = ref Loc.Set.empty in
+  List.map
+    (fun a ->
+      let before = !crashed in
+      (match a with Act.Crash i -> crashed := Loc.Set.add i !crashed | _ -> ());
+      (a, before))
+    t
+
+let faulty t =
+  List.fold_left
+    (fun acc a -> match a with Act.Crash i -> Loc.Set.add i acc | _ -> acc)
+    Loc.Set.empty t
+
+let integrity t =
+  let seen = Hashtbl.create 8 in
+  let dup =
+    List.fold_left
+      (fun acc (i, _) ->
+        if Hashtbl.mem seen i then
+          Verdict.(acc &&& Violated (Printf.sprintf "two deliveries at %s" (Loc.to_string i)))
+        else begin
+          Hashtbl.add seen i ();
+          acc
+        end)
+      Verdict.Sat (deliveries t)
+  in
+  let after_crash =
+    List.fold_left
+      (fun acc (a, crashed) ->
+        let bad at =
+          if Loc.Set.mem at crashed then
+            Verdict.(
+              acc &&& Violated (Printf.sprintf "delivery at %s after its crash" (Loc.to_string at)))
+          else acc
+        in
+        match a with
+        | Act.Decide { at; _ } -> bad at
+        | Act.Step { at; tag } when String.equal tag sf_tag -> bad at
+        | _ -> acc)
+      Verdict.Sat (crashes_before t)
+  in
+  Verdict.(dup &&& after_crash)
+
+let validity ~sender t =
+  if Loc.Set.mem sender (faulty t) then Verdict.Sat
+  else
+    let sent = List.assoc_opt sender (Net.proposals t) in
+    List.fold_left
+      (fun acc (i, d) ->
+        match (d, sent) with
+        | Value v, Some v' when Bool.equal v v' -> acc
+        | Value v, Some v' ->
+          Verdict.(
+            acc
+            &&& Violated
+                  (Printf.sprintf "%s delivered %b but the live sender broadcast %b"
+                     (Loc.to_string i) v v'))
+        | Value _, None ->
+          Verdict.(
+            acc
+            &&& Violated (Printf.sprintf "%s delivered a value nobody broadcast" (Loc.to_string i)))
+        | Sender_faulty, _ ->
+          Verdict.(
+            acc
+            &&& Violated (Printf.sprintf "%s delivered SF although the sender is live" (Loc.to_string i)))
+      )
+      Verdict.Sat (deliveries t)
+
+let agreement t =
+  let values =
+    List.filter_map (function _, Value v -> Some v | _, Sender_faulty -> None) (deliveries t)
+  in
+  match values with
+  | [] -> Verdict.Sat
+  | v0 :: rest ->
+    if List.for_all (Bool.equal v0) rest then Verdict.Sat
+    else Verdict.Violated "two different non-SF values delivered"
+
+let termination ~n t =
+  let delivered =
+    List.fold_left (fun acc (i, _) -> Loc.Set.add i acc) Loc.Set.empty (deliveries t)
+  in
+  let live = Loc.Set.diff (Loc.set_of_universe ~n) (faulty t) in
+  Loc.Set.fold
+    (fun i acc ->
+      if Loc.Set.mem i delivered then acc
+      else
+        Verdict.(
+          acc &&& Undecided (Printf.sprintf "live %s has not delivered yet" (Loc.to_string i))))
+    live Verdict.Sat
+
+let check ~n ~sender t =
+  Verdict.(integrity t &&& validity ~sender t &&& agreement t &&& termination ~n t)
+
+(* --- algorithm --- *)
+
+type st = {
+  n : int;
+  sender : Loc.t;
+  self : Loc.t;
+  value : bool option;
+  relayed : bool;
+  suspects : Loc.Set.t;
+  delivered : bool;
+  outbox : Process.Outbox.t;
+}
+
+let adopt st v =
+  if st.value <> None then st
+  else
+    { st with
+      value = Some v;
+      relayed = true;
+      outbox = Process.Outbox.broadcast st.outbox ~n:st.n ~self:st.self (Msg.Decided { v });
+    }
+
+let handle st = function
+  | Process.Propose v -> if Loc.equal st.self st.sender then adopt st v else st
+  | Process.Receive { msg = Msg.Decided { v }; _ } -> adopt st v
+  | Process.Receive _ -> st
+  | Process.Fd { payload = Act.Pset s; _ } -> { st with suspects = s }
+  | Process.Fd { payload = Act.Pleader _; _ } -> st
+
+let output st =
+  match Process.Outbox.peek st.outbox with
+  | Some o -> Some o
+  | None ->
+    if st.delivered then None
+    else (
+      match st.value with
+      | Some v -> Some (Process.Decide v)
+      | None ->
+        if Loc.Set.mem st.sender st.suspects then Some (Process.Internal sf_tag) else None)
+
+let after_output st = function
+  | Process.Send _ -> { st with outbox = Process.Outbox.pop st.outbox }
+  | Process.Decide _ | Process.Internal _ -> { st with delivered = true }
+
+let process ~n ~sender ~loc =
+  Process.automaton ~name:"trb" ~loc ~fd_names:[ detector_name ]
+    { Process.init =
+        { n;
+          sender;
+          self = loc;
+          value = None;
+          relayed = false;
+          suspects = Loc.Set.empty;
+          delivered = false;
+          outbox = Process.Outbox.empty;
+        };
+      handle;
+      output;
+      after_output;
+    }
+
+let net ~n ~sender ~value ~crashable =
+  let detector =
+    Fd_bridge.lift_set ~detector:detector_name (Afd_automata.fd_perfect ~n)
+  in
+  let processes =
+    List.map (fun i -> Component.C (process ~n ~sender ~loc:i)) (Loc.universe ~n)
+  in
+  Net.assemble ~n
+    ~detectors:[ Component.C detector ]
+    ~environment:[ Component.C (Environment.scripted_at sender ~value) ]
+    ~crashable ~processes ()

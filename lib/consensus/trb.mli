@@ -1,0 +1,60 @@
+(** Terminating Reliable Broadcast (TRB) — a second {e bounded} crash
+    problem (Section 7.3 names terminating reliable broadcast among the
+    bounded problems).
+
+    A designated sender broadcasts one binary value; every location
+    must eventually deliver either that value or the failure indicator
+    SF ("sender faulty").  Clauses:
+    - {e integrity}: each location delivers at most once, and never
+      after crashing;
+    - {e validity}: if the sender is live, every live location delivers
+      the sender's value (in particular not SF);
+    - {e agreement}: if any location delivers a value [v <> SF], no
+      location delivers a different non-SF value;
+    - {e termination}: every live location eventually delivers.
+
+    (This is the {e weak} variant in which a crashed sender may yield a
+    mix of SF and value deliveries; the uniform variant is equivalent
+    to consensus and is covered by the consensus library.)
+
+    The algorithm uses P exactly as folklore prescribes: adopt and
+    relay the first copy of the sender's value; deliver it once
+    relaying is done; deliver SF when P suspects the sender before any
+    copy arrived.  P's strong accuracy makes SF sound (a live sender's
+    value always arrives) and its strong completeness makes the wait
+    finite.
+
+    Deliveries are encoded as [Act.Decide] events and the broadcast
+    value as the sender's [Act.Propose]; SF is encoded as a [Step]
+    action tagged ["deliver_SF"] so that the problem's alphabet stays
+    within [Act.t] (documented substitution). *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+
+val detector_name : string
+
+val sf_tag : string
+(** The [Act.Step] tag representing the SF delivery. *)
+
+type delivery = Value of bool | Sender_faulty
+
+val deliveries : Act.t list -> (Loc.t * delivery) list
+
+(** {1 Specification monitors} *)
+
+val integrity : Act.t list -> Verdict.t
+val validity : sender:Loc.t -> Act.t list -> Verdict.t
+val agreement : Act.t list -> Verdict.t
+val termination : n:int -> Act.t list -> Verdict.t
+val check : n:int -> sender:Loc.t -> Act.t list -> Verdict.t
+
+(** {1 Algorithm} *)
+
+type st
+
+val process : n:int -> sender:Loc.t -> loc:Loc.t -> (st * bool, Act.t) Automaton.t
+val net : n:int -> sender:Loc.t -> value:bool -> crashable:Loc.Set.t -> Net.t
+(** Processes + channels + crash + FD-P + a scripted environment giving
+    the sender its input. *)

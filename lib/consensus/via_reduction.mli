@@ -1,0 +1,29 @@
+(** Consensus using ◇P, by composing the ◇P→Ω transformer with the
+    Synod algorithm — the executable form of Lemma 16's construction
+    (stack the algorithm that solves D' using D under the algorithm
+    that solves P using D').
+
+    The system contains: a noisy ◇P automaton (transient false
+    suspicions, then convergence), per-location transformer components
+    emitting detector "Omega" outputs, and the Synod processes
+    listening to "Omega".  The Synod code is reused verbatim — it
+    cannot tell the extracted Ω from the native one. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+
+val evp_name : string
+(** "EvP", the source detector's name in the system. *)
+
+val net :
+  n:int ->
+  ?values:bool list ->
+  ?noise:Loc.Set.t Afd_automata.noise ->
+  crashable:Loc.Set.t ->
+  unit ->
+  Net.t
+(** Default [noise] makes every location falsely suspect its right
+    neighbour once before converging. *)
+
+val default_noise : n:int -> Loc.Set.t Afd_automata.noise

@@ -1,0 +1,51 @@
+(** Asynchronous failure detectors (Section 3.2).
+
+    An AFD is a crash problem [D = (Î, O_D, T_D)] satisfying crash
+    exclusivity, validity, closure under sampling, and closure under
+    constrained reordering.  A {!spec} packages the detector's output
+    payload type with a monitor for membership in [T_D].
+
+    {b Finite-trace semantics of [check].}  Safety clauses of each
+    detector are checked exactly.  "Eventually/permanently" clauses are
+    checked under {e limit-extension semantics}: the finite trace
+    stands for the infinite trace in which each live location keeps
+    repeating its last output forever.  This reading is exactly
+    preserved by sampling (live locations keep all outputs) and by
+    constrained reordering (per-location order, hence last outputs, are
+    preserved), so the closure properties of Section 3.2 are honestly
+    testable on finite traces. *)
+
+
+type 'o spec = {
+  name : string;
+  pp_out : 'o Fmt.t;
+  equal_out : 'o -> 'o -> bool;
+  check : n:int -> 'o Fd_event.t list -> Verdict.t;
+      (** membership of the (finite, limit-extended) trace in [T_D];
+          must include the validity check. *)
+}
+
+val check : 'o spec -> n:int -> 'o Fd_event.t list -> Verdict.t
+
+type closure_failure = {
+  original : string;  (** formatted original trace *)
+  transformed : string;  (** formatted transformed trace *)
+  verdict : Verdict.t;  (** verdict on the transformed trace *)
+}
+
+val check_closure_under_sampling :
+  'o spec -> n:int -> rng:Random.State.t -> trials:int -> 'o Fd_event.t list ->
+  (unit, closure_failure) result
+(** Given a trace accepted by the spec, draw [trials] random samplings
+    and re-check each; the first rejected sampling (a counterexample to
+    closure under sampling) is returned as [Error].  If the input trace
+    itself is not accepted the check is vacuous and returns [Ok ()]. *)
+
+val check_closure_under_reordering :
+  'o spec -> n:int -> rng:Random.State.t -> trials:int -> 'o Fd_event.t list ->
+  (unit, closure_failure) result
+
+val check_all_properties :
+  'o spec -> n:int -> rng:Random.State.t -> trials:int -> 'o Fd_event.t list ->
+  (unit, string) result
+(** Validity of the trace when accepted, plus both closure checks. *)

@@ -1,0 +1,12 @@
+(** The anti-Ω failure detector (Zieliński), weakest for set agreement.
+
+    Each output names a single location; the guarantee is that some
+    live location is {e eventually never} output.  Under
+    limit-extension semantics: some live location is named by no live
+    location's last output. *)
+
+open Afd_ioa
+
+type out = Loc.t
+
+val spec : out Afd.spec

@@ -1,0 +1,42 @@
+open Afd_ioa
+
+let check_crash_independent aut ~is_crash ~traces =
+  let rec go k = function
+    | [] -> Ok ()
+    | t :: rest ->
+      let stripped = List.filter (fun a -> not (is_crash a)) t in
+      (match Execution.apply_schedule aut aut.Automaton.start stripped with
+      | Some _ -> go (k + 1) rest
+      | None ->
+        Error
+          (Printf.sprintf
+             "automaton %s is not crash independent: trace %d minus crashes is not \
+              applicable"
+             aut.Automaton.name k))
+  in
+  go 0 traces
+
+let check_bounded_length ~is_output ~bound ~traces =
+  let rec go k = function
+    | [] -> Ok ()
+    | t :: rest ->
+      let c = List.length (List.filter is_output t) in
+      if c <= bound then go (k + 1) rest
+      else
+        Error
+          (Printf.sprintf "trace %d has %d > %d output events: not bounded by %d" k c
+             bound bound)
+  in
+  go 0 traces
+
+let quiescence_starves_extraction ~outputs_after_quiescence ~live_locations =
+  if Loc.Set.is_empty live_locations then
+    Error "vacuous: no live locations, validity imposes no obligation"
+  else if outputs_after_quiescence = 0 then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "extraction produced %d outputs after quiescence; Theorem 21's starvation \
+          argument applies to extractions that are silent once the bounded problem \
+          quiesces"
+         outputs_after_quiescence)

@@ -1,0 +1,42 @@
+(** Bounded problems (Section 7.3) and the machinery of Theorem 21.
+
+    A problem [P] is bounded when some automaton [U] solving it is
+    {e crash independent} — deleting the crash events from any finite
+    trace of [U] leaves a trace of [U] — and has {e bounded length} —
+    at most [b] output events in any trace.  Theorem 21: a bounded
+    problem unsolvable in an environment has no representative AFD
+    there.
+
+    These checkers operate on a concrete witness automaton and sampled
+    traces; the consensus witness lives in the consensus library. *)
+
+open Afd_ioa
+
+val check_crash_independent :
+  ('s, 'a) Automaton.t ->
+  is_crash:('a -> bool) ->
+  traces:'a list list ->
+  (unit, string) result
+(** For each finite trace [t] (of the witness automaton, externals
+    only — the witness must have no internal actions), verify that
+    [t] minus its crash events is applicable to the automaton from its
+    start state. *)
+
+val check_bounded_length :
+  is_output:('a -> bool) -> bound:int -> traces:'a list list -> (unit, string) result
+(** No trace carries more than [bound] output events. *)
+
+val quiescence_starves_extraction :
+  outputs_after_quiescence:int -> live_locations:Loc.Set.t -> (unit, string) result
+(** The executable core of Theorem 21's contradiction: once the bounded
+    problem's solution is quiescent (no messages in transit, no more
+    [O_P] events possible — Lemma 23/24), a would-be representative
+    AFD extraction must still emit infinitely many outputs at each live
+    location while receiving no further information; if the extraction
+    produced [outputs_after_quiescence] outputs from no input, those
+    outputs are a function of nothing and the same stream must appear
+    under every fault pattern that agrees before quiescence — the
+    validity-vs-accuracy clash.  Returns [Ok ()] when
+    [outputs_after_quiescence = 0] would starve validity (the
+    contradiction holds), [Error] otherwise.  See the consensus tests
+    for the full two-fault-pattern construction. *)

@@ -1,0 +1,81 @@
+open Afd_ioa
+
+type out = Loc.Set.t
+
+let accuracy_after_k ~k t =
+  let crashed = ref Loc.Set.empty in
+  let verdict = ref Verdict.Sat in
+  List.iteri
+    (fun pos e ->
+      match e with
+      | Fd_event.Crash i -> crashed := Loc.Set.add i !crashed
+      | Fd_event.Output (i, s) ->
+        if pos >= k && not (Loc.Set.subset s !crashed) then
+          verdict :=
+            Verdict.(
+              !verdict
+              &&& Violated
+                    (Fmt.str
+                       "output %a at %a at position %d (after \"time\" %d) suspects \
+                        not-yet-crashed %a"
+                       Loc.pp_set s Loc.pp i pos k
+                       Loc.pp_set (Loc.Set.diff s !crashed))))
+    t;
+  !verdict
+
+let completeness ~n t =
+  match Spec_util.last_outputs_of_live ~n t with
+  | Error u -> u
+  | Ok (last, _) ->
+    let faulty = Fd_event.faulty t in
+    Loc.Map.fold
+      (fun i s acc ->
+        if Loc.Set.subset faulty s then acc
+        else
+          Verdict.(
+            acc
+            &&& Undecided
+                  (Fmt.str "last output at %a misses faulty %a" Loc.pp i
+                     Loc.pp_set (Loc.Set.diff faulty s))))
+      last Verdict.Sat
+
+let check ~k ~n t =
+  Spec_util.with_validity ~n t Verdict.(accuracy_after_k ~k t &&& completeness ~n t)
+
+let spec ~k =
+  { Afd.name = Printf.sprintf "D_%d" k;
+    pp_out = Loc.pp_set;
+    equal_out = Loc.Set.equal;
+    check = (fun ~n t -> check ~k ~n t);
+  }
+
+(* Witness for non-closure under constrained reordering, n = 2, no
+   crashes.  Original trace ([k-1] padding outputs at p0, then):
+
+     pos k-1 : Output(p1, {p0})   -- inaccurate, but position < k
+     pos k   : Output(p0, {})
+     pos k+1 : Output(p1, {})
+
+   Accepted: the only inaccurate output sits below position k, last
+   outputs are {} at both (live) locations.  Moving the p0 output in
+   front of the p1 output is a legal constrained reordering (different
+   locations, no crash events), but it pushes the inaccurate output to
+   position k, where accuracy is enforced — rejected. *)
+let closure_counterexample ~k =
+  if k < 1 then invalid_arg "D_k.closure_counterexample: k must be >= 1";
+  let pad = List.init (k - 1) (fun _ -> Fd_event.Output (0, Loc.Set.empty)) in
+  let original =
+    pad
+    @ [ Fd_event.Output (1, Loc.Set.singleton 0);
+        Fd_event.Output (0, Loc.Set.empty);
+        Fd_event.Output (1, Loc.Set.empty);
+      ]
+  in
+  let reordered =
+    pad
+    @ [ Fd_event.Output (0, Loc.Set.empty);
+        Fd_event.Output (1, Loc.Set.singleton 0);
+        Fd_event.Output (1, Loc.Set.empty);
+      ]
+  in
+  (original, reordered)

@@ -1,0 +1,29 @@
+(** The D_k failure detector (Bhatt-Jayanti) — a negative control
+    (Section 3.4).
+
+    D_k provides accurate information only about crashes that occur
+    after real time [k].  Real time is not modeled in the I/O-automata
+    framework; the closest asynchronous stand-in indexes the trace by
+    event position: outputs occurring at positions [>= k] must be
+    accurate (suspect only already-crashed locations), while the first
+    [k] events are unconstrained.
+
+    That stand-in is {e not} an AFD: position-indexed clauses are not
+    closed under constrained reordering — an event from another
+    location can be legally reordered in front of an inaccurate early
+    output, pushing the latter past position [k] where accuracy is
+    enforced.  {!closure_counterexample} builds a concrete witness,
+    reproducing the paper's claim that D_k cannot be specified as an
+    AFD because "real time is not modeled". *)
+
+open Afd_ioa
+
+type out = Loc.Set.t
+
+val spec : k:int -> out Afd.spec
+
+val closure_counterexample : k:int -> out Fd_event.t list * out Fd_event.t list
+(** [closure_counterexample ~k] (for [k >= 1]) is a pair
+    [(t, t')] where [t] is accepted by [spec ~k] and [t'] is a
+    constrained reordering of [t] that [spec ~k] rejects.  Raises
+    [Invalid_argument] if [k < 1]. *)

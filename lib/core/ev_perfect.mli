@@ -1,0 +1,12 @@
+(** The eventually perfect failure detector ◇P (Section 3.3).
+
+    Eventually and permanently: no live location is suspected and every
+    faulty location is suspected.  Both clauses are eventual, so both
+    are checked under limit-extension semantics; unlike {!Perfect},
+    arbitrary false suspicions are allowed in any finite prefix. *)
+
+open Afd_ioa
+
+type out = Loc.Set.t
+
+val spec : out Afd.spec

@@ -1,0 +1,38 @@
+open Afd_ioa
+
+type out = Loc.Set.t
+
+let check ~n t =
+  let v =
+    match Spec_util.last_outputs_of_live ~n t with
+    | Error u -> u
+    | Ok (last, live) ->
+      if Loc.Set.is_empty live then Verdict.Sat
+      else
+        let faulty = Fd_event.faulty t in
+        let completeness =
+          Loc.Map.fold
+            (fun i s acc ->
+              if Loc.Set.subset faulty s then acc
+              else
+                Verdict.(
+                  acc
+                  &&& Undecided
+                        (Fmt.str "last output at %a misses faulty %a" Loc.pp i
+                           Loc.pp_set (Loc.Set.diff faulty s))))
+            last Verdict.Sat
+        in
+        let trusted =
+          Loc.Map.fold (fun _ s acc -> Loc.Set.diff acc s) last live
+        in
+        let accuracy =
+          if Loc.Set.is_empty trusted then
+            Verdict.Undecided "every live location is still suspected by someone"
+          else Verdict.Sat
+        in
+        Verdict.(completeness &&& accuracy)
+  in
+  Spec_util.with_validity ~n t v
+
+let spec =
+  { Afd.name = "EvS"; pp_out = Loc.pp_set; equal_out = Loc.Set.equal; check }

@@ -1,0 +1,12 @@
+(** The eventually strong failure detector ◇S (Chandra-Toueg).
+
+    Strong completeness plus {e eventual} weak accuracy: eventually
+    some live location is no longer suspected by any live location
+    (limit-extension semantics: some live location is absent from every
+    live location's last output). *)
+
+open Afd_ioa
+
+type out = Loc.Set.t
+
+val spec : out Afd.spec

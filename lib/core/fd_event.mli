@@ -1,0 +1,37 @@
+(** Events of failure-detector traces: sequences over [Î ∪ O_D]
+    (Section 3.2).
+
+    An AFD's only inputs are the crash actions (crash exclusivity), so
+    a trace of an AFD [D] is a sequence of crash events and output
+    events, the latter carrying a detector-specific payload ['o]. *)
+
+open Afd_ioa
+
+type 'o t =
+  | Crash of Loc.t
+  | Output of Loc.t * 'o  (** an event of [O_{D,i}] at location [i] *)
+
+val loc : 'o t -> Loc.t
+val is_crash : 'o t -> bool
+val is_output : 'o t -> bool
+val output_payload : 'o t -> 'o option
+
+val equal : ('o -> 'o -> bool) -> 'o t -> 'o t -> bool
+val pp : 'o Fmt.t -> Format.formatter -> 'o t -> unit
+val pp_trace : 'o Fmt.t -> Format.formatter -> 'o t list -> unit
+
+val faulty : 'o t list -> Loc.Set.t
+(** Locations at which a crash event occurs in the trace. *)
+
+val live : n:int -> 'o t list -> Loc.Set.t
+(** [universe \ faulty]. *)
+
+val outputs_at : Loc.t -> 'o t list -> 'o list
+(** [t|O_{D,i}] payloads, in order. *)
+
+val last_output_at : Loc.t -> 'o t list -> 'o option
+
+val first_crash_index : Loc.t -> 'o t list -> int option
+(** 0-based index of the first [Crash i] event. *)
+
+val map : ('o -> 'p) -> 'o t -> 'p t

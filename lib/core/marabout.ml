@@ -1,0 +1,43 @@
+open Afd_ioa
+
+type out = Loc.Set.t
+
+let check ~n t =
+  let faulty = Fd_event.faulty t in
+  let exact =
+    Spec_util.for_all_outputs t (fun ~crashed:_ i s ->
+        if Loc.Set.equal s faulty then Ok ()
+        else
+          Error
+            (Fmt.str "output %a at %a differs from final faulty set %a" Loc.pp_set s
+               Loc.pp i Loc.pp_set faulty))
+  in
+  Spec_util.with_validity ~n t exact
+
+let spec =
+  { Afd.name = "Marabout"; pp_out = Loc.pp_set; equal_out = Loc.Set.equal; check }
+
+type refutation = {
+  pattern_a : Loc.Set.t;
+  pattern_b : Loc.Set.t;
+  explanation : string;
+}
+
+let refutation ~n =
+  if n < 1 then invalid_arg "Marabout.refutation: n must be >= 1";
+  { pattern_a = Loc.Set.empty;
+    pattern_b = Loc.Set.singleton 0;
+    explanation =
+      "Under pattern A (no crashes) the first output must be {}; under \
+       pattern B (p0 crashes after the first output) it must be {p0}. A \
+       deterministic automaton has received no crash input before its first \
+       output, so it emits the same set in both runs - contradiction.";
+  }
+
+let requires_prediction ~n ~first_output_after =
+  (* The mandated first output is faulty(t), which depends on crash
+     events occurring after position [first_output_after]; two schedules
+     agreeing up to that position but diverging later exist iff some
+     location can still crash. *)
+  ignore first_output_after;
+  n >= 1

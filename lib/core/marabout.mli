@@ -1,0 +1,42 @@
+(** The Marabout failure detector (Guerraoui) — a negative control
+    (Section 3.4).
+
+    Marabout always outputs the {e final} set of faulty processes, from
+    the very first output on.  Its trace set is perfectly well defined,
+    but no I/O automaton can implement it: implementability requires
+    predicting crashes that have not happened yet.  The paper's AFD
+    definition excludes it through the solvability requirement on
+    problems (Section 3.1).
+
+    {!refutation} is the executable form of that argument: for any
+    deterministic crash-driven automaton, two fault patterns that agree
+    on a prefix force identical outputs on that prefix, yet Marabout
+    demands different outputs — so no automaton's fair traces can be
+    contained in [T_Marabout]. *)
+
+open Afd_ioa
+
+type out = Loc.Set.t
+
+val spec : out Afd.spec
+(** The trace predicate: every output equals the faulty set of the
+    whole trace.  (Well-defined, but unimplementable.) *)
+
+type refutation = {
+  pattern_a : Loc.Set.t;  (** faulty set of the first fault pattern *)
+  pattern_b : Loc.Set.t;  (** faulty set of the second fault pattern *)
+  explanation : string;
+}
+
+val refutation : n:int -> refutation
+(** For [n >= 1]: fault pattern A crashes nobody, fault pattern B
+    crashes location 0 after the first output.  Marabout requires the
+    first output to be [{}] under A and [{p0}] under B, while any
+    deterministic automaton outputs the same thing in both (no crash
+    input has been received yet). *)
+
+val requires_prediction : n:int -> first_output_after:int -> bool
+(** [true] iff there exist two crash-event schedules agreeing on the
+    first [first_output_after] events whose Marabout-mandated outputs
+    already differ — i.e. the detector's first output depends on the
+    future.  Always [true] for [n >= 1]; exercised by tests. *)

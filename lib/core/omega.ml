@@ -1,0 +1,28 @@
+open Afd_ioa
+
+type out = Loc.t
+
+let check ~n t =
+  let v =
+    match Spec_util.last_outputs_of_live ~n t with
+    | Error u -> u
+    | Ok (last, live) ->
+      if Loc.Set.is_empty live then Verdict.Sat
+      else
+        let leaders =
+          Loc.Map.fold (fun _ l acc -> Loc.Set.add l acc) last Loc.Set.empty
+        in
+        if Loc.Set.cardinal leaders <> 1 then
+          Verdict.Undecided
+            (Fmt.str "live locations disagree on the leader: %a" Loc.pp_set leaders)
+        else
+          let l = Loc.Set.choose leaders in
+          if Loc.Set.mem l live then Verdict.Sat
+          else
+            Verdict.Undecided
+              (Fmt.str "stable leader %a is faulty" Loc.pp l)
+  in
+  Spec_util.with_validity ~n t v
+
+let spec =
+  { Afd.name = "Omega"; pp_out = Loc.pp; equal_out = Loc.equal; check }

@@ -1,0 +1,16 @@
+(** The leader-election oracle Ω (Section 3.3).
+
+    Ω continually outputs a location ID at each location; eventually
+    and permanently it outputs the ID of a unique live location at all
+    live locations.  It is a weakest failure detector for consensus
+    (Chandra-Hadzilacos-Toueg). *)
+
+open Afd_ioa
+
+type out = Loc.t
+(** Payload of an [FD-Ω(j)_i] event: the elected leader [j]. *)
+
+val spec : out Afd.spec
+(** Membership monitor for [T_Ω]: validity plus, under limit-extension
+    semantics, all live locations' last outputs name one common live
+    leader. *)

@@ -1,0 +1,35 @@
+open Afd_ioa
+
+type out = Loc.Set.t
+
+let check ~k ~n t =
+  let shape =
+    Spec_util.for_all_outputs t (fun ~crashed:_ i s ->
+        if Loc.Set.cardinal s = k then Ok ()
+        else
+          Error
+            (Fmt.str "output %a at %a has cardinality %d, expected %d" Loc.pp_set s
+               Loc.pp i (Loc.Set.cardinal s) k))
+  in
+  let eventual =
+    match Spec_util.last_outputs_of_live ~n t with
+    | Error u -> u
+    | Ok (last, live) ->
+      if Loc.Set.is_empty live then Verdict.Sat
+      else
+        let common =
+          Loc.Map.fold (fun _ s acc -> Loc.Set.inter acc s) last (Loc.set_of_universe ~n)
+        in
+        if Loc.Set.is_empty (Loc.Set.inter common live) then
+          Verdict.Undecided "stable outputs share no common live location"
+        else Verdict.Sat
+  in
+  Spec_util.with_validity ~n t Verdict.(shape &&& eventual)
+
+let spec ~k =
+  if k < 1 then invalid_arg "Omega_k.spec: k must be >= 1";
+  { Afd.name = Printf.sprintf "Omega_%d" k;
+    pp_out = Loc.pp_set;
+    equal_out = Loc.Set.equal;
+    check = (fun ~n t -> check ~k ~n t);
+  }

@@ -1,0 +1,10 @@
+(** The Ωk family (Neiger): each output is a set of exactly [k]
+    locations; eventually all outputs at live locations contain one
+    common live location.  Ω1 coincides with Ω up to payload shape. *)
+
+open Afd_ioa
+
+type out = Loc.Set.t
+
+val spec : k:int -> out Afd.spec
+(** Raises [Invalid_argument] if [k < 1]. *)

@@ -1,0 +1,38 @@
+open Afd_ioa
+
+type out = Loc.Set.t
+
+(* Strong accuracy, exactly as phrased in the paper: for every prefix
+   t_pre and every i live in t_pre, no output event in t_pre suspects
+   i.  Equivalently: every suspected location had crashed strictly
+   before the output event. *)
+let accuracy t =
+  Spec_util.for_all_outputs t (fun ~crashed j s ->
+      if Loc.Set.subset s crashed then Ok ()
+      else
+        Error
+          (Fmt.str "output %a at %a suspects not-yet-crashed location(s) %a"
+             Loc.pp_set s Loc.pp j
+             Loc.pp_set (Loc.Set.diff s crashed)))
+
+let completeness ~n t =
+  match Spec_util.last_outputs_of_live ~n t with
+  | Error u -> u
+  | Ok (last, _live) ->
+    let faulty = Fd_event.faulty t in
+    Loc.Map.fold
+      (fun i s acc ->
+        if Loc.Set.subset faulty s then acc
+        else
+          Verdict.(
+            acc
+            &&& Undecided
+                  (Fmt.str "last output at %a (%a) misses faulty %a" Loc.pp i
+                     Loc.pp_set s Loc.pp_set (Loc.Set.diff faulty s))))
+      last Verdict.Sat
+
+let check ~n t =
+  Spec_util.with_validity ~n t Verdict.(accuracy t &&& completeness ~n t)
+
+let spec =
+  { Afd.name = "P"; pp_out = Loc.pp_set; equal_out = Loc.Set.equal; check }

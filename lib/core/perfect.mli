@@ -1,0 +1,13 @@
+(** The perfect failure detector P (Section 3.3).
+
+    P never suspects a location that has not crashed yet (strong
+    accuracy — a safety property, checked exactly), and eventually and
+    permanently suspects every crashed location (strong completeness —
+    checked under limit-extension semantics). *)
+
+open Afd_ioa
+
+type out = Loc.Set.t
+(** Payload of an [FD-P(S)_i] event: the suspected set [S]. *)
+
+val spec : out Afd.spec

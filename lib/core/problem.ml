@@ -1,0 +1,46 @@
+open Afd_ioa
+
+type 'a t = {
+  name : string;
+  is_input : 'a -> bool;
+  is_output : 'a -> bool;
+  is_crash : 'a -> Loc.t option;
+  check : 'a list -> Verdict.t;
+}
+
+let external_actions p a = p.is_input a || p.is_output a
+let project p t = List.filter (external_actions p) t
+
+let of_afd spec ~n =
+  { name = spec.Afd.name;
+    is_input = Fd_event.is_crash;
+    is_output = Fd_event.is_output;
+    is_crash = (function Fd_event.Crash i -> Some i | Fd_event.Output _ -> None);
+    check = (fun t -> Afd.check spec ~n t);
+  }
+
+let solves p ~traces =
+  let rec go k = function
+    | [] -> Ok ()
+    | t :: rest -> (
+      match p.check (project p t) with
+      | Verdict.Violated r -> Error (Printf.sprintf "%s: trace %d violates: %s" p.name k r)
+      | Verdict.Sat | Verdict.Undecided _ -> go (k + 1) rest)
+  in
+  go 0 traces
+
+let solves_using p ~using ~traces =
+  let rec go k = function
+    | [] -> Ok ()
+    | t :: rest -> (
+      match using.check (project using t) with
+      | Verdict.Sat -> (
+        match p.check (project p t) with
+        | Verdict.Violated r ->
+          Error
+            (Printf.sprintf "%s using %s: trace %d satisfies %s but violates %s: %s"
+               p.name using.name k using.name p.name r)
+        | Verdict.Sat | Verdict.Undecided _ -> go (k + 1) rest)
+      | Verdict.Violated _ | Verdict.Undecided _ -> go (k + 1) rest)
+  in
+  go 0 traces

@@ -1,0 +1,41 @@
+(** Crash problems (Section 3.1).
+
+    A problem [P = (I_P, O_P, T_P)] over an action alphabet ['a]:
+    disjoint input/output action sets (as predicates) and a trace-set
+    monitor.  A crash problem additionally has every [crash_i] among
+    its inputs; in our encodings the [crash] predicate picks those
+    out. *)
+
+open Afd_ioa
+
+type 'a t = {
+  name : string;
+  is_input : 'a -> bool;  (** I_P *)
+  is_output : 'a -> bool;  (** O_P *)
+  is_crash : 'a -> Loc.t option;  (** Î, a subset of I_P for crash problems *)
+  check : 'a list -> Verdict.t;  (** membership of a finite trace in T_P *)
+}
+
+val external_actions : 'a t -> 'a -> bool
+(** [I_P ∪ O_P]. *)
+
+val project : 'a t -> 'a list -> 'a list
+(** [t|I_P∪O_P]. *)
+
+val of_afd :
+  'o Afd.spec -> n:int -> 'o Fd_event.t t
+(** View an AFD as the crash problem it is (crash exclusivity: inputs
+    are exactly the crash events). *)
+
+val solves :
+  'a t -> traces:'a list list -> (unit, string) result
+(** "Automaton A solves P": every supplied fair trace (projected on
+    [I_P ∪ O_P]) is accepted.  Traces come from the caller's scheduler
+    runs. *)
+
+val solves_using :
+  'a t -> using:'a t -> traces:'a list list -> (unit, string) result
+(** Section 5.2: for every supplied fair trace [t], if
+    [t|I_P'∪O_P' ∈ T_P'] then [t|I_P∪O_P ∈ T_P].  [Undecided] on the
+    hypothesis side counts as hypothesis-not-established, making the
+    implication vacuous for that trace. *)

@@ -1,0 +1,16 @@
+(** The Ψk family (Mostefaoui-Rajsbaum-Raynal-Travers), set-agreement
+    oriented.
+
+    Interpretation implemented here (documented since the original
+    definition is stated in the query-based real-time model): each
+    output is a set of exactly [k] locations, and eventually all live
+    locations permanently output one common set [K] with
+    [K ∩ live ≠ ∅].  Under limit-extension semantics: all live
+    locations' last outputs are equal, of size [k], and intersect the
+    live set. *)
+
+open Afd_ioa
+
+type out = Loc.Set.t
+
+val spec : k:int -> out Afd.spec

@@ -1,0 +1,233 @@
+open Afd_ioa
+
+type ('i, 'o) t = {
+  name : string;
+  source : 'i Afd.spec;
+  target : 'o Afd.spec;
+  f : Loc.t -> 'i -> 'o;
+}
+
+let check_on_trace r ~n t =
+  match Afd.check r.source ~n t with
+  | Verdict.Sat -> Afd.check r.target ~n (Xform.apply_to_trace ~f:r.f t)
+  | Verdict.Violated _ | Verdict.Undecided _ -> Verdict.Sat
+
+(* --- downward reductions --- *)
+
+let p_to_evp =
+  { name = "P->EvP";
+    source = Perfect.spec;
+    target = Ev_perfect.spec;
+    f = (fun _ s -> s);
+  }
+
+let p_to_strong =
+  { name = "P->S"; source = Perfect.spec; target = Strong.spec; f = (fun _ s -> s) }
+
+let strong_to_ev_strong =
+  { name = "S->EvS"; source = Strong.spec; target = Ev_strong.spec; f = (fun _ s -> s) }
+
+let evp_to_ev_strong =
+  { name = "EvP->EvS";
+    source = Ev_perfect.spec;
+    target = Ev_strong.spec;
+    f = (fun _ s -> s);
+  }
+
+(* The elected leader is the smallest non-suspected location; when the
+   detector transiently suspects everybody, fall back to self (the
+   eventual clauses only constrain the stabilized suspicion set, which
+   under P/◇P excludes the live observer itself). *)
+let leader_from_suspects ~n i s =
+  match Loc.min_not_in ~n (fun j -> Loc.Set.mem j s) with
+  | Some l -> l
+  | None -> i
+
+let p_to_omega ~n =
+  { name = "P->Omega";
+    source = Perfect.spec;
+    target = Omega.spec;
+    f = leader_from_suspects ~n;
+  }
+
+let evp_to_omega ~n =
+  { name = "EvP->Omega";
+    source = Ev_perfect.spec;
+    target = Omega.spec;
+    f = leader_from_suspects ~n;
+  }
+
+let omega_to_anti_omega ~n =
+  if n < 2 then invalid_arg "Reduction.omega_to_anti_omega: n must be >= 2";
+  { name = "Omega->anti-Omega";
+    source = Omega.spec;
+    target = Anti_omega.spec;
+    (* Name anyone but the current leader: once the leader stabilizes on
+       a live l, l is never named again. *)
+    f =
+      (fun _i l ->
+        match Loc.min_not_in ~n (fun j -> Loc.equal j l) with
+        | Some m -> m
+        | None -> l (* unreachable for n >= 2 *));
+  }
+
+let smallest_k_excluding ~n ~k excluded =
+  let rec go i acc =
+    if List.length acc >= k || i >= n then List.rev acc
+    else if Loc.Set.mem i excluded then go (i + 1) acc
+    else go (i + 1) (i :: acc)
+  in
+  go 0 []
+
+let leader_set ~n ~k l =
+  let rest = smallest_k_excluding ~n ~k:(k - 1) (Loc.Set.singleton l) in
+  Loc.Set.of_list (l :: rest)
+
+let omega_to_omega_k ~n ~k =
+  if k < 1 || k > n then invalid_arg "Reduction.omega_to_omega_k: need 1 <= k <= n";
+  { name = Printf.sprintf "Omega->Omega_%d" k;
+    source = Omega.spec;
+    target = Omega_k.spec ~k;
+    f = (fun _i l -> leader_set ~n ~k l);
+  }
+
+let omega_to_psi_k ~n ~k =
+  if k < 1 || k > n then invalid_arg "Reduction.omega_to_psi_k: need 1 <= k <= n";
+  { name = Printf.sprintf "Omega->Psi_%d" k;
+    source = Omega.spec;
+    target = Psi_k.spec ~k;
+    f = (fun _i l -> leader_set ~n ~k l);
+  }
+
+let p_to_sigma ~n =
+  { name = "P->Sigma";
+    source = Perfect.spec;
+    target = Sigma.spec;
+    f = (fun _i s -> Loc.Set.diff (Loc.set_of_universe ~n) s);
+  }
+
+let compose d1 d2 =
+  { name = d1.name ^ ";" ^ d2.name;
+    source = d1.source;
+    target = d2.target;
+    f = (fun i x -> d2.f i (d1.f i x));
+  }
+
+(* --- separations --- *)
+
+type 'i separation = {
+  sep_name : string;
+  n : int;
+  traces : (string * 'i Fd_event.t list) list;
+  why : string;
+}
+
+let interleave_rounds ~rounds per_round = List.concat_map per_round (List.init rounds Fun.id)
+
+let evp_not_to_p ~len =
+  let s1 = Loc.Set.singleton 1 in
+  let noisy_then_clean =
+    (* p0 falsely suspects p1 for [len] outputs, then recovers; p1 is
+       live throughout. *)
+    interleave_rounds ~rounds:len (fun _ ->
+        [ Fd_event.Output (0, s1); Fd_event.Output (1, Loc.Set.empty) ])
+    @ [ Fd_event.Output (0, Loc.Set.empty); Fd_event.Output (1, Loc.Set.empty) ]
+  in
+  let crash_for_real =
+    (* Same p0 view for the first [len] outputs; p1 then crashes. *)
+    interleave_rounds ~rounds:len (fun _ ->
+        [ Fd_event.Output (0, s1); Fd_event.Output (1, Loc.Set.empty) ])
+    @ [ Fd_event.Crash 1; Fd_event.Output (0, s1) ]
+  in
+  { sep_name = "EvP cannot implement P";
+    n = 2;
+    traces = [ ("p1-live", noisy_then_clean); ("p1-crashes", crash_for_real) ];
+    why =
+      "p0's view starts with the same string of suspicions in both; echoing \
+       them violates P's accuracy when p1 is live, staying silent forever \
+       violates P's completeness when p1 crashes.";
+  }
+
+let omega_not_to_evp ~len =
+  let all_live =
+    interleave_rounds ~rounds:len (fun _ ->
+        [ Fd_event.Output (0, 0); Fd_event.Output (1, 0); Fd_event.Output (2, 0) ])
+  in
+  let others_crash =
+    interleave_rounds ~rounds:len (fun _ ->
+        [ Fd_event.Output (0, 0); Fd_event.Output (1, 0); Fd_event.Output (2, 0) ])
+    @ [ Fd_event.Crash 1; Fd_event.Crash 2; Fd_event.Output (0, 0) ]
+  in
+  { sep_name = "Omega cannot implement EvP";
+    n = 3;
+    traces = [ ("all-live", all_live); ("p1,p2-crash", others_crash) ];
+    why =
+      "p0 sees the constant leader 0 in both worlds, but EvP requires its \
+       stable output to be {} in one and {p1,p2} in the other.";
+  }
+
+let anti_omega_not_to_omega ~len =
+  (* Every trace names p0 forever (admissible: in each pattern some live
+     location other than p0 is never named).  Each live location's view
+     is therefore the same constant stream of "p0" in every pattern
+     where it is live, so a deterministic local candidate elects one
+     fixed leader c_i per location.  Omega then demands, per pattern, a
+     common live leader among the live locations' choices; the four live
+     sets {0,1,2}, {0,2}, {0,1}, {1,2} admit no consistent choice. *)
+  let mk ~faulty =
+    let live = List.filter (fun i -> not (List.mem i faulty)) [ 0; 1; 2 ] in
+    List.map (fun i -> Fd_event.Crash i) faulty
+    @ interleave_rounds ~rounds:len (fun _ ->
+          List.map (fun i -> Fd_event.Output (i, 0)) live)
+  in
+  { sep_name = "anti-Omega cannot implement Omega";
+    n = 3;
+    traces =
+      [ ("all-live", mk ~faulty:[]);
+        ("p1-faulty", mk ~faulty:[ 1 ]);
+        ("p2-faulty", mk ~faulty:[ 2 ]);
+        ("p0-faulty", mk ~faulty:[ 0 ]);
+      ];
+    why =
+      "each live location sees the constant stream naming p0 in every pattern \
+       where it is live, so its elected leader is the same constant across \
+       patterns; no assignment of constants satisfies Omega under all four \
+       live sets.";
+  }
+
+let graft ~candidate t =
+  let views = Hashtbl.create 8 in
+  List.filter_map
+    (fun e ->
+      match e with
+      | Fd_event.Crash i -> Some (Fd_event.Crash i)
+      | Fd_event.Output (i, o) -> (
+        let v = try Hashtbl.find views i with Not_found -> [] in
+        let v' = v @ [ o ] in
+        Hashtbl.replace views i v';
+        match candidate i v' with
+        | Some out -> Some (Fd_event.Output (i, out))
+        | None -> None))
+    t
+
+let refute ~candidate ~target sep =
+  let results =
+    List.map
+      (fun (label, t) ->
+        let grafted = graft ~candidate t in
+        (label, Afd.check target ~n:sep.n grafted))
+      sep.traces
+  in
+  let failures =
+    List.filter_map
+      (fun (label, v) ->
+        match v with
+        | Verdict.Sat -> None
+        | v -> Some (Fmt.str "%s: %a" label Verdict.pp v))
+      results
+  in
+  match failures with
+  | [] ->
+    Error
+      (Printf.sprintf "%s: candidate passed every witness trace" sep.sep_name)
+  | fs -> Ok (String.concat "; " fs)

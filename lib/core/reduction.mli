@@ -1,0 +1,103 @@
+(** The catalog of AFD reductions and separations (Sections 5.4, 7.1).
+
+    A {!t} packages "D is sufficient to solve D'" as a local
+    transformation function together with both specs, ready to run as a
+    distributed algorithm via {!Xform.run} or to apply at the trace
+    level.  Theorem 15 (transitivity) is realized by {!compose}.
+
+    The {e strictness} half of the hierarchy (Corollary 19) cannot be
+    established by testing one candidate algorithm; instead each
+    separation provides the indistinguishability witness used in such
+    proofs: two source-detector traces, arising from different fault
+    patterns, that look identical at some observer location.  Any
+    deterministic transformation must answer identically at that
+    location on both, yet the target spec demands different answers —
+    {!refute} runs an arbitrary candidate against the witness pair and
+    reports which side breaks. *)
+
+open Afd_ioa
+
+type ('i, 'o) t = {
+  name : string;
+  source : 'i Afd.spec;
+  target : 'o Afd.spec;
+  f : Loc.t -> 'i -> 'o;
+}
+
+val check_on_trace : ('i, 'o) t -> n:int -> 'i Fd_event.t list -> Verdict.t
+(** Trace-level soundness: if the source trace satisfies the source
+    spec, the transformed trace is checked against the target spec;
+    vacuously [Sat] otherwise. *)
+
+(** {1 Downward reductions (all correct; verified by tests/benches)} *)
+
+val p_to_evp : (Loc.Set.t, Loc.Set.t) t
+val p_to_strong : (Loc.Set.t, Loc.Set.t) t
+val strong_to_ev_strong : (Loc.Set.t, Loc.Set.t) t
+val evp_to_ev_strong : (Loc.Set.t, Loc.Set.t) t
+val p_to_omega : n:int -> (Loc.Set.t, Loc.t) t
+val evp_to_omega : n:int -> (Loc.Set.t, Loc.t) t
+val omega_to_anti_omega : n:int -> (Loc.t, Loc.t) t
+(** Requires [n >= 2]. *)
+
+val omega_to_omega_k : n:int -> k:int -> (Loc.t, Loc.Set.t) t
+val omega_to_psi_k : n:int -> k:int -> (Loc.t, Loc.Set.t) t
+val p_to_sigma : n:int -> (Loc.Set.t, Loc.Set.t) t
+(** Sound whenever at least one location is live (quorums [Π \ S]
+    always contain every live location under P's accuracy). *)
+
+val compose : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+(** Theorem 15: [compose d1 d2] pipes [d1]'s output into [d2]. *)
+
+(** {1 Separations (Corollary 19 witnesses)} *)
+
+type 'i separation = {
+  sep_name : string;
+  n : int;
+  traces : (string * 'i Fd_event.t list) list;
+      (** labelled source traces, each admissible for the source AFD
+          under its own fault pattern, crafted so that live locations'
+          views coincide across traces *)
+  why : string;
+}
+(** The indistinguishability witness used in hierarchy-strictness
+    proofs.  Because the views coincide, a deterministic local
+    extraction strategy produces the same output stream in every trace,
+    but the target AFD demands incompatible outputs across the fault
+    patterns — so every such strategy fails on at least one trace.
+    (The universal quantification over {e all} algorithms is the
+    paper's theorem; executable tests instantiate representative
+    candidates and watch them fail.) *)
+
+val evp_not_to_p : len:int -> Loc.Set.t separation
+(** ◇P cannot implement P (n = 2): a ◇P trace with [len] transient
+    false suspicions of the live p1 is view-identical at p0 to a prefix
+    of one where p1 crashes; P forbids ever echoing the suspicion in
+    the first, and completeness forces suspecting p1 in the second. *)
+
+val omega_not_to_evp : len:int -> Loc.t separation
+(** Ω cannot implement ◇P (n = 3): the constant-leader-p0 Ω trace is
+    admissible both when everybody is live and when p1, p2 crash after
+    [len] outputs; ◇P requires p0's eventual output to differ. *)
+
+val anti_omega_not_to_omega : len:int -> Loc.t separation
+(** anti-Ω cannot implement Ω (n = 3): the always-name-p0 trace is
+    admissible under four fault patterns (nobody, p1, p2, or p0
+    faulty); each live location's view is the same constant stream in
+    every pattern where it is live, so a deterministic local candidate
+    elects one fixed leader per location — and no such assignment
+    satisfies Ω under all four live sets. *)
+
+val refute :
+  candidate:(Loc.t -> 'i list -> 'o option) ->
+  target:'o Afd.spec ->
+  'i separation ->
+  (string, string) result
+(** [refute ~candidate ~target sep]: the candidate maps a location's
+    full input history there to its current output (an arbitrary
+    deterministic, local extraction strategy).  Its outputs are grafted
+    into every witness trace (each output event replaced by the
+    candidate's output for that location's view so far) and checked
+    against the target spec.  [Ok reason] when at least one grafted
+    trace is rejected (the candidate fails, as the theorem requires);
+    [Error reason] if the candidate passed all witnesses. *)

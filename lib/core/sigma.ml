@@ -1,0 +1,43 @@
+open Afd_ioa
+
+type out = Loc.Set.t
+
+let intersection t =
+  let quorums =
+    List.filter_map (fun e -> Fd_event.output_payload e) t |> Array.of_list
+  in
+  let bad = ref None in
+  Array.iteri
+    (fun x q1 ->
+      Array.iteri
+        (fun y q2 ->
+          if x < y && !bad = None && Loc.Set.is_empty (Loc.Set.inter q1 q2) then
+            bad := Some (q1, q2))
+        quorums)
+    quorums;
+  match !bad with
+  | None -> Verdict.Sat
+  | Some (q1, q2) ->
+    Verdict.Violated
+      (Fmt.str "disjoint quorums %a and %a" Loc.pp_set q1 Loc.pp_set q2)
+
+let completeness ~n t =
+  match Spec_util.last_outputs_of_live ~n t with
+  | Error u -> u
+  | Ok (last, live) ->
+    Loc.Map.fold
+      (fun i q acc ->
+        if Loc.Set.subset q live then acc
+        else
+          Verdict.(
+            acc
+            &&& Undecided
+                  (Fmt.str "last quorum at %a contains faulty %a" Loc.pp i
+                     Loc.pp_set (Loc.Set.diff q live))))
+      last Verdict.Sat
+
+let check ~n t =
+  Spec_util.with_validity ~n t Verdict.(intersection t &&& completeness ~n t)
+
+let spec =
+  { Afd.name = "Sigma"; pp_out = Loc.pp_set; equal_out = Loc.Set.equal; check }

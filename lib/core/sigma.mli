@@ -1,0 +1,14 @@
+(** The quorum failure detector Σ.
+
+    Each output is a quorum (a set of locations) such that
+    (1) {e intersection}: any two quorums output anywhere, at any
+    times, intersect — checked exactly; and (2) {e completeness}:
+    eventually every quorum output at a live location contains only
+    live locations — checked under limit-extension semantics.  Σ is the
+    weakest failure detector to implement atomic registers. *)
+
+open Afd_ioa
+
+type out = Loc.Set.t
+
+val spec : out Afd.spec

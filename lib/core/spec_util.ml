@@ -1,0 +1,39 @@
+open Afd_ioa
+
+let pp_locset = Loc.pp_set
+
+let last_outputs_of_live ~n t =
+  let live = Fd_event.live ~n t in
+  let missing = ref None in
+  let map =
+    Loc.Set.fold
+      (fun i acc ->
+        match Fd_event.last_output_at i t with
+        | Some o -> Loc.Map.add i o acc
+        | None ->
+          if !missing = None then missing := Some i;
+          acc)
+      live Loc.Map.empty
+  in
+  match !missing with
+  | Some i ->
+    Error
+      (Verdict.Undecided
+         (Printf.sprintf "live location %s has no output yet" (Loc.to_string i)))
+  | None -> Ok (map, live)
+
+let for_all_outputs t pred =
+  let crashed = ref Loc.Set.empty in
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Fd_event.Crash i ->
+        crashed := Loc.Set.add i !crashed;
+        acc
+      | Fd_event.Output (i, o) -> (
+        match pred ~crashed:!crashed i o with
+        | Ok () -> acc
+        | Error reason -> Verdict.(acc &&& Violated reason)))
+    Verdict.Sat t
+
+let with_validity ~n t v = Verdict.(Trace_ops.validity ~n t &&& v)

@@ -1,0 +1,23 @@
+(** Shared building blocks for AFD specifications. *)
+
+open Afd_ioa
+
+val pp_locset : Loc.Set.t Fmt.t
+
+val last_outputs_of_live :
+  n:int -> 'o Fd_event.t list -> ('o Loc.Map.t * Loc.Set.t, Verdict.t) result
+(** The last output payload of every live location (limit-extension
+    semantics), together with the live set.  [Error Undecided] when a
+    live location has produced no output yet; [Error Violated] is never
+    returned. *)
+
+val for_all_outputs :
+  'o Fd_event.t list -> (crashed:Loc.Set.t -> Loc.t -> 'o -> (unit, string) result) ->
+  Verdict.t
+(** Exact safety scan: folds over the trace maintaining the
+    crashed-so-far set and applies the predicate to every output
+    event. *)
+
+val with_validity : n:int -> 'o Fd_event.t list -> Verdict.t -> Verdict.t
+(** Conjoin the validity check (Section 3.2) with a detector-specific
+    verdict. *)

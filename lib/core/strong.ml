@@ -1,0 +1,40 @@
+open Afd_ioa
+
+type out = Loc.Set.t
+
+let never_suspected ~n t =
+  let live = Fd_event.live ~n t in
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Fd_event.Crash _ -> acc
+      | Fd_event.Output (_, s) -> Loc.Set.diff acc s)
+    live t
+
+let weak_accuracy ~n t =
+  if Loc.Set.is_empty (Fd_event.live ~n t) then Verdict.Sat
+  else if Loc.Set.is_empty (never_suspected ~n t) then
+    Verdict.Violated "every live location has been suspected at least once"
+  else Verdict.Sat
+
+let completeness ~n t =
+  match Spec_util.last_outputs_of_live ~n t with
+  | Error u -> u
+  | Ok (last, _) ->
+    let faulty = Fd_event.faulty t in
+    Loc.Map.fold
+      (fun i s acc ->
+        if Loc.Set.subset faulty s then acc
+        else
+          Verdict.(
+            acc
+            &&& Undecided
+                  (Fmt.str "last output at %a misses faulty %a" Loc.pp i
+                     Loc.pp_set (Loc.Set.diff faulty s))))
+      last Verdict.Sat
+
+let check ~n t =
+  Spec_util.with_validity ~n t Verdict.(weak_accuracy ~n t &&& completeness ~n t)
+
+let spec =
+  { Afd.name = "S"; pp_out = Loc.pp_set; equal_out = Loc.Set.equal; check }

@@ -1,0 +1,13 @@
+(** The strong failure detector S (Chandra-Toueg).
+
+    Strong completeness (eventually every faulty location is suspected
+    by every live location — limit-extension semantics) together with
+    {e perpetual} weak accuracy: some live location is never suspected
+    by anyone, anywhere in the trace (a safety-flavoured clause checked
+    exactly on the prefix). *)
+
+open Afd_ioa
+
+type out = Loc.Set.t
+
+val spec : out Afd.spec

@@ -1,0 +1,196 @@
+open Afd_ioa
+
+let validity ~n ?(live_min = 1) t =
+  let crashed = ref Loc.Set.empty in
+  let safety =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Fd_event.Crash i ->
+          crashed := Loc.Set.add i !crashed;
+          acc
+        | Fd_event.Output (i, _) ->
+          if Loc.Set.mem i !crashed then
+            Verdict.(acc &&& Violated (Printf.sprintf "output at %s after its crash" (Loc.to_string i)))
+          else acc)
+      Verdict.Sat t
+  in
+  let liveness =
+    let live = Fd_event.live ~n t in
+    Loc.Set.fold
+      (fun i acc ->
+        let c = List.length (Fd_event.outputs_at i t) in
+        if c >= live_min then acc
+        else
+          Verdict.(
+            acc
+            &&& Undecided
+                  (Printf.sprintf "live location %s has %d < %d outputs"
+                     (Loc.to_string i) c live_min)))
+      live Verdict.Sat
+  in
+  Verdict.(safety &&& liveness)
+
+let is_sampling ~equal_out ~of_:t t' =
+  let equal = Fd_event.equal equal_out in
+  if not (Trace.is_subsequence ~equal t' t) then false
+  else
+    let faulty = Fd_event.faulty t in
+    let live_ok i =
+      (* live in t: all outputs kept *)
+      List.length (Fd_event.outputs_at i t') = List.length (Fd_event.outputs_at i t)
+    in
+    let faulty_ok i =
+      (* first crash kept, outputs form a prefix *)
+      let outs = Fd_event.outputs_at i t and outs' = Fd_event.outputs_at i t' in
+      Fd_event.first_crash_index i t' <> None
+      && Trace.is_prefix ~equal:equal_out outs' outs
+    in
+    let locs_in_t =
+      List.fold_left (fun acc e -> Loc.Set.add (Fd_event.loc e) acc) Loc.Set.empty t
+    in
+    Loc.Set.for_all
+      (fun i -> if Loc.Set.mem i faulty then faulty_ok i else live_ok i)
+      locs_in_t
+
+let gen_sampling rng t =
+  let faulty = Fd_event.faulty t in
+  (* For each faulty location pick how many of its outputs to keep. *)
+  let keep_outputs =
+    Loc.Set.fold
+      (fun i acc ->
+        let total = List.length (Fd_event.outputs_at i t) in
+        Loc.Map.add i (Random.State.int rng (total + 1)) acc)
+      faulty Loc.Map.empty
+  in
+  let seen_out = Hashtbl.create 8 in
+  let seen_crash = Hashtbl.create 8 in
+  List.filter
+    (fun e ->
+      match e with
+      | Fd_event.Crash i ->
+        let first = not (Hashtbl.mem seen_crash i) in
+        Hashtbl.replace seen_crash i ();
+        first || Random.State.bool rng
+      | Fd_event.Output (i, _) ->
+        if Loc.Set.mem i faulty then begin
+          let k = try Hashtbl.find seen_out i with Not_found -> 0 in
+          Hashtbl.replace seen_out i (k + 1);
+          k < Loc.Map.find i keep_outputs
+        end
+        else true)
+    t
+
+(* --- constrained reordering --- *)
+
+(* Index the events of a trace as (location, occurrence-within-location)
+   pairs; a constrained reordering preserves every per-location
+   subsequence exactly, so this keying lets us compare positions of
+   "the same event occurrence" across the two traces even when payloads
+   repeat. *)
+let keyed t =
+  let counters = Hashtbl.create 8 in
+  List.map
+    (fun e ->
+      let i = Fd_event.loc e in
+      let k = try Hashtbl.find counters i with Not_found -> 0 in
+      Hashtbl.replace counters i (k + 1);
+      ((i, k), e))
+    t
+
+let is_constrained_reordering ~equal_out ~of_:t t' =
+  let equal = Fd_event.equal equal_out in
+  List.length t = List.length t'
+  && (* per-location projections equal *)
+  (let locs =
+     List.fold_left (fun acc e -> Loc.Set.add (Fd_event.loc e) acc) Loc.Set.empty t
+   in
+   Loc.Set.for_all
+     (fun i ->
+       let at l = List.filter (fun e -> Loc.equal (Fd_event.loc e) i) l in
+       List.equal equal (at t) (at t'))
+     locs)
+  &&
+  (* crash-before constraint: if e is a crash preceding e' in t, the
+     same must hold in t'. *)
+  let kt = keyed t and kt' = keyed t' in
+  let pos' = Hashtbl.create 16 in
+  List.iteri (fun idx (key, _) -> Hashtbl.replace pos' key idx) kt';
+  let arr = Array.of_list kt in
+  let ok = ref true in
+  Array.iteri
+    (fun x (kx, ex) ->
+      if Fd_event.is_crash ex then
+        for y = x + 1 to Array.length arr - 1 do
+          let ky, _ = arr.(y) in
+          match (Hashtbl.find_opt pos' kx, Hashtbl.find_opt pos' ky) with
+          | Some px, Some py -> if px >= py then ok := false
+          | _ -> ok := false
+        done)
+    arr;
+  !ok
+
+let gen_reordering rng t =
+  (* Build precedence edges x -> y (x must come before y):
+     same location, or x is a crash event and x precedes y in t.
+     Then sample a random linear extension. *)
+  let arr = Array.of_list t in
+  let m = Array.length arr in
+  let must_precede x y =
+    (* x < y positionally in t *)
+    Loc.equal (Fd_event.loc arr.(x)) (Fd_event.loc arr.(y)) || Fd_event.is_crash arr.(x)
+  in
+  let indeg = Array.make m 0 in
+  let succs = Array.make m [] in
+  for x = 0 to m - 1 do
+    for y = x + 1 to m - 1 do
+      if must_precede x y then begin
+        indeg.(y) <- indeg.(y) + 1;
+        succs.(x) <- y :: succs.(x)
+      end
+    done
+  done;
+  let ready = ref (List.filter (fun x -> indeg.(x) = 0) (List.init m Fun.id)) in
+  let out = ref [] in
+  while !ready <> [] do
+    let candidates = Array.of_list !ready in
+    let pick = candidates.(Random.State.int rng (Array.length candidates)) in
+    ready := List.filter (fun x -> x <> pick) !ready;
+    out := arr.(pick) :: !out;
+    List.iter
+      (fun y ->
+        indeg.(y) <- indeg.(y) - 1;
+        if indeg.(y) = 0 then ready := y :: !ready)
+      succs.(pick)
+  done;
+  List.rev !out
+
+let count_reorderings_upto ~limit t =
+  let arr = Array.of_list t in
+  let m = Array.length arr in
+  let must_precede x y =
+    Loc.equal (Fd_event.loc arr.(x)) (Fd_event.loc arr.(y)) || Fd_event.is_crash arr.(x)
+  in
+  let count = ref 0 in
+  let used = Array.make m false in
+  let rec go placed =
+    if !count >= limit then ()
+    else if placed = m then incr count
+    else
+      for x = 0 to m - 1 do
+        if (not used.(x)) && !count < limit then begin
+          (* x is placeable iff every predecessor of x is already used *)
+          let ok = ref true in
+          for y = 0 to x - 1 do
+            if (not used.(y)) && must_precede y x then ok := false
+          done;
+          if !ok then begin
+            used.(x) <- true;
+            go (placed + 1);
+            used.(x) <- false
+          end
+        end
+      done
+  in
+  go 0;
+  !count

@@ -1,0 +1,74 @@
+type kind = Input | Output | Internal
+
+let pp_kind fmt = function
+  | Input -> Format.pp_print_string fmt "input"
+  | Output -> Format.pp_print_string fmt "output"
+  | Internal -> Format.pp_print_string fmt "internal"
+
+let is_external = function Input | Output -> true | Internal -> false
+let is_locally_controlled = function Output | Internal -> true | Input -> false
+
+type ('s, 'a) task = {
+  task_name : string;
+  fair : bool;
+  enabled : 's -> 'a option;
+}
+
+type ('s, 'a) t = {
+  name : string;
+  kind : 'a -> kind option;
+  start : 's;
+  step : 's -> 'a -> 's option;
+  tasks : ('s, 'a) task list;
+}
+
+let kind_of a act = a.kind act
+let in_signature a act = Option.is_some (a.kind act)
+let is_input a act = a.kind act = Some Input
+let is_output a act = a.kind act = Some Output
+let is_internal a act = a.kind act = Some Internal
+
+let enabled_actions a s = List.filter_map (fun t -> t.enabled s) a.tasks
+
+let step_exn a s act =
+  match a.step s act with
+  | Some s' -> s'
+  | None ->
+    invalid_arg (Printf.sprintf "Automaton.step_exn: action not enabled in %s" a.name)
+
+let check_input_enabled a states probes =
+  let bad =
+    List.exists
+      (fun s ->
+        List.exists (fun act -> is_input a act && a.step s act = None) probes)
+      states
+  in
+  if bad then
+    Error (Printf.sprintf "automaton %s is not input-enabled on a probed state" a.name)
+  else Ok ()
+
+let hide p a =
+  let kind act =
+    match a.kind act with
+    | Some Output when p act -> Some Internal
+    | k -> k
+  in
+  { a with kind }
+
+let rename ~to_ ~of_ a =
+  let kind b = match of_ b with None -> None | Some act -> a.kind act in
+  let step s b = match of_ b with None -> None | Some act -> a.step s act in
+  let task t =
+    { task_name = t.task_name;
+      fair = t.fair;
+      enabled = (fun s -> Option.map to_ (t.enabled s));
+    }
+  in
+  { name = a.name; kind; start = a.start; step; tasks = List.map task a.tasks }
+
+let map_state ~get ~set ~start a =
+  let step t act = Option.map (set t) (a.step (get t) act) in
+  let task tk =
+    { task_name = tk.task_name; fair = tk.fair; enabled = (fun t -> tk.enabled (get t)) }
+  in
+  { name = a.name; kind = a.kind; start; step; tasks = List.map task a.tasks }

@@ -1,0 +1,88 @@
+(** I/O automata (Section 2 of the paper).
+
+    An I/O automaton is a (possibly infinite) state machine with a
+    signature classifying its actions as input, output or internal,
+    a transition relation, and a partition of its locally controlled
+    actions into tasks.
+
+    This module realizes the {e task-deterministic} subclass of
+    Section 2.5 structurally: each task exposes at most one enabled
+    action per state ([enabled : 's -> 'a option]) and the transition
+    function is a function ([step : 's -> 'a -> 's option]), so every
+    action is deterministic.  Nondeterminism between tasks is resolved
+    externally by a scheduler (see {!Scheduler}), exactly as fairness
+    resolves it in the paper.
+
+    The automaton is polymorphic in its action alphabet ['a]; since
+    action sets may be infinite (e.g. [send(m,j)_i] for all messages
+    [m]), signatures are predicates rather than enumerations. *)
+
+type kind = Input | Output | Internal
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val is_external : kind -> bool
+(** Input and output actions are external (visible under composition). *)
+
+val is_locally_controlled : kind -> bool
+(** Output and internal actions are locally controlled. *)
+
+type ('s, 'a) task = {
+  task_name : string;  (** used for labels in execution trees and fairness reports *)
+  fair : bool;
+      (** Whether this task carries a fairness obligation.  All tasks of
+          ordinary automata do; the crash automaton's tasks do not,
+          because {e every} sequence over the crash actions is defined
+          to be a fair trace of it (Section 4.4). *)
+  enabled : 's -> 'a option;
+      (** The unique enabled action of this task in the given state, if
+          any.  Task determinism (Section 2.5) holds by construction. *)
+}
+
+type ('s, 'a) t = {
+  name : string;
+  kind : 'a -> kind option;
+      (** Signature: [None] means the action is not an action of this
+          automaton at all. *)
+  start : 's;  (** unique start state (deterministic automata, Section 2.5) *)
+  step : 's -> 'a -> 's option;
+      (** Transition function.  [None] means the action is not enabled
+          in that state.  Input actions must always be enabled
+          (input-enabledness); {!val-check_input_enabled} probes this. *)
+  tasks : ('s, 'a) task list;
+}
+
+val kind_of : ('s, 'a) t -> 'a -> kind option
+val in_signature : ('s, 'a) t -> 'a -> bool
+val is_input : ('s, 'a) t -> 'a -> bool
+val is_output : ('s, 'a) t -> 'a -> bool
+val is_internal : ('s, 'a) t -> 'a -> bool
+
+val enabled_actions : ('s, 'a) t -> 's -> 'a list
+(** All locally controlled actions enabled in a state (one per enabled
+    task, in task order). *)
+
+val step_exn : ('s, 'a) t -> 's -> 'a -> 's
+(** Like [step] but raises [Invalid_argument] when the action is not
+    enabled; for use where enabledness was already established. *)
+
+val check_input_enabled : ('s, 'a) t -> 's list -> 'a list -> (unit, string) result
+(** [check_input_enabled a states probes] checks that every input
+    action among [probes] is enabled in every state of [states].
+    Input-enabledness over infinite state/action sets cannot be decided,
+    so this is a sampled probe used by tests. *)
+
+val hide : ('a -> bool) -> ('s, 'a) t -> ('s, 'a) t
+(** [hide p a] reclassifies the output actions of [a] satisfying [p] as
+    internal actions (Section 2.3, "Hiding"). *)
+
+val rename : to_:('a -> 'b) -> of_:('b -> 'a option) -> ('s, 'a) t -> ('s, 'b) t
+(** [rename ~to_ ~of_ a] is [a] with actions renamed through the
+    bijection [to_] (with partial inverse [of_]; actions outside the
+    range map to [None] and are not in the renamed signature).  Used to
+    build the renamings D' of an AFD D (Section 5.3). *)
+
+val map_state :
+  get:('t -> 's) -> set:('t -> 's -> 't) -> start:'t -> ('s, 'a) t -> ('t, 'a) t
+(** Embed an automaton into a larger state type (a lens); used when a
+    process automaton is assembled from reusable pieces. *)

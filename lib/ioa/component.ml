@@ -1,0 +1,39 @@
+type 'a t = C : ('s, 'a) Automaton.t -> 'a t
+type 'a inst = I : ('s, 'a) Automaton.t * 's -> 'a inst
+
+let name (C a) = a.Automaton.name
+let kind_of (C a) act = a.Automaton.kind act
+
+let init (C a) = I (a, a.Automaton.start)
+
+let inst_name (I (a, _)) = a.Automaton.name
+let inst_kind_of (I (a, _)) act = a.Automaton.kind act
+
+let step (I (a, s)) act =
+  match a.Automaton.kind act with
+  | None -> Some (I (a, s))
+  | Some _ -> (
+    match a.Automaton.step s act with
+    | None -> None
+    | Some s' -> Some (I (a, s')))
+
+let task_names (C a) =
+  List.map (fun t -> (t.Automaton.task_name, t.Automaton.fair)) a.Automaton.tasks
+
+let enabled_of_task (I (a, s)) k =
+  match List.nth_opt a.Automaton.tasks k with
+  | None -> None
+  | Some t -> t.Automaton.enabled s
+
+let enabled_actions (I (a, s)) = Automaton.enabled_actions a s
+
+(* Component states are pure data (no closures), so structural
+   polymorphic equality on the untyped representation is sound.  The
+   name check guards against comparing instances of different
+   components, whose states would have different types. *)
+let equal_state (I (a1, s1)) (I (a2, s2)) =
+  if not (String.equal a1.Automaton.name a2.Automaton.name) then
+    invalid_arg "Component.equal_state: different components";
+  Stdlib.compare (Obj.repr s1) (Obj.repr s2) = 0
+
+let state_hash (I (_, s)) = Hashtbl.hash s

@@ -1,0 +1,125 @@
+type 'a t = { name : string; comps : 'a Component.t array }
+type 'a state = 'a Component.inst array
+
+type task_id = {
+  comp_idx : int;
+  task_idx : int;
+  comp_name : string;
+  task_name : string;
+  fair : bool;
+}
+
+let make ~name comps = { name; comps = Array.of_list comps }
+let name c = c.name
+let components c = c.comps
+let start c = Array.map Component.init c.comps
+
+let kind_of c act =
+  let open Automaton in
+  let out = ref false and inp = ref false and intr = ref false in
+  Array.iter
+    (fun comp ->
+      match Component.kind_of comp act with
+      | Some Output -> out := true
+      | Some Input -> inp := true
+      | Some Internal -> intr := true
+      | None -> ())
+    c.comps;
+  if !out then Some Output
+  else if !intr then Some Internal
+  else if !inp then Some Input
+  else None
+
+let controllers c act =
+  Array.to_list c.comps
+  |> List.filteri (fun _ comp ->
+         match Component.kind_of comp act with
+         | Some Automaton.Output | Some Automaton.Internal -> true
+         | Some Automaton.Input | None -> false)
+
+let check_compatible c ~probes =
+  let rec go = function
+    | [] -> Ok ()
+    | act :: rest -> (
+      match controllers c act with
+      | [] | [ _ ] -> go rest
+      | owner :: _ :: _ ->
+        Error
+          (Printf.sprintf
+             "composition %s: action controlled by multiple components (first: %s)"
+             c.name (Component.name owner)))
+  in
+  go probes
+
+let step _c st act =
+  let n = Array.length st in
+  let next = Array.make n st.(0) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if !ok then
+      match Component.step st.(i) act with
+      | Some inst -> next.(i) <- inst
+      | None -> ok := false
+  done;
+  if !ok then Some next else None
+
+let tasks c =
+  let acc = ref [] in
+  Array.iteri
+    (fun ci comp ->
+      List.iteri
+        (fun ti (task_name, fair) ->
+          acc :=
+            { comp_idx = ci;
+              task_idx = ti;
+              comp_name = Component.name comp;
+              task_name;
+              fair;
+            }
+            :: !acc)
+        (Component.task_names comp))
+    c.comps;
+  List.rev !acc
+
+let enabled _c st tid = Component.enabled_of_task st.(tid.comp_idx) tid.task_idx
+
+let enabled_tasks c st =
+  List.filter_map
+    (fun tid -> Option.map (fun a -> (tid, a)) (enabled c st tid))
+    (tasks c)
+
+let quiescent c st =
+  List.for_all
+    (fun tid -> (not tid.fair) || enabled c st tid = None)
+    (tasks c)
+
+let find_component c nm =
+  let found = ref None in
+  Array.iteri
+    (fun i comp -> if Component.name comp = nm && !found = None then found := Some i)
+    c.comps;
+  !found
+
+let state_inst st i = st.(i)
+
+let equal_state s1 s2 =
+  Array.length s1 = Array.length s2
+  && Array.for_all2 (fun a b -> Component.equal_state a b) s1 s2
+
+let hash_state st =
+  Array.fold_left (fun acc inst -> (acc * 31) + Component.state_hash inst) 17 st
+
+let as_automaton c =
+  let tasks_list = tasks c in
+  let task tid =
+    { Automaton.task_name = Printf.sprintf "%s/%s" tid.comp_name tid.task_name;
+      fair = tid.fair;
+      enabled = (fun st -> enabled c st tid);
+    }
+  in
+  { Automaton.name = c.name;
+    kind = kind_of c;
+    start = start c;
+    step = step c;
+    tasks = List.map task tasks_list;
+  }

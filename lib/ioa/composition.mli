@@ -1,0 +1,76 @@
+(** Composition of I/O automata (Section 2.3).
+
+    A collection of automata over a common action alphabet is composed
+    by matching output actions of some automata with the same-named
+    input actions of others; all components sharing an action perform
+    it together.
+
+    Requirements checked (by sampled probes, since signatures are
+    predicates over possibly-infinite alphabets):
+    - at most one component controls (outputs or has internal) any
+      given action;
+    - internal actions of one component belong to no other component.
+
+    A composition is itself usable as an automaton via
+    {!as_automaton}. *)
+
+type 'a t
+
+type 'a state = 'a Component.inst array
+
+(** A task of the composed system, identified by component and task
+    index; carries the component and task names for display. *)
+type task_id = {
+  comp_idx : int;
+  task_idx : int;
+  comp_name : string;
+  task_name : string;
+  fair : bool;
+}
+
+val make : name:string -> 'a Component.t list -> 'a t
+val name : 'a t -> string
+val components : 'a t -> 'a Component.t array
+val start : 'a t -> 'a state
+
+val kind_of : 'a t -> 'a -> Automaton.kind option
+(** Composed signature: an action is an output of the composition if it
+    is an output of some component, internal if internal to some
+    component, an input if it is an input of some component and an
+    output/internal of none. *)
+
+val check_compatible : 'a t -> probes:'a list -> (unit, string) result
+(** Sampled compatibility check: no probed action is controlled by two
+    components, and no probed internal action is shared. *)
+
+val step : 'a t -> 'a state -> 'a -> 'a state option
+(** Perform an action: all components with the action in their
+    signature step together; [None] if any of them has it disabled
+    (which, for a compatible composition, only happens when the unique
+    controlling component has it disabled or a non-input-enabled
+    automaton misbehaves). *)
+
+val tasks : 'a t -> task_id list
+(** All tasks of all components, component-major order. *)
+
+val enabled : 'a t -> 'a state -> task_id -> 'a option
+(** The unique action enabled in the given task, if any. *)
+
+val enabled_tasks : 'a t -> 'a state -> (task_id * 'a) list
+
+val quiescent : 'a t -> 'a state -> bool
+(** No fair task is enabled. *)
+
+val find_component : 'a t -> string -> int option
+
+val state_inst : 'a state -> int -> 'a Component.inst
+
+val equal_state : 'a state -> 'a state -> bool
+(** Pointwise structural equality of component states. *)
+
+val hash_state : 'a state -> int
+(** Structural hash consistent with {!equal_state}. *)
+
+val as_automaton : 'a t -> ('a state, 'a) Automaton.t
+(** View a composition as a single automaton (flattened task list),
+    enabling nested composition and hiding. *)

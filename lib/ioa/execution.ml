@@ -1,0 +1,38 @@
+type ('s, 'a) t = { start : 's; steps : ('a * 's) list }
+
+let init s = { start = s; steps = [] }
+let extend e a s = { e with steps = e.steps @ [ (a, s) ] }
+let of_rev_steps start rev = { start; steps = List.rev rev }
+let length e = List.length e.steps
+
+let final e =
+  match List.rev e.steps with [] -> e.start | (_, s) :: _ -> s
+
+let schedule e = List.map fst e.steps
+let states e = e.start :: List.map snd e.steps
+let trace ~external_ e = List.filter external_ (schedule e)
+
+let concat a b =
+  if Stdlib.compare (final a) b.start <> 0 then
+    invalid_arg "Execution.concat: final state of first is not start of second";
+  { start = a.start; steps = a.steps @ b.steps }
+
+let is_execution_of aut e =
+  let rec go s = function
+    | [] -> true
+    | (a, s') :: rest -> (
+      match aut.Automaton.step s a with
+      | Some s'' -> Stdlib.compare s'' s' = 0 && go s' rest
+      | None -> false)
+  in
+  Stdlib.compare e.start aut.Automaton.start = 0 && go e.start e.steps
+
+let apply_schedule aut s0 sched =
+  let rec go s rev = function
+    | [] -> Some (of_rev_steps s0 rev)
+    | a :: rest -> (
+      match aut.Automaton.step s a with
+      | Some s' -> go s' ((a, s') :: rev) rest
+      | None -> None)
+  in
+  go s0 [] sched

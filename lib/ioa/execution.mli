@@ -1,0 +1,42 @@
+(** Executions, schedules, and traces (Section 2.2).
+
+    An execution fragment is an alternating sequence of states and
+    actions [s0, a1, s1, a2, ...].  We store the start state and the
+    list of (action, resulting state) steps.  The {e schedule} of an
+    execution is its sequence of events (all actions); its {e trace}
+    is the subsequence of external actions. *)
+
+type ('s, 'a) t = { start : 's; steps : ('a * 's) list }
+
+val init : 's -> ('s, 'a) t
+(** The null execution fragment consisting of one state. *)
+
+val extend : ('s, 'a) t -> 'a -> 's -> ('s, 'a) t
+(** Append one step. O(1) amortized is not needed here; steps are kept
+    in order, so this is O(length). Prefer {!of_rev_steps} in hot
+    loops. *)
+
+val of_rev_steps : 's -> ('a * 's) list -> ('s, 'a) t
+(** Build from steps accumulated in reverse order. *)
+
+val length : ('s, 'a) t -> int
+val final : ('s, 'a) t -> 's
+val schedule : ('s, 'a) t -> 'a list
+val states : ('s, 'a) t -> 's list
+
+val trace : external_:('a -> bool) -> ('s, 'a) t -> 'a list
+(** Projection of the schedule on external actions. *)
+
+val concat : ('s, 'a) t -> ('s, 'a) t -> ('s, 'a) t
+(** [concat a b]: [b] must start in the final state of [a]
+    (checked with structural equality); Section 2.2's [a . b]. *)
+
+val is_execution_of : ('s, 'a) Automaton.t -> ('s, 'a) t -> bool
+(** Replays the steps: start state matches, and each action is enabled
+    and leads (deterministically) to the recorded state.  Uses
+    structural equality on states. *)
+
+val apply_schedule : ('s, 'a) Automaton.t -> 's -> 'a list -> ('s, 'a) t option
+(** [apply_schedule a s sched] is the result of applying the schedule
+    to [a] in state [s] (Section 2.2, "applicable"); [None] when some
+    event is not enabled. *)

@@ -1,0 +1,56 @@
+type report = {
+  fair_prefix : bool;
+  quiescent_end : bool;
+  firings : (string * int) list;
+  max_starvation : (string * int) option;
+}
+
+let full_name (tid : Composition.task_id) =
+  tid.Composition.comp_name ^ "/" ^ tid.Composition.task_name
+
+let analyze ?window comp exe =
+  let tasks = Array.of_list (Composition.tasks comp) in
+  let ntasks = Array.length tasks in
+  let window = match window with Some w -> w | None -> 8 * max 1 ntasks in
+  let firings = Array.make ntasks 0 in
+  let streak = Array.make ntasks 0 in
+  let worst = Array.make ntasks 0 in
+  let update st act_opt =
+    Array.iteri
+      (fun k tid ->
+        if tid.Composition.fair then
+          match Composition.enabled comp st tid with
+          | None -> streak.(k) <- 0
+          | Some a -> (
+            match act_opt with
+            | Some act when Stdlib.compare act a = 0 ->
+              firings.(k) <- firings.(k) + 1;
+              streak.(k) <- 0
+            | _ ->
+              streak.(k) <- streak.(k) + 1;
+              if streak.(k) > worst.(k) then worst.(k) <- streak.(k)))
+      tasks
+  in
+  let rec replay st = function
+    | [] -> st
+    | (act, st') :: rest ->
+      update st (Some act);
+      replay st' rest
+  in
+  let final = replay exe.Execution.start exe.Execution.steps in
+  let quiescent_end = Composition.quiescent comp final in
+  let fair_prefix = Array.for_all (fun w -> w <= window) worst in
+  let max_starvation =
+    let best = ref None in
+    Array.iteri
+      (fun k w ->
+        match !best with
+        | Some (_, bw) when bw >= w -> ()
+        | _ -> if w > 0 then best := Some (full_name tasks.(k), w))
+      worst;
+    !best
+  in
+  let firings =
+    Array.to_list (Array.mapi (fun k c -> (full_name tasks.(k), c)) firings)
+  in
+  { fair_prefix; quiescent_end; firings; max_starvation }

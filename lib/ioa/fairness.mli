@@ -1,0 +1,22 @@
+(** Fairness checking on finite execution prefixes (Section 2.4).
+
+    A finite execution is fair iff no task is enabled in the final
+    state; an infinite one is fair iff every task fires infinitely
+    often or is disabled infinitely often.  On a finite prefix of an
+    intended infinite execution neither clause is directly checkable,
+    so we verify the operational bound our schedulers promise: no fair
+    task stays enabled-without-firing for more than [window] consecutive
+    steps. *)
+
+type report = {
+  fair_prefix : bool;  (** no fair task starved beyond the window *)
+  quiescent_end : bool;  (** no fair task enabled in the final state *)
+  firings : (string * int) list;  (** ["component/task"] firing counts *)
+  max_starvation : (string * int) option;
+      (** worst observed enabled-without-firing stretch *)
+}
+
+val analyze :
+  ?window:int -> 'a Composition.t -> ('a Composition.state, 'a) Execution.t -> report
+(** [analyze ~window comp exe] replays [exe] against [comp]'s task
+    structure.  Default [window] is [8 * number of tasks]. *)

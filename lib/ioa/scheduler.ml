@@ -1,0 +1,183 @@
+type policy = Round_robin | Random of int
+
+type force = { at_step : int; task_pattern : string }
+
+type cfg = {
+  policy : policy;
+  max_steps : int;
+  stop_when_quiescent : bool;
+  forced : force list;
+}
+
+let default_cfg =
+  { policy = Round_robin; max_steps = 1000; stop_when_quiescent = true; forced = [] }
+
+type 'a outcome = {
+  execution : ('a Composition.state, 'a) Execution.t;
+  fired : (Composition.task_id * 'a) list;
+  quiescent : bool;
+}
+
+let full_name (tid : Composition.task_id) =
+  tid.Composition.comp_name ^ "/" ^ tid.Composition.task_name
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* Starvation-bound parameter for the random policy: an enabled fair
+   task fires at latest after [patience * #tasks] consecutive steps. *)
+let patience = 4
+
+let run comp cfg =
+  let tasks = Array.of_list (Composition.tasks comp) in
+  let ntasks = Array.length tasks in
+  let rng =
+    match cfg.policy with
+    | Round_robin -> Stdlib.Random.State.make [| 0 |]
+    | Random seed -> Stdlib.Random.State.make [| seed |]
+  in
+  let starving = Array.make ntasks 0 in
+  let rr_cursor = ref 0 in
+  let state = ref (Composition.start comp) in
+  let rev_steps = ref [] in
+  let fired = ref [] in
+  let pending_forced = ref (List.sort (fun a b -> compare a.at_step b.at_step) cfg.forced) in
+  let quiescent = ref false in
+  let step = ref 0 in
+  let fire tid act =
+    (match Composition.step comp !state act with
+    | Some st' -> state := st'
+    | None -> invalid_arg "Scheduler.run: enabled action failed to step");
+    rev_steps := (act, !state) :: !rev_steps;
+    fired := (tid, act) :: !fired
+  in
+  let forced_candidate () =
+    match !pending_forced with
+    | { at_step; task_pattern } :: rest when at_step <= !step -> (
+      let found = ref None in
+      Array.iter
+        (fun tid ->
+          if !found = None && contains ~needle:task_pattern (full_name tid) then
+            match Composition.enabled comp !state tid with
+            | Some act -> found := Some (tid, act)
+            | None -> ())
+        tasks;
+      match !found with
+      | Some c ->
+        pending_forced := rest;
+        Some c
+      | None ->
+        (* Pattern matched no enabled task: drop it (the fault pattern
+           asked to crash an already-crashed or absent location). *)
+        pending_forced := rest;
+        None)
+    | _ -> None
+  in
+  let pick_round_robin () =
+    let rec go tried =
+      if tried >= ntasks then None
+      else
+        let k = (!rr_cursor + tried) mod ntasks in
+        let tid = tasks.(k) in
+        if not tid.Composition.fair then go (tried + 1)
+        else
+          match Composition.enabled comp !state tid with
+          | Some act ->
+            rr_cursor := (k + 1) mod ntasks;
+            Some (tid, act)
+          | None -> go (tried + 1)
+    in
+    go 0
+  in
+  let pick_random () =
+    (* Starvation backstop first. *)
+    let starved = ref None in
+    Array.iteri
+      (fun k tid ->
+        if !starved = None && tid.Composition.fair && starving.(k) > patience * ntasks
+        then
+          match Composition.enabled comp !state tid with
+          | Some act -> starved := Some (k, tid, act)
+          | None -> ())
+      tasks;
+    match !starved with
+    | Some (k, tid, act) ->
+      starving.(k) <- 0;
+      Some (tid, act)
+    | None ->
+      let enabled = ref [] in
+      Array.iteri
+        (fun k tid ->
+          if tid.Composition.fair then
+            match Composition.enabled comp !state tid with
+            | Some act ->
+              enabled := (k, tid, act) :: !enabled;
+              starving.(k) <- starving.(k) + 1
+            | None -> starving.(k) <- 0)
+        tasks;
+      (match !enabled with
+      | [] -> None
+      | l ->
+        let arr = Array.of_list l in
+        let k, tid, act = arr.(Stdlib.Random.State.int rng (Array.length arr)) in
+        starving.(k) <- 0;
+        Some (tid, act))
+  in
+  let continue = ref true in
+  while !continue && !step < cfg.max_steps do
+    let choice =
+      match forced_candidate () with
+      | Some c -> Some c
+      | None -> (
+        match cfg.policy with Round_robin -> pick_round_robin () | Random _ -> pick_random ())
+    in
+    (match choice with
+    | Some (tid, act) ->
+      fire tid act;
+      incr step
+    | None ->
+      (* No fair task enabled and nothing forced right now. *)
+      if Composition.quiescent comp !state && !pending_forced = [] then begin
+        quiescent := true;
+        continue := false
+      end
+      else if cfg.stop_when_quiescent && !pending_forced = [] then begin
+        quiescent := true;
+        continue := false
+      end
+      else begin
+        (* Idle-step towards the next forced firing. *)
+        incr step
+      end);
+    ()
+  done;
+  { execution = Execution.of_rev_steps (Composition.start comp) !rev_steps;
+    fired = List.rev !fired;
+    quiescent = !quiescent;
+  }
+
+let run_custom comp ~max_steps ~choose =
+  let state = ref (Composition.start comp) in
+  let rev_steps = ref [] in
+  let fired = ref [] in
+  let continue = ref true in
+  let step = ref 0 in
+  while !continue && !step < max_steps do
+    let enabled = Composition.enabled_tasks comp !state in
+    match choose ~step:!step enabled with
+    | None -> continue := false
+    | Some (tid, act) -> (
+      match Composition.step comp !state act with
+      | None -> invalid_arg "Scheduler.run_custom: chosen action not enabled"
+      | Some st' ->
+        state := st';
+        rev_steps := (act, !state) :: !rev_steps;
+        fired := (tid, act) :: !fired;
+        incr step)
+  done;
+  { execution = Execution.of_rev_steps (Composition.start comp) !rev_steps;
+    fired = List.rev !fired;
+    quiescent = false;
+  }

@@ -1,0 +1,52 @@
+(** Fair execution of composed systems (Section 2.4).
+
+    A scheduler resolves the nondeterminism between tasks.  Fairness
+    requires that every (fair) task either fires infinitely often or is
+    infinitely often disabled; on finite prefixes our schedulers
+    guarantee a stronger operational property: an enabled fair task is
+    never starved longer than a bounded number of steps.
+
+    Tasks marked [fair = false] (the crash automaton's tasks) carry no
+    obligation and fire only when the fault-injection schedule forces
+    them. *)
+
+type policy =
+  | Round_robin
+      (** Cycle through the task list; fire each enabled task in turn. *)
+  | Random of int
+      (** Seeded uniform choice among enabled fair tasks, with a
+          round-robin starvation backstop so fairness still holds. *)
+
+type force = { at_step : int; task_pattern : string }
+(** Fire the first enabled task whose ["component/task"] name contains
+    [task_pattern] once the global step counter reaches [at_step].
+    Used to inject crashes at chosen points (realizing a chosen fault
+    pattern, Section 4.4). *)
+
+type cfg = {
+  policy : policy;
+  max_steps : int;
+  stop_when_quiescent : bool;
+  forced : force list;
+}
+
+val default_cfg : cfg
+(** Round-robin, 1000 steps, stop when quiescent, no forced tasks. *)
+
+type 'a outcome = {
+  execution : ('a Composition.state, 'a) Execution.t;
+  fired : (Composition.task_id * 'a) list;  (** in firing order *)
+  quiescent : bool;  (** stopped because no fair task was enabled *)
+}
+
+val run : 'a Composition.t -> cfg -> 'a outcome
+
+val run_custom :
+  'a Composition.t ->
+  max_steps:int ->
+  choose:(step:int -> (Composition.task_id * 'a) list -> (Composition.task_id * 'a) option) ->
+  'a outcome
+(** Fully adversarial scheduling: [choose] picks among the enabled
+    tasks (fair and unfair) at each step; [None] stops the run.  Gives
+    the adversary of the FLP/bivalence experiments complete control;
+    fairness is then the adversary's responsibility. *)

@@ -1,0 +1,39 @@
+let project p t = List.filter p t
+
+let is_subsequence ~equal t' t =
+  let rec go sub full =
+    match (sub, full) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: xs, y :: ys -> if equal x y then go xs ys else go sub ys
+  in
+  go t' t
+
+let is_prefix ~equal t' t =
+  let rec go p q =
+    match (p, q) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: xs, y :: ys -> equal x y && go xs ys
+  in
+  go t' t
+
+let is_permutation ~equal t1 t2 =
+  let rec remove x = function
+    | [] -> None
+    | y :: ys -> if equal x y then Some ys else Option.map (fun r -> y :: r) (remove x ys)
+  in
+  let rec go a b =
+    match a with
+    | [] -> b = []
+    | x :: xs -> ( match remove x b with None -> false | Some b' -> go xs b')
+  in
+  List.length t1 = List.length t2 && go t1 t2
+
+let nth t x = if x <= 0 then None else List.nth_opt t (x - 1)
+
+let positions p t =
+  let _, acc =
+    List.fold_left (fun (i, acc) e -> (i + 1, if p e then i :: acc else acc)) (0, []) t
+  in
+  List.rev acc

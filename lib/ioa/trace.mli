@@ -1,0 +1,23 @@
+(** Operations on sequences of actions (schedules and traces).
+
+    Thin wrappers giving the paper's vocabulary (projection [t|B],
+    concatenation, prefixes) to plain lists. *)
+
+val project : ('a -> bool) -> 'a list -> 'a list
+(** [t|B]: the subsequence of events from the set (predicate) [B]. *)
+
+val is_subsequence : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+(** [is_subsequence ~equal t' t]: [t'] embeds into [t] preserving
+    order. *)
+
+val is_prefix : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+(** [is_prefix ~equal t' t]. *)
+
+val is_permutation : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+(** Multiset equality (quadratic; fine for test-sized traces). *)
+
+val nth : 'a list -> int -> 'a option
+(** 1-based indexing [t\[x\]] as in the paper; [None] plays bottom. *)
+
+val positions : ('a -> bool) -> 'a list -> int list
+(** 0-based positions of events satisfying the predicate. *)

@@ -1,0 +1,100 @@
+open Afd_ioa
+open Afd_core
+
+type fd_payload = Pleader of Loc.t | Pset of Loc.Set.t
+
+let pp_fd_payload fmt = function
+  | Pleader l -> Loc.pp fmt l
+  | Pset s -> Loc.pp_set fmt s
+
+let equal_fd_payload a b =
+  match (a, b) with
+  | Pleader x, Pleader y -> Loc.equal x y
+  | Pset x, Pset y -> Loc.Set.equal x y
+  | Pleader _, Pset _ | Pset _, Pleader _ -> false
+
+type t =
+  | Crash of Loc.t
+  | Send of { src : Loc.t; dst : Loc.t; msg : Msg.t }
+  | Receive of { src : Loc.t; dst : Loc.t; msg : Msg.t }
+  | Fd of { at : Loc.t; detector : string; payload : fd_payload }
+  | Propose of { at : Loc.t; v : bool }
+  | Decide of { at : Loc.t; v : bool }
+  | Step of { at : Loc.t; tag : string }
+  | Query of { at : Loc.t; detector : string }
+  | Resp of { at : Loc.t; detector : string; payload : fd_payload }
+  | Decide_id of { at : Loc.t; v : Loc.t }
+
+let loc = function
+  | Crash i -> i
+  | Send { src; _ } -> src
+  | Receive { dst; _ } -> dst
+  | Fd { at; _ } -> at
+  | Propose { at; _ } -> at
+  | Decide { at; _ } -> at
+  | Step { at; _ } -> at
+  | Query { at; _ } -> at
+  | Resp { at; _ } -> at
+  | Decide_id { at; _ } -> at
+
+let equal a b = Stdlib.compare a b = 0
+
+let pp fmt = function
+  | Crash i -> Format.fprintf fmt "crash_%a" Loc.pp i
+  | Send { src; dst; msg } ->
+    Format.fprintf fmt "send(%a,%a)_%a" Msg.pp msg Loc.pp dst Loc.pp src
+  | Receive { src; dst; msg } ->
+    Format.fprintf fmt "receive(%a,%a)_%a" Msg.pp msg Loc.pp src Loc.pp dst
+  | Fd { at; detector; payload } ->
+    Format.fprintf fmt "FD-%s(%a)_%a" detector pp_fd_payload payload Loc.pp at
+  | Propose { at; v } -> Format.fprintf fmt "propose(%b)_%a" v Loc.pp at
+  | Decide { at; v } -> Format.fprintf fmt "decide(%b)_%a" v Loc.pp at
+  | Step { at; tag } -> Format.fprintf fmt "step(%s)_%a" tag Loc.pp at
+  | Query { at; detector } -> Format.fprintf fmt "query-%s_%a" detector Loc.pp at
+  | Resp { at; detector; payload } ->
+    Format.fprintf fmt "resp-%s(%a)_%a" detector pp_fd_payload payload Loc.pp at
+  | Decide_id { at; v } -> Format.fprintf fmt "decide(%a)_%a" Loc.pp v Loc.pp at
+
+let is_crash = function Crash i -> Some i | _ -> None
+let is_send = function Send _ -> true | _ -> false
+let is_receive = function Receive _ -> true | _ -> false
+
+let is_fd_of ~detector = function
+  | Fd { detector = d; _ } -> String.equal d detector
+  | _ -> false
+
+let is_propose = function Propose _ -> true | _ -> false
+let is_decide = function Decide _ -> true | _ -> false
+
+let fd_trace ~detector t =
+  List.filter_map
+    (function
+      | Crash i -> Some (Fd_event.Crash i)
+      | Fd { at; detector = d; payload } when String.equal d detector ->
+        Some (Fd_event.Output (at, payload))
+      | _ -> None)
+    t
+
+let fd_trace_set ~detector t =
+  List.map
+    (Fd_event.map (function
+      | Pset s -> s
+      | Pleader _ ->
+        invalid_arg
+          (Printf.sprintf "Act.fd_trace_set: detector %s emitted a leader payload"
+             detector)))
+    (fd_trace ~detector t)
+
+let fd_trace_leader ~detector t =
+  List.map
+    (Fd_event.map (function
+      | Pleader l -> l
+      | Pset _ ->
+        invalid_arg
+          (Printf.sprintf "Act.fd_trace_leader: detector %s emitted a set payload"
+             detector)))
+    (fd_trace ~detector t)
+
+let consensus_external = function
+  | Crash _ | Propose _ | Decide _ -> true
+  | Send _ | Receive _ | Fd _ | Step _ | Query _ | Resp _ | Decide_id _ -> false

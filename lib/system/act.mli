@@ -1,0 +1,71 @@
+(** The action alphabet of full systems (Figure 1).
+
+    One closed variant covering every external and internal action of
+    the process automata, channel automata, crash automaton,
+    failure-detector automata, and environment automata composed in
+    this repository. *)
+
+open Afd_ioa
+open Afd_core
+
+(** Failure-detector output payloads, the union of the catalog's
+    payload types. *)
+type fd_payload =
+  | Pleader of Loc.t  (** Ω, anti-Ω *)
+  | Pset of Loc.Set.t  (** P, ◇P, S, ◇S, Σ, Ωk, Ψk *)
+
+val pp_fd_payload : fd_payload Fmt.t
+val equal_fd_payload : fd_payload -> fd_payload -> bool
+
+type t =
+  | Crash of Loc.t  (** output of the crash automaton, input everywhere at [i] *)
+  | Send of { src : Loc.t; dst : Loc.t; msg : Msg.t }
+      (** [send(m, dst)_src]: output of the process at [src], input of
+          channel C_{src,dst} *)
+  | Receive of { src : Loc.t; dst : Loc.t; msg : Msg.t }
+      (** [receive(m, src)_dst]: output of C_{src,dst}, input of the
+          process at [dst] *)
+  | Fd of { at : Loc.t; detector : string; payload : fd_payload }
+      (** detector output at [at]; [detector] names the AFD (and
+          distinguishes renamed copies D, D') *)
+  | Propose of { at : Loc.t; v : bool }  (** environment input to consensus *)
+  | Decide of { at : Loc.t; v : bool }  (** consensus output to environment *)
+  | Step of { at : Loc.t; tag : string }
+      (** internal action of the process at [at] *)
+  | Query of { at : Loc.t; detector : string }
+      (** query to a {e query-based} failure detector (Section 10.1) —
+          output of the process at [at], input of the detector *)
+  | Resp of { at : Loc.t; detector : string; payload : fd_payload }
+      (** a query-based detector's response at [at] *)
+  | Decide_id of { at : Loc.t; v : Loc.t }
+      (** location-valued decision — the output of k-set agreement
+          (values are location IDs, so that more than two distinct
+          values exist and the k-bound is meaningful) *)
+
+val loc : t -> Loc.t
+(** Every action of a distributed problem occurs at a location
+    (Section 3.1). *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val is_crash : t -> Loc.t option
+val is_send : t -> bool
+val is_receive : t -> bool
+val is_fd_of : detector:string -> t -> bool
+val is_propose : t -> bool
+val is_decide : t -> bool
+
+val fd_trace : detector:string -> t list -> fd_payload Fd_event.t list
+(** Project a system trace onto [Î ∪ O_D] for the named detector,
+    as an [Fd_event] trace ready for the AFD spec monitors. *)
+
+val fd_trace_set : detector:string -> t list -> Afd_ioa.Loc.Set.t Fd_event.t list
+(** [fd_trace] narrowed to set-valued payloads (P, ◇P, Σ, ...); leader
+    payloads under the same name raise [Invalid_argument]. *)
+
+val fd_trace_leader : detector:string -> t list -> Afd_ioa.Loc.t Fd_event.t list
+(** [fd_trace] narrowed to leader-valued payloads (Ω, anti-Ω). *)
+
+val consensus_external : t -> bool
+(** [I_P ∪ O_P] of the consensus problem: crash, propose, decide. *)

@@ -1,0 +1,38 @@
+open Afd_ioa
+
+type choose =
+  step:int ->
+  (Composition.task_id * Act.t) list ->
+  (Composition.task_id * Act.t) option
+
+let pick rng = function
+  | [] -> None
+  | l ->
+    let arr = Array.of_list l in
+    Some arr.(Random.State.int rng (Array.length arr))
+
+let fair_random ~seed =
+  let rng = Random.State.make [| seed |] in
+  fun ~step:_ enabled -> pick rng enabled
+
+let starve ~seed ~avoid =
+  let rng = Random.State.make [| seed |] in
+  fun ~step:_ enabled ->
+    pick rng (List.filter (fun (tid, _) -> not (avoid tid)) enabled)
+
+let is_channel_task ~src ~dst (tid : Composition.task_id) =
+  String.equal tid.Composition.comp_name
+    (Printf.sprintf "chan_%s_%s" (Loc.to_string src) (Loc.to_string dst))
+
+let starve_channel ~seed ~src ~dst = starve ~seed ~avoid:(is_channel_task ~src ~dst)
+
+let delay_channel ~seed ~src ~dst ~period =
+  let rng = Random.State.make [| seed |] in
+  fun ~step enabled ->
+    let is_target (tid, _) = is_channel_task ~src ~dst tid in
+    if step mod period < period / 4 then
+      (* delivery window: drain the delayed channel with priority *)
+      match List.filter is_target enabled with
+      | [] -> pick rng enabled
+      | targets -> pick rng targets
+    else pick rng (List.filter (fun c -> not (is_target c)) enabled)

@@ -1,0 +1,32 @@
+(** Canned adversarial schedulers.
+
+    These are [choose] functions for {!Afd_ioa.Scheduler.run_custom};
+    they deliberately violate task fairness to exhibit the behaviours
+    the paper's asynchronous model permits — e.g. starving one channel
+    forever shows that the heartbeat ◇P implementation stops being
+    eventually perfect outside partial synchrony. *)
+
+open Afd_ioa
+
+type choose =
+  step:int ->
+  (Composition.task_id * Act.t) list ->
+  (Composition.task_id * Act.t) option
+
+val fair_random : seed:int -> choose
+(** Uniform among enabled tasks — fair in expectation (baseline). *)
+
+val starve : seed:int -> avoid:(Composition.task_id -> bool) -> choose
+(** Uniform among enabled tasks not matched by [avoid]; never schedules
+    an avoided task.  Stops only when nothing else is enabled. *)
+
+val starve_channel : seed:int -> src:Loc.t -> dst:Loc.t -> choose
+(** Never deliver on channel C_{src,dst}. *)
+
+val delay_channel : seed:int -> src:Loc.t -> dst:Loc.t -> period:int -> choose
+(** Deliver on C_{src,dst} only during a window of [period/4] steps per
+    [period] (drained with priority there) — bursty, large-but-bounded
+    delays under which an adaptive-timeout detector converges after
+    finitely many false suspicions. *)
+
+val is_channel_task : src:Loc.t -> dst:Loc.t -> Composition.task_id -> bool

@@ -1,0 +1,139 @@
+open Afd_ioa
+
+let name ~src ~dst = Printf.sprintf "chan_%s_%s" (Loc.to_string src) (Loc.to_string dst)
+
+let automaton ~src ~dst =
+  if Loc.equal src dst then invalid_arg "Channel.automaton: src = dst";
+  let kind = function
+    | Act.Send { src = s; dst = d; _ } when Loc.equal s src && Loc.equal d dst ->
+      Some Automaton.Input
+    | Act.Receive { src = s; dst = d; _ } when Loc.equal s src && Loc.equal d dst ->
+      Some Automaton.Output
+    | _ -> None
+  in
+  let step q = function
+    | Act.Send { src = s; dst = d; msg } when Loc.equal s src && Loc.equal d dst ->
+      Some (q @ [ msg ])
+    | Act.Receive { src = s; dst = d; msg } when Loc.equal s src && Loc.equal d dst -> (
+      match q with
+      | m :: rest when Msg.equal m msg -> Some rest
+      | _ -> None)
+    | _ -> None
+  in
+  let task =
+    { Automaton.task_name = "deliver";
+      fair = true;
+      enabled =
+        (fun q ->
+          match q with
+          | [] -> None
+          | m :: _ -> Some (Act.Receive { src; dst; msg = m }));
+    }
+  in
+  { Automaton.name = name ~src ~dst; kind; start = []; step; tasks = [ task ] }
+
+let all_pairs ~n =
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun j ->
+          if Loc.equal i j then None
+          else Some (Component.C (automaton ~src:i ~dst:j)))
+        (Loc.universe ~n))
+    (Loc.universe ~n)
+
+let lossy ~src ~dst ~drop_every =
+  if Loc.equal src dst then invalid_arg "Channel.lossy: src = dst";
+  if drop_every < 2 then invalid_arg "Channel.lossy: drop_every must be >= 2";
+  let kind = function
+    | Act.Send { src = s; dst = d; _ } when Loc.equal s src && Loc.equal d dst ->
+      Some Automaton.Input
+    | Act.Receive { src = s; dst = d; _ } when Loc.equal s src && Loc.equal d dst ->
+      Some Automaton.Output
+    | _ -> None
+  in
+  let step (count, q) = function
+    | Act.Send { src = s; dst = d; msg } when Loc.equal s src && Loc.equal d dst ->
+      let count = count + 1 in
+      if count mod drop_every = 0 then Some (count, q) else Some (count, q @ [ msg ])
+    | Act.Receive { src = s; dst = d; msg } when Loc.equal s src && Loc.equal d dst -> (
+      match q with
+      | m :: rest when Msg.equal m msg -> Some (count, rest)
+      | _ -> None)
+    | _ -> None
+  in
+  let task =
+    { Automaton.task_name = "deliver";
+      fair = true;
+      enabled =
+        (fun (_, q) ->
+          match q with [] -> None | m :: _ -> Some (Act.Receive { src; dst; msg = m }));
+    }
+  in
+  { Automaton.name = Printf.sprintf "chan_%s_%s" (Loc.to_string src) (Loc.to_string dst);
+    kind;
+    start = (0, []);
+    step;
+    tasks = [ task ];
+  }
+
+let duplicating ~src ~dst =
+  if Loc.equal src dst then invalid_arg "Channel.duplicating: src = dst";
+  let base = automaton ~src ~dst in
+  let step q = function
+    | Act.Send { src = s; dst = d; msg } when Loc.equal s src && Loc.equal d dst ->
+      Some (q @ [ msg; msg ])
+    | other -> base.Automaton.step q other
+  in
+  { base with step }
+
+let lossy_pairs ~n ~drop_every =
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun j ->
+          if Loc.equal i j then None
+          else Some (Component.C (lossy ~src:i ~dst:j ~drop_every)))
+        (Loc.universe ~n))
+    (Loc.universe ~n)
+
+let duplicating_pairs ~n =
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun j ->
+          if Loc.equal i j then None else Some (Component.C (duplicating ~src:i ~dst:j)))
+        (Loc.universe ~n))
+    (Loc.universe ~n)
+
+module Pair = struct
+  type t = Loc.t * Loc.t
+
+  let compare (a1, b1) (a2, b2) =
+    match Loc.compare a1 a2 with 0 -> Loc.compare b1 b2 | c -> c
+end
+
+module Pair_map = Map.Make (Pair)
+
+let queues_of_trace t =
+  let queues =
+    List.fold_left
+      (fun acc act ->
+        match act with
+        | Act.Send { src; dst; msg } ->
+          Pair_map.update (src, dst)
+            (function None -> Some [ msg ] | Some q -> Some (q @ [ msg ]))
+            acc
+        | Act.Receive { src; dst; msg } ->
+          Pair_map.update (src, dst)
+            (function
+              | Some (m :: rest) when Msg.equal m msg -> Some rest
+              | Some _ | None ->
+                invalid_arg "Channel.queues_of_trace: receive without matching send")
+            acc
+        | Act.Crash _ | Act.Fd _ | Act.Propose _ | Act.Decide _ | Act.Step _ | Act.Query _ | Act.Resp _ | Act.Decide_id _ -> acc)
+      Pair_map.empty t
+  in
+  Pair_map.bindings queues
+
+let all_empty t = List.for_all (fun (_, q) -> q = []) (queues_of_trace t)

@@ -1,0 +1,42 @@
+(** Reliable FIFO channel automata C_{i,j} (Section 4.3).
+
+    State is a queue of messages, initially empty; [send(m,j)_i]
+    appends, and the single (fair) task delivers the head via
+    [receive(m,i)_j].  Deterministic, no internal actions. *)
+
+open Afd_ioa
+
+val automaton : src:Loc.t -> dst:Loc.t -> (Msg.t list, Act.t) Automaton.t
+(** Raises [Invalid_argument] when [src = dst] (the paper only has
+    channels between distinct locations). *)
+
+val all_pairs : n:int -> Act.t Component.t list
+(** The n(n-1) channel components of a full system. *)
+
+(** {1 Non-reliable variants}
+
+    The paper's system model fixes reliable FIFO channels (§4.3).
+    These variants quantify that assumption: algorithms proven over the
+    model may stall or misbehave when the substrate is weakened
+    (deterministically, to keep the automata deterministic). *)
+
+val lossy : src:Loc.t -> dst:Loc.t -> drop_every:int -> (int * Msg.t list, Act.t) Automaton.t
+(** Silently discards every [drop_every]-th message sent (counting from
+    the first); [drop_every >= 2].  State carries the send counter. *)
+
+val duplicating :
+  src:Loc.t -> dst:Loc.t -> (Msg.t list, Act.t) Automaton.t
+(** Enqueues every message twice: each send is delivered twice, in
+    order.  Exercises idempotence of the receiving algorithms. *)
+
+val lossy_pairs : n:int -> drop_every:int -> Act.t Component.t list
+val duplicating_pairs : n:int -> Act.t Component.t list
+
+val queues_of_trace : Act.t list -> ((Loc.t * Loc.t) * Msg.t list) list
+(** Reconstruct every channel's in-transit queue from a system trace
+    (sends minus receives, FIFO).  Only channels that carried at least
+    one message appear.  Used by the execution-tree similarity relation
+    and the quiescence arguments of Theorem 21. *)
+
+val all_empty : Act.t list -> bool
+(** No messages in transit after the given trace. *)

@@ -1,0 +1,26 @@
+open Afd_ioa
+
+let automaton ~n ~crashable =
+  let kind = function Act.Crash _ -> Some Automaton.Output | _ -> None in
+  let step pending = function
+    | Act.Crash i when Loc.Set.mem i pending -> Some (Loc.Set.remove i pending)
+    | _ -> None
+  in
+  let task i =
+    { Automaton.task_name = Printf.sprintf "crash_%s" (Loc.to_string i);
+      fair = false;
+      enabled =
+        (fun pending -> if Loc.Set.mem i pending then Some (Act.Crash i) else None);
+    }
+  in
+  { Automaton.name = "crash";
+    kind;
+    start = Loc.Set.inter crashable (Loc.set_of_universe ~n);
+    step;
+    tasks = List.map task (Loc.universe ~n);
+  }
+
+let task_pattern i = "crash/crash_" ^ Loc.to_string i
+
+let forces l =
+  List.map (fun (k, i) -> { Scheduler.at_step = k; task_pattern = task_pattern i }) l

@@ -1,0 +1,20 @@
+(** The crash automaton over the full-system alphabet (Section 4.4).
+
+    Every sequence over Î is a fair trace of the paper's crash
+    automaton; one concrete fault pattern per run is realized by
+    forcing this automaton's (unfair) tasks at chosen scheduler
+    steps. *)
+
+open Afd_ioa
+
+val automaton : n:int -> crashable:Loc.Set.t -> (Loc.Set.t, Act.t) Automaton.t
+(** One unfair task per location of [crashable], each able to emit
+    [Crash i] once. *)
+
+val task_pattern : Loc.t -> string
+(** The ["component/task"] substring that identifies location [i]'s
+    crash task for {!Afd_ioa.Scheduler.force}. *)
+
+val forces : (int * Loc.t) list -> Scheduler.force list
+(** Turn a fault pattern — crash location [i] at global step [k] —
+    into scheduler directives. *)

@@ -1,0 +1,66 @@
+open Afd_ioa
+open Afd_core
+
+let lift ~detector ~inj ~prj aut =
+  Automaton.rename
+    ~to_:(function
+      | Fd_event.Crash i -> Act.Crash i
+      | Fd_event.Output (i, o) -> Act.Fd { at = i; detector; payload = inj o })
+    ~of_:(function
+      | Act.Crash i -> Some (Fd_event.Crash i)
+      | Act.Fd { at; detector = d; payload } when String.equal d detector ->
+        Option.map (fun o -> Fd_event.Output (at, o)) (prj payload)
+      | _ -> None)
+    aut
+
+let lift_leader ~detector aut =
+  lift ~detector
+    ~inj:(fun l -> Act.Pleader l)
+    ~prj:(function Act.Pleader l -> Some l | Act.Pset _ -> None)
+    aut
+
+let lift_set ~detector aut =
+  lift ~detector
+    ~inj:(fun s -> Act.Pset s)
+    ~prj:(function Act.Pset s -> Some s | Act.Pleader _ -> None)
+    aut
+
+let transformer ~src ~dst ~loc ~f =
+  let kind = function
+    | Act.Crash i when Loc.equal i loc -> Some Automaton.Input
+    | Act.Fd { at; detector; _ } when Loc.equal at loc && String.equal detector src ->
+      Some Automaton.Input
+    | Act.Fd { at; detector; _ } when Loc.equal at loc && String.equal detector dst ->
+      Some Automaton.Output
+    | _ -> None
+  in
+  let current (latest, failed) =
+    if failed then None else Option.map (f loc) latest
+  in
+  let step ((latest, _failed) as st) = function
+    | Act.Crash i when Loc.equal i loc -> Some (latest, true)
+    | Act.Fd { at; detector; payload } when Loc.equal at loc && String.equal detector src
+      ->
+      let _, failed = st in
+      Some (Some payload, failed)
+    | Act.Fd { at; detector; payload } when Loc.equal at loc && String.equal detector dst
+      ->
+      if current st = Some payload then Some st else None
+    | _ -> None
+  in
+  let task =
+    { Automaton.task_name = Printf.sprintf "xform_%s" (Loc.to_string loc);
+      fair = true;
+      enabled =
+        (fun st ->
+          Option.map
+            (fun p -> Act.Fd { at = loc; detector = dst; payload = p })
+            (current st));
+    }
+  in
+  { Automaton.name = Printf.sprintf "xform_%s_to_%s_%s" src dst (Loc.to_string loc);
+    kind;
+    start = (None, false);
+    step;
+    tasks = [ task ];
+  }

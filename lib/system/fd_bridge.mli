@@ -1,0 +1,38 @@
+(** Lift failure-detector automata (defined over ['o Fd_event.t] in the
+    core library) into the full-system alphabet, and failure-detector
+    transformer components.
+
+    The lifted automaton emits [Act.Fd { detector; payload; _ }]
+    actions; the [detector] name string distinguishes different
+    detectors (and renamed copies) sharing one system. *)
+
+open Afd_ioa
+open Afd_core
+
+val lift :
+  detector:string ->
+  inj:('o -> Act.fd_payload) ->
+  prj:(Act.fd_payload -> 'o option) ->
+  ('s, 'o Fd_event.t) Automaton.t ->
+  ('s, Act.t) Automaton.t
+(** Rename a core FD automaton into the [Act.t] alphabet: crash events
+    become [Act.Crash], outputs become [Act.Fd] with the given name. *)
+
+val lift_leader : detector:string -> ('s, Loc.t Fd_event.t) Automaton.t -> ('s, Act.t) Automaton.t
+(** [lift] specialized to leader-valued detectors (Ω and friends). *)
+
+val lift_set :
+  detector:string -> ('s, Loc.Set.t Fd_event.t) Automaton.t -> ('s, Act.t) Automaton.t
+(** [lift] specialized to set-valued detectors (P, ◇P, ...). *)
+
+val transformer :
+  src:string ->
+  dst:string ->
+  loc:Loc.t ->
+  f:(Loc.t -> Act.fd_payload -> Act.fd_payload) ->
+  (Act.fd_payload option * bool, Act.t) Automaton.t
+(** A per-location detector transformer inside a full system: consumes
+    [Fd] outputs of detector [src] at [loc], continually re-emits
+    [f loc latest] under detector name [dst]; silenced by [crash_loc].
+    This is {!Afd_core.Xform.local_transformer} living in the system
+    alphabet, used e.g. to run consensus over Ω extracted from ◇P. *)

@@ -1,0 +1,106 @@
+open Afd_ioa
+
+let detector_name = "HB"
+
+type peer = { missed : int; timeout : int; suspected : bool }
+
+type st = {
+  n : int;
+  self : Loc.t;
+  peers : peer Loc.Map.t;
+  pending_hb : Loc.t list;  (* heartbeats still to send this cycle *)
+}
+
+let suspects st =
+  Loc.Map.fold (fun j p acc -> if p.suspected then Loc.Set.add j acc else acc) st.peers
+    Loc.Set.empty
+
+let timeout_of st j =
+  match Loc.Map.find_opt j st.peers with Some p -> p.timeout | None -> 0
+
+let init ~n ~initial_timeout ~self =
+  let peers =
+    List.fold_left
+      (fun acc j ->
+        if Loc.equal j self then acc
+        else Loc.Map.add j { missed = 0; timeout = initial_timeout; suspected = false } acc)
+      Loc.Map.empty (Loc.universe ~n)
+  in
+  { n; self; peers; pending_hb = [] }
+
+let others st =
+  List.filter (fun j -> not (Loc.equal j st.self)) (Loc.universe ~n:st.n)
+
+(* Local clock tick: one cycle completed.  Age every peer and update
+   suspicions. *)
+let tick st =
+  let peers =
+    Loc.Map.map
+      (fun p ->
+        let missed = p.missed + 1 in
+        { p with missed; suspected = p.suspected || missed > p.timeout })
+      st.peers
+  in
+  { st with peers; pending_hb = others st }
+
+let on_heartbeat st j =
+  match Loc.Map.find_opt j st.peers with
+  | None -> st
+  | Some p ->
+    let p' =
+      if p.suspected then
+        (* premature suspicion: forgive and adapt *)
+        { missed = 0; timeout = p.timeout * 2; suspected = false }
+      else { p with missed = 0 }
+    in
+    { st with peers = Loc.Map.add j p' st.peers }
+
+let kind ~loc = function
+  | Act.Crash i when Loc.equal i loc -> Some Automaton.Input
+  | Act.Receive { dst; msg = Msg.Ping _; _ } when Loc.equal dst loc -> Some Automaton.Input
+  | Act.Send { src; msg = Msg.Ping _; _ } when Loc.equal src loc -> Some Automaton.Output
+  | Act.Fd { at; detector; _ } when Loc.equal at loc && String.equal detector detector_name
+    ->
+    Some Automaton.Output
+  | _ -> None
+
+let current st =
+  match st.pending_hb with
+  | dst :: _ -> Act.Send { src = st.self; dst; msg = Msg.Ping 0 }
+  | [] -> Act.Fd { at = st.self; detector = detector_name; payload = Act.Pset (suspects st) }
+
+let automaton ~n ~initial_timeout ~loc =
+  let start = (init ~n ~initial_timeout ~self:loc, false) in
+  let step (st, failed) = function
+    | Act.Crash i when Loc.equal i loc -> Some (st, true)
+    | Act.Receive { src; dst; msg = Msg.Ping _ } when Loc.equal dst loc ->
+      Some (on_heartbeat st src, failed)
+    | act ->
+      if failed then None
+      else if Act.equal act (current st) then
+        (match act with
+        | Act.Send _ -> Some ({ st with pending_hb = List.tl st.pending_hb }, failed)
+        | Act.Fd _ -> Some (tick st, failed)
+        | _ -> None)
+      else None
+  in
+  let task =
+    { Automaton.task_name = "cycle";
+      fair = true;
+      enabled = (fun (st, failed) -> if failed then None else Some (current st));
+    }
+  in
+  { Automaton.name = Printf.sprintf "hb_%s" (Loc.to_string loc);
+    kind = kind ~loc;
+    start;
+    step;
+    tasks = [ task ];
+  }
+
+let components ~n ~initial_timeout =
+  List.map
+    (fun i -> Component.C (automaton ~n ~initial_timeout ~loc:i))
+    (Loc.universe ~n)
+
+let net ~n ~initial_timeout ~crashable =
+  Net.assemble ~n ~crashable ~processes:(components ~n ~initial_timeout) ()

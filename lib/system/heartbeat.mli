@@ -1,0 +1,41 @@
+(** A message-passing implementation of ◇P via adaptive heartbeats —
+    the "realistic failure detector" of Delporte-Gallet et al. [7],
+    reference 7 of the paper.
+
+    Unlike Algorithm 2 (which reads the crash set directly from its
+    inputs — it is the {e specification-level} automaton), this
+    detector lives inside the system: each location periodically sends
+    heartbeats, counts its own output steps as a local clock, suspects
+    a peer when no heartbeat arrived for [timeout] local ticks, and
+    doubles that peer's timeout whenever a suspicion proves premature.
+
+    Its correctness is {e conditional on scheduling}: under the
+    fair schedulers (bounded relative speeds and delivery delays — an
+    operational form of partial synchrony) its output stream satisfies
+    ◇P; under an adversary that starves a channel it keeps suspecting a
+    live peer — the executable content of "◇P is not implementable in
+    pure asynchrony, but is under partial synchrony".  See the tests
+    and the A-series benches. *)
+
+open Afd_ioa
+
+val detector_name : string
+(** "HB". *)
+
+type st
+
+val suspects : st -> Loc.Set.t
+val timeout_of : st -> Loc.t -> int
+
+val automaton : n:int -> initial_timeout:int -> loc:Loc.t -> (st * bool, Act.t) Automaton.t
+(** The heartbeat process at [loc].  It is a {!Process}-style automaton
+    with a single task that cycles: send one heartbeat to each peer,
+    then emit one [Fd] output carrying the current suspect set (the
+    emission is the local clock tick). *)
+
+val components : n:int -> initial_timeout:int -> Act.t Component.t list
+
+val net : n:int -> initial_timeout:int -> crashable:Loc.Set.t -> Net.t
+(** Heartbeat components + channels + crash automaton, ready to run;
+    project the detector stream with
+    [Act.fd_trace_set ~detector:detector_name]. *)

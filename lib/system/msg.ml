@@ -1,0 +1,55 @@
+open Afd_ioa
+
+type vset = { zero : bool; one : bool }
+
+let vset_empty = { zero = false; one = false }
+let vset_of v = if v then { zero = false; one = true } else { zero = true; one = false }
+let vset_union a b = { zero = a.zero || b.zero; one = a.one || b.one }
+
+let vset_min s = if s.zero then Some false else if s.one then Some true else None
+let vset_mem v s = if v then s.one else s.zero
+
+let pp_vset fmt s =
+  let items = (if s.zero then [ "0" ] else []) @ if s.one then [ "1" ] else [] in
+  Format.fprintf fmt "{%s}" (String.concat "," items)
+
+type t =
+  | Flood of { round : int; vals : vset }
+  | Prepare of { bal : int }
+  | Promise of { bal : int; accepted : (int * bool) option }
+  | Nack of { bal : int }
+  | Accept of { bal : int; v : bool }
+  | Accepted of { bal : int; v : bool }
+  | Decided of { v : bool }
+  | Ping of int
+  | Fd_relay of { about : Loc.t; crashed : bool }
+  | Kprepare of { inst : int; bal : int }
+  | Kpromise of { inst : int; bal : int; accepted : (int * Loc.t) option }
+  | Knack of { inst : int; bal : int }
+  | Kaccept of { inst : int; bal : int; v : Loc.t }
+  | Kaccepted of { inst : int; bal : int; v : Loc.t }
+
+let equal a b = Stdlib.compare a b = 0
+
+let pp fmt = function
+  | Flood { round; vals } -> Format.fprintf fmt "flood(r=%d,%a)" round pp_vset vals
+  | Prepare { bal } -> Format.fprintf fmt "prepare(%d)" bal
+  | Promise { bal; accepted = None } -> Format.fprintf fmt "promise(%d,-)" bal
+  | Promise { bal; accepted = Some (b, v) } ->
+    Format.fprintf fmt "promise(%d,acc=%d:%b)" bal b v
+  | Nack { bal } -> Format.fprintf fmt "nack(%d)" bal
+  | Accept { bal; v } -> Format.fprintf fmt "accept(%d,%b)" bal v
+  | Accepted { bal; v } -> Format.fprintf fmt "accepted(%d,%b)" bal v
+  | Decided { v } -> Format.fprintf fmt "decided(%b)" v
+  | Ping k -> Format.fprintf fmt "ping(%d)" k
+  | Fd_relay { about; crashed } ->
+    Format.fprintf fmt "fd_relay(%a,%b)" Loc.pp about crashed
+  | Kprepare { inst; bal } -> Format.fprintf fmt "kprepare(%d,%d)" inst bal
+  | Kpromise { inst; bal; accepted = None } ->
+    Format.fprintf fmt "kpromise(%d,%d,-)" inst bal
+  | Kpromise { inst; bal; accepted = Some (b, v) } ->
+    Format.fprintf fmt "kpromise(%d,%d,acc=%d:%a)" inst bal b Loc.pp v
+  | Knack { inst; bal } -> Format.fprintf fmt "knack(%d,%d)" inst bal
+  | Kaccept { inst; bal; v } -> Format.fprintf fmt "kaccept(%d,%d,%a)" inst bal Loc.pp v
+  | Kaccepted { inst; bal; v } ->
+    Format.fprintf fmt "kaccepted(%d,%d,%a)" inst bal Loc.pp v

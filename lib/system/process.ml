@@ -1,0 +1,90 @@
+open Afd_ioa
+
+type input =
+  | Receive of { src : Loc.t; msg : Msg.t }
+  | Propose of bool
+  | Fd of { detector : string; payload : Act.fd_payload }
+
+type output =
+  | Send of { dst : Loc.t; msg : Msg.t }
+  | Decide of bool
+  | Internal of string
+
+let decode_input ~loc ~fd_names = function
+  | Act.Receive { src; dst; msg } when Loc.equal dst loc -> Some (Receive { src; msg })
+  | Act.Propose { at; v } when Loc.equal at loc -> Some (Propose v)
+  | Act.Fd { at; detector; payload } when Loc.equal at loc && List.mem detector fd_names
+    ->
+    Some (Fd { detector; payload })
+  | _ -> None
+
+let encode_output ~loc = function
+  | Send { dst; msg } -> Act.Send { src = loc; dst; msg }
+  | Decide v -> Act.Decide { at = loc; v }
+  | Internal tag -> Act.Step { at = loc; tag }
+
+type 'st def = {
+  init : 'st;
+  handle : 'st -> input -> 'st;
+  output : 'st -> output option;
+  after_output : 'st -> output -> 'st;
+}
+
+let automaton ~name ~loc ~fd_names def =
+  let kind act =
+    match act with
+    | Act.Crash i when Loc.equal i loc -> Some Automaton.Input
+    | Act.Send { src; _ } when Loc.equal src loc -> Some Automaton.Output
+    | Act.Decide { at; _ } when Loc.equal at loc -> Some Automaton.Output
+    | Act.Step { at; _ } when Loc.equal at loc -> Some Automaton.Internal
+    | other -> (
+      match decode_input ~loc ~fd_names other with
+      | Some _ -> Some Automaton.Input
+      | None -> None)
+  in
+  let current (st, failed) =
+    if failed then None else def.output st
+  in
+  let step ((st, failed) as full) act =
+    match act with
+    | Act.Crash i when Loc.equal i loc -> Some (st, true)
+    | _ -> (
+      match decode_input ~loc ~fd_names act with
+      | Some input -> Some (def.handle st input, failed)
+      | None -> (
+        (* Locally controlled action: enabled iff it is the one our
+           single task currently offers. *)
+        match current full with
+        | Some out when Act.equal (encode_output ~loc out) act ->
+          Some (def.after_output st out, failed)
+        | Some _ | None -> None))
+  in
+  let task =
+    { Automaton.task_name = "step";
+      fair = true;
+      enabled = (fun full -> Option.map (encode_output ~loc) (current full));
+    }
+  in
+  { Automaton.name = Printf.sprintf "%s_%s" name (Loc.to_string loc);
+    kind;
+    start = (def.init, false);
+    step;
+    tasks = [ task ];
+  }
+
+module Outbox = struct
+  type t = output list
+
+  let empty = []
+  let is_empty t = t = []
+  let push t o = t @ [ o ]
+
+  let broadcast t ~n ~self msg =
+    List.fold_left
+      (fun acc dst ->
+        if Loc.equal dst self then acc else push acc (Send { dst; msg }))
+      t (Loc.universe ~n)
+
+  let peek = function [] -> None | o :: _ -> Some o
+  let pop = function [] -> [] | _ :: rest -> rest
+end

@@ -1,0 +1,60 @@
+(** Process automata (Section 4.2).
+
+    A process automaton at location [i] is deterministic (single task,
+    unique start state), receives [crash_i], [receive(*,*)_i], detector
+    outputs at [i] and problem inputs at [i], and controls
+    [send(*,*)_i], problem outputs at [i], and internal steps at [i].
+    [crash_i] permanently disables its locally controlled actions.
+
+    Algorithms are written against the purely functional {!def}
+    interface; {!automaton} supplies the glue: the crash flag, the
+    signature predicate, and the single-task discipline.  Locally
+    controlled actions are produced one at a time from [output]; an
+    algorithm wanting to broadcast queues the sends in its own state
+    (see {!Outbox}). *)
+
+open Afd_ioa
+
+(** Inputs a process can receive, already decoded. *)
+type input =
+  | Receive of { src : Loc.t; msg : Msg.t }
+  | Propose of bool
+  | Fd of { detector : string; payload : Act.fd_payload }
+
+(** Locally controlled actions a process can produce. *)
+type output =
+  | Send of { dst : Loc.t; msg : Msg.t }
+  | Decide of bool
+  | Internal of string  (** tag shown in [Act.Step] *)
+
+type 'st def = {
+  init : 'st;
+  handle : 'st -> input -> 'st;
+      (** effect of an input event (total: inputs are always enabled) *)
+  output : 'st -> output option;
+      (** the unique locally controlled action enabled, if any *)
+  after_output : 'st -> output -> 'st;  (** its effect *)
+}
+
+val automaton : name:string -> loc:Loc.t -> fd_names:string list -> 'st def ->
+  ('st * bool, Act.t) Automaton.t
+(** [fd_names] lists the detector names whose outputs at [loc] this
+    process consumes (other [Fd] actions are outside its signature).
+    The [bool] in the state is the crashed flag. *)
+
+(** {1 Outbox}
+
+    Broadcast helper: a FIFO of pending outputs kept in algorithm
+    state. *)
+module Outbox : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val push : t -> output -> t
+  val broadcast : t -> n:int -> self:Loc.t -> Msg.t -> t
+  (** Queue sends of [msg] to every location except [self]. *)
+
+  val peek : t -> output option
+  val pop : t -> t
+end

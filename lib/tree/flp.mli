@@ -1,0 +1,37 @@
+(** The bivalence-horizon experiment (Section 9.6 / FLP [11]).
+
+    FLP's impossibility proof keeps a (failure-detector-free) consensus
+    protocol bivalent forever by a careful adversarial schedule.  In
+    R^{t_D} the situation is inverted: the AFD's information — injected
+    by FD edges at live locations, which is exactly where the hooks of
+    Theorem 59 sit — makes bivalence unsustainable.  These adversaries
+    walk the quotient graph greedily preferring bivalent successors and
+    measure how long they last:
+
+    - {!unconstrained} may starve any task (the full power of the
+      asynchronous adversary);
+    - {!fair_windowed} must take every continuously-enabled label at
+      least once per [window] steps (an operational window form of task
+      fairness; fair branches take every label infinitely often).
+
+    Both exhaust after a handful of steps on the consensus trees —
+    every branch, fair or not, is soon forced univalent; the paper's
+    Proposition 48 (every fair branch decides) is the limiting
+    statement.  The two greedy horizons are not comparable to each
+    other in general (greedy play is not optimal play); the benches
+    report both across windows. *)
+
+type outcome = {
+  survived : int;  (** bivalence-preserving steps achieved *)
+  exhausted : bool;  (** stopped because no legal bivalent move existed *)
+  starved_labels : string list;
+      (** labels never taken during the walk *)
+}
+
+val unconstrained : Valence.t -> max_steps:int -> outcome
+
+val fair_windowed : Valence.t -> window:int -> max_steps:int -> outcome
+(** The adversary must, whenever a label has not been taken for
+    [window] steps while its edge was continuously non-⊥, take an
+    overdue label next; among the remaining legal moves it prefers
+    bivalent successors. *)

@@ -1,0 +1,32 @@
+(** Hooks (Section 9.6).
+
+    A hook is a tuple (N, l, r): node N bivalent, N's l-child
+    v-valent, and the l-child of N's r-child (1-v)-valent.  Theorem 59:
+    hooks exist in R^{t_D}, their two edge tags are non-⊥, occur at one
+    location (the {e critical location}), and that location is live in
+    t_D — the paper's precise account of how AFD information, delivered
+    at live locations, breaks FLP bivalence. *)
+
+open Afd_ioa
+open Afd_system
+
+type t = {
+  node : int;  (** N *)
+  l : Tagged_tree.label;
+  r : Tagged_tree.label;
+  l_action : Act.t option;  (** tag of N's l-edge *)
+  r_action : Act.t option;  (** tag of N's r-edge *)
+  v : bool;  (** valence of the l-child *)
+}
+
+val find_all : Valence.t -> t list
+(** Exhaustive scan of the quotient graph for hooks. *)
+
+val critical_location : t -> Loc.t option
+(** The location of the l-edge tag when both tags are non-⊥ and agree
+    on a location (Lemmas 56-57); [None] otherwise. *)
+
+val check_theorem59 : Valence.t -> t -> (Loc.t, string) result
+(** Verify the three claims of Theorem 59 on one hook: non-⊥ tags, a
+    common location, and liveness of that location in t_D.  Returns the
+    critical location. *)

@@ -1,0 +1,160 @@
+open Afd_ioa
+open Afd_system
+
+type comp_kind =
+  | CProcess of Loc.t
+  | CChannel of Loc.t * Loc.t
+  | CEnv of Loc.t
+  | COther
+
+type ctx = {
+  tree : Tagged_tree.t;
+  n : int;
+  kinds : comp_kind array;  (* per component index *)
+  crashed : Loc.Set.t array;  (* per node *)
+  queues : ((Loc.t * Loc.t) * Msg.t list) list array;  (* per node *)
+}
+
+let parse_loc s =
+  (* "p3" -> 3 *)
+  if String.length s >= 2 && s.[0] = 'p' then int_of_string_opt (String.sub s 1 (String.length s - 1))
+  else None
+
+let classify name =
+  match String.split_on_char '_' name with
+  | [ "chan"; a; b ] -> (
+    match (parse_loc a, parse_loc b) with
+    | Some i, Some j -> CChannel (i, j)
+    | _ -> COther)
+  | [ ("envC" | "envS" | "queryenv"); a ] -> (
+    match parse_loc a with Some i -> CEnv i | None -> COther)
+  | [ _; a ] -> (
+    match parse_loc a with Some i -> CProcess i | None -> COther)
+  | _ -> COther
+
+let make_ctx tree ~n =
+  let comps = Composition.components tree.Tagged_tree.system in
+  let kinds = Array.map (fun c -> classify (Component.name c)) comps in
+  let nn = Array.length tree.Tagged_tree.nodes in
+  let crashed = Array.make nn Loc.Set.empty in
+  let queues = Array.make nn [] in
+  let visited = Array.make nn false in
+  visited.(0) <- true;
+  let q = Queue.create () in
+  Queue.add 0 q;
+  let apply_act crs qs act =
+    match act with
+    | Act.Crash i -> (Loc.Set.add i crs, qs)
+    | Act.Send { src; dst; msg } ->
+      let key = (src, dst) in
+      let cur = Option.value ~default:[] (List.assoc_opt key qs) in
+      (crs, (key, cur @ [ msg ]) :: List.remove_assoc key qs)
+    | Act.Receive { src; dst; _ } ->
+      let key = (src, dst) in
+      let cur = Option.value ~default:[] (List.assoc_opt key qs) in
+      (crs, (key, match cur with [] -> [] | _ :: rest -> rest) :: List.remove_assoc key qs)
+    | _ -> (crs, qs)
+  in
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    Array.iter
+      (fun (_, act, dst) ->
+        match act with
+        | Some act when not visited.(dst) ->
+          visited.(dst) <- true;
+          let crs, qs = apply_act crashed.(id) queues.(id) act in
+          crashed.(dst) <- crs;
+          queues.(dst) <- qs;
+          Queue.add dst q
+        | _ -> ())
+      tree.Tagged_tree.nodes.(id).Tagged_tree.edges
+  done;
+  { tree; n; kinds; crashed; queues }
+
+let queue_of ctx id key =
+  Option.value ~default:[] (List.assoc_opt key ctx.queues.(id))
+
+let similar_mod ctx ~i id id' =
+  let node = ctx.tree.Tagged_tree.nodes.(id)
+  and node' = ctx.tree.Tagged_tree.nodes.(id') in
+  (* (1) crash_i occurred in both *)
+  Loc.Set.mem i ctx.crashed.(id)
+  && Loc.Set.mem i ctx.crashed.(id')
+  && (* (6) same remaining FD sequence *)
+  node.Tagged_tree.pos = node'.Tagged_tree.pos
+  && (* (2)(3)(5): componentwise equality away from i *)
+  (let ok = ref true in
+   Array.iteri
+     (fun k kind ->
+       if !ok then
+         let eq () =
+           Component.equal_state
+             (Composition.state_inst node.Tagged_tree.config k)
+             (Composition.state_inst node'.Tagged_tree.config k)
+         in
+         match kind with
+         | CProcess j when not (Loc.equal j i) -> if not (eq ()) then ok := false
+         | CEnv j when not (Loc.equal j i) -> if not (eq ()) then ok := false
+         | CChannel (j, k') when (not (Loc.equal j i)) && not (Loc.equal k' i) ->
+           if not (eq ()) then ok := false
+         | CProcess _ | CEnv _ | CChannel _ | COther -> ())
+     ctx.kinds;
+   !ok)
+  && (* (4): each channel out of i holds a prefix in N of N' *)
+  List.for_all
+    (fun j ->
+      Loc.equal j i
+      ||
+      let qa = queue_of ctx id (i, j) and qb = queue_of ctx id' (i, j) in
+      Afd_ioa.Trace.is_prefix ~equal:Msg.equal qa qb)
+    (Loc.universe ~n:ctx.n)
+
+let child_by_label tree id label =
+  let node = tree.Tagged_tree.nodes.(id) in
+  Array.to_list node.Tagged_tree.edges
+  |> List.find_map (fun (l, _, dst) -> if l = label then Some dst else None)
+
+let check_lemma39 ctx ~i id id' =
+  if not (similar_mod ctx ~i id id') then Error "pair is not similar-modulo-i"
+  else
+    let labels = Tagged_tree.labels ctx.tree in
+    let rec go = function
+      | [] -> Ok ()
+      | l :: rest -> (
+        match (child_by_label ctx.tree id l, child_by_label ctx.tree id' l) with
+        | Some nl, Some nl' ->
+          if similar_mod ctx ~i nl id' || similar_mod ctx ~i nl nl' then go rest
+          else
+            Error
+              (Fmt.str "label %a: neither N^l ~ N' nor N^l ~ N'^l" Tagged_tree.pp_label l)
+        | _ -> Error "missing child")
+    in
+    go labels
+
+let candidate_pairs ctx ~i ~limit =
+  let pairs = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun node ->
+      if !count < limit && Loc.Set.mem i ctx.crashed.(node.Tagged_tree.id) then
+        Array.iter
+          (fun (label, act, dst) ->
+            if !count < limit then
+              match (label, act) with
+              | Tagged_tree.Task tid, Some (Act.Receive { dst = d; _ })
+                when Loc.equal d i ->
+                ignore tid;
+                pairs := (node.Tagged_tree.id, dst) :: !pairs;
+                incr count
+              | _ -> ())
+          node.Tagged_tree.edges)
+    ctx.tree.Tagged_tree.nodes;
+  (* one diagonal pair for reflexivity coverage *)
+  (match
+     Array.find_opt
+       (fun node -> Loc.Set.mem i ctx.crashed.(node.Tagged_tree.id))
+       ctx.tree.Tagged_tree.nodes
+   with
+  | Some node -> pairs := (node.Tagged_tree.id, node.Tagged_tree.id) :: !pairs
+  | None -> ());
+  List.rev !pairs

@@ -1,0 +1,151 @@
+open Afd_ioa
+open Afd_core
+open Afd_system
+
+type label = FD | Task of Composition.task_id
+
+let pp_label fmt = function
+  | FD -> Format.pp_print_string fmt "FD"
+  | Task tid ->
+    Format.fprintf fmt "%s/%s" tid.Composition.comp_name tid.Composition.task_name
+
+type node = {
+  id : int;
+  config : Act.t Composition.state;
+  pos : int;
+  edges : (label * Act.t option * int) array;
+}
+
+type t = {
+  system : Act.t Composition.t;
+  td : Act.fd_payload Fd_event.t array;
+  nodes : node array;
+}
+
+let labels t = FD :: List.map (fun tid -> Task tid) (Composition.tasks t.system)
+
+let act_of_fd_event ev ~detector =
+  match ev with
+  | Fd_event.Crash i -> Act.Crash i
+  | Fd_event.Output (i, payload) -> Act.Fd { at = i; detector; payload }
+
+let decision_of_edge = function
+  | Some (Act.Decide { v; _ }) -> Some v
+  | Some _ | None -> None
+
+(* Key table on (config, pos). *)
+module Key = struct
+  type t = Act.t Composition.state * int
+
+  let equal (c1, p1) (c2, p2) = p1 = p2 && Composition.equal_state c1 c2
+  let hash (c, p) = (Composition.hash_state c * 31) + p
+end
+
+module Key_tbl = Hashtbl.Make (Key)
+
+let build ~system ~detector ~td ~max_nodes =
+  let td = Array.of_list td in
+  let task_labels = Composition.tasks system in
+  let tbl = Key_tbl.create 1024 in
+  let nodes = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern config pos =
+    match Key_tbl.find_opt tbl (config, pos) with
+    | Some id -> id
+    | None ->
+      let id = !count in
+      incr count;
+      Key_tbl.add tbl (config, pos) id;
+      Queue.add (id, config, pos) queue;
+      id
+  in
+  let root = intern (Composition.start system) 0 in
+  assert (root = 0);
+  let overflow = ref false in
+  while (not (Queue.is_empty queue)) && not !overflow do
+    let id, config, pos = Queue.pop queue in
+    if !count > max_nodes then overflow := true
+    else begin
+      let edge_of_label label =
+        let action =
+          match label with
+          | FD -> if pos < Array.length td then Some (act_of_fd_event td.(pos) ~detector) else None
+          | Task tid -> Composition.enabled system config tid
+        in
+        match action with
+        | None -> (label, None, id) (* bottom tag: self-loop in the quotient *)
+        | Some act -> (
+          match Composition.step system config act with
+          | None ->
+            (* An FD output directed at a component that cannot absorb
+               it would be a modelling error; inputs are always
+               enabled, so this is unreachable for well-formed systems. *)
+            invalid_arg
+              (Fmt.str "Tagged_tree.build: action %a not applicable" Act.pp act)
+          | Some config' ->
+            let pos' = match label with FD -> pos + 1 | Task _ -> pos in
+            (label, Some act, intern config' pos'))
+      in
+      let edges =
+        Array.of_list (edge_of_label FD :: List.map (fun tid -> edge_of_label (Task tid)) task_labels)
+      in
+      nodes := { id; config; pos; edges } :: !nodes
+    end
+  done;
+  if !overflow then
+    Error (Printf.sprintf "Tagged_tree.build: more than %d quotient nodes" max_nodes)
+  else begin
+    let arr = Array.make !count None in
+    List.iter (fun n -> arr.(n.id) <- Some n) !nodes;
+    let nodes =
+      Array.map
+        (function
+          | Some n -> n
+          | None -> invalid_arg "Tagged_tree.build: dangling node id")
+        arr
+    in
+    Ok { system; td; nodes }
+  end
+
+let equal_upto t1 t2 ~depth =
+  let memo = Hashtbl.create 256 in
+  let rec go id1 id2 d =
+    d = 0
+    ||
+    let key = (id1, id2, d) in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+      (* optimistic seed breaks cycles: equality is the greatest fixed
+         point over the lockstep product graph *)
+      Hashtbl.add memo key true;
+      let n1 = t1.nodes.(id1) and n2 = t2.nodes.(id2) in
+      let r =
+        Composition.equal_state n1.config n2.config
+        && Array.length n1.edges = Array.length n2.edges
+        && Array.for_all2
+             (fun (l1, a1, d1) (l2, a2, d2) ->
+               l1 = l2
+               && Option.equal Act.equal a1 a2
+               && go d1 d2 (d - 1))
+             n1.edges n2.edges
+      in
+      Hashtbl.replace memo key r;
+      r
+  in
+  go 0 0 depth
+
+let exe_of_walk t ids =
+  let rec go acc = function
+    | [] | [ _ ] -> List.rev acc
+    | a :: (b :: _ as rest) ->
+      let node = t.nodes.(a) in
+      let edge =
+        Array.to_list node.edges
+        |> List.find_opt (fun (_, act, dst) -> dst = b && act <> None)
+      in
+      let acc = match edge with Some (_, Some act, _) -> act :: acc | _ -> acc in
+      go acc rest
+  in
+  go [] ids

@@ -1,0 +1,33 @@
+open Afd_ioa
+open Afd_core
+open Afd_system
+
+let flood_system ~n ~f =
+  Composition.make ~name:"tree-flood"
+    (Afd_consensus.Flood_p.processes ~n ~f
+    @ Channel.all_pairs ~n
+    @ Environment.consensus ~n)
+
+let empty_round ~n ~except =
+  List.filter_map
+    (fun i ->
+      if List.mem i except then None
+      else Some (Fd_event.Output (i, Act.Pset Loc.Set.empty)))
+    (Loc.universe ~n)
+
+let suspicion_round ~n ~suspects ~except =
+  List.filter_map
+    (fun i ->
+      if List.mem i except then None
+      else Some (Fd_event.Output (i, Act.Pset suspects)))
+    (Loc.universe ~n)
+
+let td_one_crash ~n ~crash ~pre ~post =
+  List.concat_map (fun _ -> empty_round ~n ~except:[]) (List.init pre Fun.id)
+  @ [ Fd_event.Crash crash ]
+  @ List.concat_map
+      (fun _ -> suspicion_round ~n ~suspects:(Loc.Set.singleton crash) ~except:[ crash ])
+      (List.init post Fun.id)
+
+let td_no_crash ~n ~rounds =
+  List.concat_map (fun _ -> empty_round ~n ~except:[]) (List.init rounds Fun.id)

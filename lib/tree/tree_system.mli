@@ -1,0 +1,27 @@
+(** Ready-made systems and FD sequences for tree experiments
+    (Section 9.3-9.4).
+
+    The system S contains the flooding-consensus processes, the
+    channels, and the well-formed consensus environment E_C — but
+    {e no} crash automaton and {e no} detector automaton: crash and
+    detector events are injected by the FD edges of the tagged tree,
+    following the fixed sequence t_D. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+
+val flood_system : n:int -> f:int -> Act.t Composition.t
+(** Flooding consensus (using P) with E_C, ready for
+    {!Tagged_tree.build} with [detector = Flood_p.detector_name]. *)
+
+val td_one_crash :
+  n:int -> crash:Loc.t -> pre:int -> post:int -> Act.fd_payload Fd_event.t list
+(** A t_D ∈ T_P: [pre] rounds of empty suspicion sets at every
+    location, the crash, then [post] rounds of [{crash}] at the
+    surviving locations.  [post] must be large enough that every
+    blocked wait in the tree can be released (one suffices for
+    flooding, more gives the adversary slack). *)
+
+val td_no_crash : n:int -> rounds:int -> Act.fd_payload Fd_event.t list
+(** A crash-free t_D ∈ T_P: [rounds] rounds of empty suspicion sets. *)

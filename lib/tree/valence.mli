@@ -1,0 +1,46 @@
+(** Valence of tree nodes (Section 9.5).
+
+    A node is v-valent when some descendant execution carries a
+    [decide(v)] event and none carries [decide(1-v)]; bivalent when
+    both values are reachable.  On the quotient graph this is plain
+    edge-label reachability, computed by two backward sweeps. *)
+
+type valence =
+  | Bivalent
+  | Univalent of bool
+  | Blocked
+      (** no decision in the past or reachable in the future — cannot
+          happen in R^{t_D} for a correct algorithm with an adequate
+          t_D prefix (every fair branch decides, Proposition 48);
+          reported so tests can assert its absence *)
+
+val pp : valence Fmt.t
+
+type t = {
+  tree : Tagged_tree.t;
+  of_node : valence array;
+  past : (bool * bool) array;
+      (** per node: a 0- (resp. 1-) decision occurred on every walk
+          reaching it / some walk reaching it — computed as forward
+          reachability from decide-edge targets *)
+}
+
+val classify : Tagged_tree.t -> t
+(** A node's valence combines decisions in its past (forward
+    reachability from decide-edge targets — on the quotient graph the
+    config's decided flags make past decisions invariant across the
+    walks reaching it) and in its future (backward reachability from
+    decide-edge sources). *)
+
+val root_bivalent : t -> bool
+(** Proposition 51. *)
+
+val count : t -> valence -> int
+
+val agreement_in_graph : t -> (unit, string) result
+(** Proposition 45/47: no node carries both decision values in its
+    past. *)
+
+val univalent_stable : t -> (unit, string) result
+(** Lemma 52: every successor of a v-valent node is v-valent.  Checked
+    over all edges of the quotient graph. *)

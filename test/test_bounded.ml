@@ -1,0 +1,135 @@
+(* Bounded problems and Theorem 21 (E7): the consensus witness U is
+   crash independent and has bounded length; extraction of an AFD from
+   a quiesced consensus instance is refuted by indistinguishable fault
+   patterns. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+
+let witness_external = function
+  | Act.Crash _ | Act.Propose _ | Act.Decide _ -> true
+  | Act.Send _ | Act.Receive _ | Act.Fd _ | Act.Step _ | Act.Query _ | Act.Resp _ | Act.Decide_id _ -> false
+
+let sample_ext ~n =
+  List.map (List.filter witness_external)
+    (C.Witness.sample_traces ~n ~seeds:[ 0; 1; 2; 3; 4; 5; 6; 7 ] ~steps:150)
+
+let test_crash_independent () =
+  let n = 3 in
+  match
+    Bounded_problem.check_crash_independent (C.Witness.automaton ~n)
+      ~is_crash:(fun a -> Act.is_crash a <> None)
+      ~traces:(sample_ext ~n)
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_bounded_length () =
+  let n = 3 in
+  match
+    Bounded_problem.check_bounded_length ~is_output:Act.is_decide
+      ~bound:(C.Witness.output_bound ~n) ~traces:(sample_ext ~n)
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_witness_solves_consensus () =
+  let n = 3 in
+  List.iter
+    (fun t ->
+      match C.Spec.check ~n ~f:(n - 1) t with
+      | Verdict.Sat -> ()
+      | Verdict.Undecided _ -> () (* prefix may end mid-run *)
+      | Verdict.Violated m -> Alcotest.fail m)
+    (sample_ext ~n)
+
+let test_counterexample_negative_control () =
+  (* An automaton that reacts to crashes in its outputs is NOT crash
+     independent; the checker must say so. *)
+  let bad =
+    let kind = function
+      | Act.Crash _ -> Some Automaton.Input
+      | Act.Decide _ -> Some Automaton.Output
+      | _ -> None
+    in
+    let step st = function
+      | Act.Crash i -> Some (Loc.Set.add i st)
+      | Act.Decide { at; v = true } when Loc.Set.mem at st -> Some st
+      | _ -> None
+    in
+    { Automaton.name = "crash-reactive";
+      kind;
+      start = Loc.Set.empty;
+      step;
+      tasks = [];
+    }
+  in
+  let trace = [ Act.Crash 1; Act.Decide { at = 1; v = true } ] in
+  match
+    Bounded_problem.check_crash_independent bad
+      ~is_crash:(fun a -> Act.is_crash a <> None)
+      ~traces:[ trace ]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "crash-reactive automaton must fail the check"
+
+let test_theorem21_extraction () =
+  List.iter
+    (fun (late_crash, seed) ->
+      let r =
+        C.Extraction.run ~n:3 ~target:Ev_perfect.spec
+          ~candidate:C.Extraction.echo_decision ~late_crash ~seed ~steps:4000
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "observations equal (crash p%d)" late_crash)
+        true r.C.Extraction.observations_equal;
+      Alcotest.(check bool)
+        (Printf.sprintf "refuted (crash p%d)" late_crash)
+        true r.C.Extraction.refuted)
+    [ (1, 11); (2, 12); (0, 13) ]
+
+let test_theorem21_suspicious_candidate () =
+  (* A candidate that suspects everyone after deciding also fails: under
+     pattern A (no crash) it suspects live locations forever. *)
+  let all_after_decide loc hist =
+    match List.rev hist with
+    | C.Extraction.Odecided _ :: _ ->
+      Some (Loc.Set.remove loc (Loc.set_of_universe ~n:3))
+    | _ -> Some Loc.Set.empty
+  in
+  let r =
+    C.Extraction.run ~n:3 ~target:Ev_perfect.spec ~candidate:all_after_decide
+      ~late_crash:1 ~seed:21 ~steps:4000
+  in
+  Alcotest.(check bool) "refuted" true r.C.Extraction.refuted
+
+let test_quiescence_lemma () =
+  (* Lemma 23/24-style check: after the witness-system run stops, no
+     messages are in transit (the witness uses no channels, so the full
+     flooding system is used instead). *)
+  let net = C.Flood_p.net ~n:3 ~f:0 ~crashable:Loc.Set.empty () in
+  let r = Net.run net ~seed:3 ~crash_at:[] ~steps:4000 in
+  Alcotest.(check bool) "channels drained at quiescence" true
+    (Channel.all_empty r.Net.trace);
+  (match Bounded_problem.quiescence_starves_extraction ~outputs_after_quiescence:0
+           ~live_locations:(Loc.set_of_universe ~n:3) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Bounded_problem.quiescence_starves_extraction ~outputs_after_quiescence:3
+          ~live_locations:(Loc.set_of_universe ~n:3) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-silent extraction must not certify"
+
+let suite =
+  [ Alcotest.test_case "witness U: crash independent" `Quick test_crash_independent;
+    Alcotest.test_case "witness U: bounded length" `Quick test_bounded_length;
+    Alcotest.test_case "witness U solves consensus" `Quick test_witness_solves_consensus;
+    Alcotest.test_case "crash-reactive automaton rejected" `Quick
+      test_counterexample_negative_control;
+    Alcotest.test_case "theorem 21: extraction refuted" `Slow test_theorem21_extraction;
+    Alcotest.test_case "theorem 21: eager candidate refuted" `Slow
+      test_theorem21_suspicious_candidate;
+    Alcotest.test_case "quiescence starves extraction" `Quick test_quiescence_lemma;
+  ]

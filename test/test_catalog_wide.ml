@@ -1,0 +1,110 @@
+(* Catalog-wide sweeps: every detector automaton in the repository is
+   run under several fault patterns; its traces must satisfy its spec,
+   the three AFD properties (E3 at full width), and Theorem 13
+   (self-implementability, E4 at full width). *)
+
+open Afd_ioa
+open Afd_core
+
+(* Each case: a name, a spec, a detector automaton (existentially
+   packed so set- and leader-valued detectors share one list), and the
+   fault patterns it supports. *)
+type case =
+  | Case : {
+      name : string;
+      spec : 'o Afd.spec;
+      detector : ('s, 'o Fd_event.t) Automaton.t;
+      n : int;
+      patterns : (int * Loc.t) list list;
+    }
+      -> case
+
+let noise_sets =
+  Afd_automata.noise_of_list
+    [ (0, Loc.Set.singleton 1); (1, Loc.Set.of_list [ 0; 2 ]); (2, Loc.Set.singleton 0) ]
+
+let noise_leaders = Afd_automata.noise_of_list [ (0, 2); (1, 0); (2, 2) ]
+
+let one_crash = [ []; [ (8, 1) ]; [ (0, 2) ] ]
+let two_crashes = [ []; [ (8, 1) ]; [ (5, 0); (20, 2) ] ]
+
+let catalog =
+  [ Case { name = "Omega (Alg 1)"; spec = Omega.spec;
+           detector = Afd_automata.fd_omega ~n:4; n = 4; patterns = two_crashes };
+    Case { name = "Omega (noisy)"; spec = Omega.spec;
+           detector = Afd_automata.fd_omega_noisy ~n:3 ~noise:noise_leaders; n = 3;
+           patterns = one_crash };
+    Case { name = "P (Alg 2)"; spec = Perfect.spec;
+           detector = Afd_automata.fd_perfect ~n:4; n = 4; patterns = two_crashes };
+    Case { name = "EvP (on P traces)"; spec = Ev_perfect.spec;
+           detector = Afd_automata.fd_perfect ~n:4; n = 4; patterns = two_crashes };
+    Case { name = "EvP (noisy)"; spec = Ev_perfect.spec;
+           detector = Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise_sets; n = 3;
+           patterns = one_crash };
+    Case { name = "S (on P traces)"; spec = Strong.spec;
+           detector = Afd_automata.fd_perfect ~n:4; n = 4; patterns = two_crashes };
+    Case { name = "EvS (on noisy EvP traces)"; spec = Ev_strong.spec;
+           detector = Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise_sets; n = 3;
+           patterns = one_crash };
+    Case { name = "Sigma"; spec = Sigma.spec;
+           detector = Afd_automata.fd_sigma ~n:4; n = 4; patterns = two_crashes };
+    Case { name = "anti-Omega"; spec = Anti_omega.spec;
+           detector = Afd_automata.fd_anti_omega ~n:4; n = 4;
+           patterns = two_crashes (* keeps >= 2 live *) };
+    Case { name = "Omega_2"; spec = Omega_k.spec ~k:2;
+           detector = Afd_automata.fd_omega_k ~n:4 ~k:2; n = 4; patterns = two_crashes };
+    Case { name = "Psi_2"; spec = Psi_k.spec ~k:2;
+           detector = Afd_automata.fd_psi_k ~n:4 ~k:2; n = 4; patterns = two_crashes };
+    Case { name = "Psi_3"; spec = Psi_k.spec ~k:3;
+           detector = Afd_automata.fd_psi_k ~n:4 ~k:3; n = 4; patterns = one_crash };
+  ]
+
+let seeds = [ 1; 2; 3 ]
+
+let spec_sweep (Case c) =
+  Alcotest.test_case (c.name ^ ": traces in T_D") `Quick (fun () ->
+      List.iter
+        (fun crash_at ->
+          List.iter
+            (fun seed ->
+              let t =
+                Afd_automata.generate_trace ~detector:c.detector ~n:c.n ~seed ~crash_at
+                  ~steps:140
+              in
+              match Afd.check c.spec ~n:c.n t with
+              | Verdict.Sat -> ()
+              | v ->
+                Alcotest.failf "%s seed=%d pattern=%s: %a" c.name seed
+                  (String.concat "," (List.map (fun (k, i) -> Printf.sprintf "%d:%d" k i) crash_at))
+                  Verdict.pp v)
+            seeds)
+        c.patterns)
+
+let closure_sweep (Case c) =
+  Alcotest.test_case (c.name ^ ": AFD closure properties") `Quick (fun () ->
+      let rng = Random.State.make [| 77 |] in
+      List.iter
+        (fun crash_at ->
+          let t =
+            Afd_automata.generate_trace ~detector:c.detector ~n:c.n ~seed:5 ~crash_at
+              ~steps:120
+          in
+          match Afd.check_all_properties c.spec ~n:c.n ~rng ~trials:40 t with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e)
+        c.patterns)
+
+let self_impl_sweep (Case c) =
+  Alcotest.test_case (c.name ^ ": theorem 13") `Quick (fun () ->
+      List.iter
+        (fun crash_at ->
+          match
+            Self_impl.check_theorem13 ~spec:c.spec ~detector:c.detector ~n:c.n ~seed:9
+              ~crash_at ~steps:420
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e)
+        c.patterns)
+
+let suite =
+  List.concat_map (fun case -> [ spec_sweep case; closure_sweep case; self_impl_sweep case ]) catalog

@@ -1,0 +1,83 @@
+(* Substrate-assumption experiments: the paper's system model fixes
+   reliable FIFO channels (§4.3).  Over lossy channels the flooding
+   algorithm stalls (its waits assume reliability); over duplicating
+   channels it still works (its handlers are idempotent). *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+
+let flood_net_with ~channels ~n ~f =
+  let detector =
+    Fd_bridge.lift_set ~detector:C.Flood_p.detector_name (Afd_automata.fd_perfect ~n)
+  in
+  Net.assemble ~n
+    ~detectors:[ Component.C detector ]
+    ~environment:(Environment.scripted ~values:(List.init n (fun i -> i mod 2 = 0)))
+    ~channels ~crashable:Loc.Set.empty
+    ~processes:(C.Flood_p.processes ~n ~f) ()
+
+let test_lossy_channels_stall_flooding () =
+  let n = 3 in
+  let net = flood_net_with ~channels:(Channel.lossy_pairs ~n ~drop_every:2) ~n ~f:1 in
+  let r = Net.run net ~seed:3 ~crash_at:[] ~steps:4000 in
+  let t = r.Net.trace in
+  (* safety clauses still hold... *)
+  (match Verdict.(C.Spec.agreement t &&& C.Spec.validity t &&& C.Spec.crash_validity t) with
+  | Verdict.Violated m -> Alcotest.failf "safety broken: %s" m
+  | _ -> ());
+  (* ...but somebody waits forever on a dropped round message *)
+  match C.Spec.termination ~n t with
+  | Verdict.Undecided _ -> ()
+  | Verdict.Sat -> Alcotest.fail "flooding should stall over 50%-lossy channels"
+  | Verdict.Violated m -> Alcotest.failf "termination monitor: %s" m
+
+let test_duplicating_channels_are_harmless () =
+  let n = 3 in
+  let net = flood_net_with ~channels:(Channel.duplicating_pairs ~n) ~n ~f:1 in
+  let r = Net.run net ~seed:4 ~crash_at:[] ~steps:4000 in
+  match C.Spec.check ~n ~f:1 r.Net.trace with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "flooding should tolerate duplication: %a" Verdict.pp v
+
+let test_lossy_unit () =
+  let c = Channel.lossy ~src:0 ~dst:1 ~drop_every:2 in
+  let send k = Act.Send { src = 0; dst = 1; msg = Msg.Ping k } in
+  let s = List.fold_left (fun s k -> Automaton.step_exn c s (send k)) c.Automaton.start [ 1; 2; 3; 4; 5 ] in
+  (* messages 2 and 4 dropped *)
+  let delivered = ref [] in
+  let rec drain s =
+    match List.filter_map (fun t -> t.Automaton.enabled s) c.Automaton.tasks with
+    | [ (Act.Receive { msg = Msg.Ping k; _ } as act) ] ->
+      delivered := k :: !delivered;
+      drain (Automaton.step_exn c s act)
+    | _ -> ()
+  in
+  drain s;
+  Alcotest.(check (list int)) "odd pings survive" [ 1; 3; 5 ] (List.rev !delivered)
+
+let test_duplicating_unit () =
+  let c = Channel.duplicating ~src:0 ~dst:1 in
+  let send = Act.Send { src = 0; dst = 1; msg = Msg.Ping 7 } in
+  let s = Automaton.step_exn c c.Automaton.start send in
+  let recv = Act.Receive { src = 0; dst = 1; msg = Msg.Ping 7 } in
+  let s = Automaton.step_exn c s recv in
+  (* second copy still there *)
+  Alcotest.(check bool) "delivered twice" true
+    (List.exists (fun t -> t.Automaton.enabled s = Some recv) c.Automaton.tasks)
+
+let test_bad_params () =
+  Alcotest.check_raises "drop_every 1 rejected"
+    (Invalid_argument "Channel.lossy: drop_every must be >= 2") (fun () ->
+      ignore (Channel.lossy ~src:0 ~dst:1 ~drop_every:1))
+
+let suite =
+  [ Alcotest.test_case "lossy channels stall flooding (termination)" `Quick
+      test_lossy_channels_stall_flooding;
+    Alcotest.test_case "duplicating channels are harmless" `Quick
+      test_duplicating_channels_are_harmless;
+    Alcotest.test_case "lossy channel unit" `Quick test_lossy_unit;
+    Alcotest.test_case "duplicating channel unit" `Quick test_duplicating_unit;
+    Alcotest.test_case "parameter validation" `Quick test_bad_params;
+  ]

@@ -1,0 +1,72 @@
+(* Foundational I/O-automata facts the paper's proofs invoke
+   (Theorem 8.1 of Lynch's book, cited throughout Sections 6-8):
+   the projection of a composed execution's trace onto any component's
+   signature is a trace of that component.  Verified by replaying
+   projections of real system runs on each component in isolation.
+   Plus: schedulers are deterministic given their seed (reproducibility
+   of every experiment in this repository). *)
+
+open Afd_ioa
+open Afd_system
+module C = Afd_consensus
+
+let test_theorem_8_1_projection () =
+  let n = 3 in
+  let net = C.Flood_p.net ~n ~f:1 ~crashable:(Loc.Set.singleton 1) () in
+  let r = Net.run net ~seed:21 ~crash_at:[ (30, 1) ] ~steps:1200 in
+  let comps = Composition.components net.Net.composition in
+  Array.iter
+    (fun comp ->
+      (* project the system trace on this component's signature ... *)
+      let projected =
+        List.filter (fun a -> Component.kind_of comp a <> None) r.Net.trace
+      in
+      (* ... and replay it on the component alone *)
+      let rec replay inst = function
+        | [] -> Ok ()
+        | a :: rest -> (
+          match Component.step inst a with
+          | Some inst' -> replay inst' rest
+          | None ->
+            Error
+              (Fmt.str "component %s rejects projected action %a"
+                 (Component.name comp) Act.pp a))
+      in
+      match replay (Component.init comp) projected with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    comps
+
+let test_scheduler_reproducible () =
+  let mk () =
+    let net = C.Synod_omega.net ~n:3 ~crashable:(Loc.Set.singleton 0) () in
+    (Net.run net ~seed:77 ~crash_at:[ (25, 0) ] ~steps:1500).Net.trace
+  in
+  let t1 = mk () and t2 = mk () in
+  Alcotest.(check int) "same length" (List.length t1) (List.length t2);
+  Alcotest.(check bool) "identical traces" true (List.for_all2 Act.equal t1 t2)
+
+let test_different_seeds_differ () =
+  let mk seed =
+    let net = C.Synod_omega.net ~n:3 ~crashable:Loc.Set.empty () in
+    (Net.run net ~seed ~crash_at:[] ~steps:400).Net.trace
+  in
+  Alcotest.(check bool) "seeds matter" false
+    (List.equal Act.equal (mk 1) (mk 2))
+
+let test_round_robin_reproducible () =
+  let mk () =
+    let net = C.Flood_p.net ~n:3 ~f:1 ~crashable:Loc.Set.empty () in
+    (Net.run_round_robin net ~crash_at:[] ~steps:600).Net.trace
+  in
+  Alcotest.(check bool) "round robin deterministic" true
+    (List.equal Act.equal (mk ()) (mk ()))
+
+let suite =
+  [ Alcotest.test_case "Theorem 8.1: projections are component traces" `Quick
+      test_theorem_8_1_projection;
+    Alcotest.test_case "scheduler reproducible per seed" `Quick test_scheduler_reproducible;
+    Alcotest.test_case "different seeds give different runs" `Quick
+      test_different_seeds_differ;
+    Alcotest.test_case "round-robin deterministic" `Quick test_round_robin_reproducible;
+  ]

@@ -1,0 +1,162 @@
+(* Consensus (E9): spec monitors, flooding-with-P, Synod-with-Omega,
+   and consensus through the EvP->Omega reduction, across randomized
+   schedules and fault patterns. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+
+(* --- spec monitor unit tests --- *)
+
+let p v at = Act.Propose { at; v }
+let d v at = Act.Decide { at; v }
+
+let test_agreement_monitor () =
+  Alcotest.(check bool) "ok" true (Verdict.is_sat (C.Spec.agreement [ d true 0; d true 1 ]));
+  Alcotest.(check bool) "violation" true
+    (Verdict.is_violated (C.Spec.agreement [ d true 0; d false 1 ]))
+
+let test_validity_monitor () =
+  Alcotest.(check bool) "ok" true
+    (Verdict.is_sat (C.Spec.validity [ p true 0; d true 1 ]));
+  Alcotest.(check bool) "violation" true
+    (Verdict.is_violated (C.Spec.validity [ p false 0; d true 1 ]))
+
+let test_termination_monitor () =
+  (match C.Spec.termination ~n:2 [ d true 0 ] with
+  | Verdict.Undecided _ -> ()
+  | v -> Alcotest.failf "expected undecided, got %a" Verdict.pp v);
+  Alcotest.(check bool) "double decision" true
+    (Verdict.is_violated (C.Spec.termination ~n:2 [ d true 0; d true 0; d true 1 ]));
+  Alcotest.(check bool) "all decided" true
+    (Verdict.is_sat (C.Spec.termination ~n:2 [ d true 0; d true 1 ]))
+
+let test_crash_validity_monitor () =
+  Alcotest.(check bool) "decide after crash" true
+    (Verdict.is_violated (C.Spec.crash_validity [ Act.Crash 0; d true 0 ]));
+  Alcotest.(check bool) "decide before crash ok" true
+    (Verdict.is_sat (C.Spec.crash_validity [ d true 0; Act.Crash 0 ]))
+
+let test_conditional_spec () =
+  (* hypothesis broken (two proposals at one location): vacuously sat *)
+  let t = [ p true 0; p false 0; d true 0; d false 1 ] in
+  Alcotest.(check bool) "vacuous" true (Verdict.is_sat (C.Spec.check ~n:2 ~f:0 t));
+  (* f-crash limitation broken: vacuously sat *)
+  let t = [ Act.Crash 0; Act.Crash 1; d true 0 ] in
+  Alcotest.(check bool) "crash limit broken" true (Verdict.is_sat (C.Spec.check ~n:2 ~f:1 t))
+
+(* --- algorithm runs --- *)
+
+let run_check name ~n ~f mk_net fault_patterns =
+  Alcotest.test_case name `Quick (fun () ->
+      List.iter
+        (fun (seed, crash_at, steps) ->
+          let crashable =
+            List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
+          in
+          let net : Net.t = mk_net ~crashable in
+          let r = Net.run net ~seed ~crash_at ~steps in
+          match C.Spec.check ~n ~f r.Net.trace with
+          | Verdict.Sat -> ()
+          | Verdict.Violated m -> Alcotest.failf "seed %d: VIOLATED %s" seed m
+          | Verdict.Undecided m -> Alcotest.failf "seed %d: undecided (%s) - raise steps" seed m)
+        fault_patterns)
+
+let flood_patterns =
+  [ (1, [], 1200);
+    (2, [ (25, 1) ], 2000);
+    (3, [ (0, 0) ], 2000);
+    (4, [ (10, 2); (60, 0) ], 2500);
+    (5, [ (100, 1) ], 2500);
+  ]
+
+let synod_patterns =
+  [ (1, [], 3000); (2, [ (30, 0) ], 5000); (3, [ (15, 2) ], 5000); (4, [ (80, 1) ], 5000) ]
+
+let test_flood_n1 () =
+  (* degenerate single-location instance *)
+  let net = C.Flood_p.net ~n:1 ~f:0 ~crashable:Loc.Set.empty () in
+  let r = Net.run net ~seed:1 ~crash_at:[] ~steps:200 in
+  match C.Spec.check ~n:1 ~f:0 r.Net.trace with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "%a" Verdict.pp v
+
+let test_flood_detector_stream_valid () =
+  let net = C.Flood_p.net ~n:3 ~f:2 ~crashable:(Loc.Set.of_list [ 0; 1 ]) () in
+  let r = Net.run net ~seed:9 ~crash_at:[ (20, 0); (50, 1) ] ~steps:2500 in
+  match Afd.check Perfect.spec ~n:3 (Act.fd_trace_set ~detector:"P" r.Net.trace) with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "embedded P stream bad: %a" Verdict.pp v
+
+let test_synod_many_seeds () =
+  (* broad randomized sweep; tolerate Undecided only by raising steps *)
+  List.iter
+    (fun seed ->
+      let net = C.Synod_omega.net ~n:5 ~crashable:(Loc.Set.of_list [ 0; 3 ]) () in
+      let r = Net.run net ~seed ~crash_at:[ (40, 0); (90, 3) ] ~steps:8000 in
+      match C.Spec.check ~n:5 ~f:2 r.Net.trace with
+      | Verdict.Sat -> ()
+      | v -> Alcotest.failf "seed %d: %a" seed Verdict.pp v)
+    (List.init 10 Fun.id)
+
+let test_synod_safety_beyond_f () =
+  (* With more crashes than a minority, termination may fail but the
+     safety clauses must hold. *)
+  List.iter
+    (fun seed ->
+      let net = C.Synod_omega.net ~n:3 ~crashable:(Loc.Set.of_list [ 0; 1 ]) () in
+      let r = Net.run net ~seed ~crash_at:[ (20, 0); (35, 1) ] ~steps:4000 in
+      let t = r.Net.trace in
+      match
+        Verdict.(C.Spec.agreement t &&& C.Spec.validity t &&& C.Spec.crash_validity t)
+      with
+      | Verdict.Violated m -> Alcotest.failf "seed %d: safety broken: %s" seed m
+      | _ -> ())
+    (List.init 8 Fun.id)
+
+let test_via_reduction () =
+  List.iter
+    (fun (seed, crash_at, steps) ->
+      let crashable =
+        List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
+      in
+      let net = C.Via_reduction.net ~n:3 ~crashable () in
+      let r = Net.run net ~seed ~crash_at ~steps in
+      match C.Spec.check ~n:3 ~f:1 r.Net.trace with
+      | Verdict.Sat -> ()
+      | v -> Alcotest.failf "seed %d: %a" seed Verdict.pp v)
+    [ (1, [], 6000); (2, [ (50, 2) ], 8000); (3, [ (30, 1) ], 8000) ]
+
+let test_flood_scripted_values () =
+  (* validity pins the decision when all proposals agree *)
+  let net =
+    C.Flood_p.net ~n:3 ~f:1 ~values:[ true; true; true ] ~crashable:Loc.Set.empty ()
+  in
+  let r = Net.run net ~seed:4 ~crash_at:[] ~steps:1500 in
+  let ds = Net.decisions r.Net.trace in
+  Alcotest.(check int) "three decisions" 3 (List.length ds);
+  Alcotest.(check bool) "all true" true (List.for_all (fun (_, v) -> v) ds)
+
+let suite =
+  [ Alcotest.test_case "agreement monitor" `Quick test_agreement_monitor;
+    Alcotest.test_case "validity monitor" `Quick test_validity_monitor;
+    Alcotest.test_case "termination monitor" `Quick test_termination_monitor;
+    Alcotest.test_case "crash-validity monitor" `Quick test_crash_validity_monitor;
+    Alcotest.test_case "conditional T_P (vacuous cases)" `Quick test_conditional_spec;
+    run_check "flooding with P: randomized sweep" ~n:3 ~f:2
+      (fun ~crashable -> C.Flood_p.net ~n:3 ~f:2 ~crashable ())
+      flood_patterns;
+    run_check "flooding with P: n=4" ~n:4 ~f:1
+      (fun ~crashable -> C.Flood_p.net ~n:4 ~f:1 ~crashable ())
+      [ (1, [], 2500); (2, [ (30, 3) ], 4000) ];
+    Alcotest.test_case "flooding n=1" `Quick test_flood_n1;
+    Alcotest.test_case "embedded detector stream valid" `Quick test_flood_detector_stream_valid;
+    run_check "synod with Omega: randomized sweep" ~n:3 ~f:1
+      (fun ~crashable -> C.Synod_omega.net ~n:3 ~crashable ())
+      synod_patterns;
+    Alcotest.test_case "synod n=5 f=2, 10 seeds" `Slow test_synod_many_seeds;
+    Alcotest.test_case "synod safety beyond minority" `Quick test_synod_safety_beyond_f;
+    Alcotest.test_case "consensus via EvP->Omega reduction" `Slow test_via_reduction;
+    Alcotest.test_case "scripted unanimous values" `Quick test_flood_scripted_values;
+  ]

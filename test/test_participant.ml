@@ -1,0 +1,111 @@
+(* Section 10.1: the query-based participant detector is representative
+   for consensus — both directions, plus the spec monitor itself. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+
+let q at = Act.Query { at; detector = C.Participant.detector_name }
+let resp at l = Act.Resp { at; detector = C.Participant.detector_name; payload = Act.Pleader l }
+
+let test_monitor () =
+  (* sound trace *)
+  let t = [ q 0; q 1; resp 0 0; resp 1 0 ] in
+  Alcotest.(check bool) "accepts" true (Verdict.is_sat (C.Participant.check ~n:2 t));
+  (* two different IDs *)
+  let t = [ q 0; q 1; resp 0 0; resp 1 1 ] in
+  Alcotest.(check bool) "different IDs rejected" true
+    (Verdict.is_violated (C.Participant.check ~n:2 t));
+  (* answered ID never queried *)
+  let t = [ q 0; resp 0 1 ] in
+  Alcotest.(check bool) "non-querier ID rejected" true
+    (Verdict.is_violated (C.Participant.check ~n:2 t));
+  (* response after crash *)
+  let t = [ q 0; q 1; Act.Crash 0; resp 0 0 ] in
+  Alcotest.(check bool) "response after crash rejected" true
+    (Verdict.is_violated (C.Participant.check ~n:2 t));
+  (* live querier unanswered: undecided *)
+  (match C.Participant.check ~n:2 [ q 0 ] with
+  | Verdict.Undecided _ -> ()
+  | v -> Alcotest.failf "expected undecided, got %a" Verdict.pp v)
+
+let test_detector_automaton () =
+  let a = C.Participant.automaton ~n:3 in
+  let s = Automaton.step_exn a a.Automaton.start (q 2) in
+  let s = Automaton.step_exn a s (q 0) in
+  (* first querier (p2) is the locked answer, queries answered FIFO *)
+  (match List.filter_map (fun t -> t.Automaton.enabled s) a.Automaton.tasks with
+  | [ Act.Resp { at = 2; payload = Act.Pleader 2; _ } ] -> ()
+  | _ -> Alcotest.fail "expected FIFO response naming the first querier");
+  let s = Automaton.step_exn a s (resp 2 2) in
+  match List.filter_map (fun t -> t.Automaton.enabled s) a.Automaton.tasks with
+  | [ Act.Resp { at = 0; payload = Act.Pleader 2; _ } ] -> ()
+  | _ -> Alcotest.fail "second response keeps the same ID"
+
+let test_consensus_using_participant () =
+  List.iter
+    (fun (seed, values, crash_at) ->
+      let n = List.length values in
+      let crashable =
+        List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
+      in
+      let net = C.Participant.consensus_net ~n ~values ~crashable in
+      let r = Net.run net ~seed ~crash_at ~steps:3000 in
+      (match C.Spec.check ~n ~f:(max 1 (List.length crash_at)) r.Net.trace with
+      | Verdict.Sat -> ()
+      | v -> Alcotest.failf "seed %d consensus: %a" seed Verdict.pp v);
+      match C.Participant.check ~n r.Net.trace with
+      | Verdict.Violated m -> Alcotest.failf "seed %d detector: %s" seed m
+      | _ -> ())
+    [ (1, [ true; false; true ], []);
+      (2, [ false; false; true ], [ (40, 2) ]);
+      (3, [ true; true ], []);
+      (4, [ false; true; false; true ], [ (25, 1) ]);
+    ]
+
+let test_participant_from_consensus () =
+  List.iter
+    (fun (seed, crash_at) ->
+      let crashable =
+        List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
+      in
+      let net = C.Participant.extraction_net ~crashable in
+      let r = Net.run net ~seed ~crash_at ~steps:3000 in
+      match C.Participant.check ~n:2 r.Net.trace with
+      | Verdict.Violated m -> Alcotest.failf "seed %d: %s" seed m
+      | Verdict.Sat -> ()
+      | Verdict.Undecided m ->
+        (* only acceptable when the crash prevented... with f=1 and n=2
+           the flooding instance still terminates, so demand sat in the
+           crash-free runs *)
+        if crash_at = [] then Alcotest.failf "seed %d: undecided %s" seed m)
+    [ (1, []); (2, []); (3, [ (30, 1) ]); (4, [ (15, 0) ]) ]
+
+let test_contrast_with_theorem21 () =
+  (* The same black-box-extraction shape that Theorem 21 rules out for
+     AFDs works for the query-based detector: the difference is the
+     query input, which leaks "this process participated".  We verify
+     the leak: no response is ever issued before the named process's
+     query, i.e. the detector output genuinely carries non-crash
+     information. *)
+  let net = C.Participant.extraction_net ~crashable:Loc.Set.empty in
+  let r = Net.run net ~seed:9 ~crash_at:[] ~steps:3000 in
+  let t = r.Net.trace in
+  let qs = C.Participant.queries t and rs = C.Participant.responses t in
+  Alcotest.(check bool) "has responses" true (rs <> []);
+  List.iter
+    (fun (k, _, l) ->
+      Alcotest.(check bool) "named ID queried strictly before" true
+        (List.exists (fun (kq, i) -> Loc.equal i l && kq < k) qs))
+    rs
+
+let suite =
+  [ Alcotest.test_case "participant spec monitor" `Quick test_monitor;
+    Alcotest.test_case "participant detector automaton" `Quick test_detector_automaton;
+    Alcotest.test_case "consensus using participant" `Quick test_consensus_using_participant;
+    Alcotest.test_case "participant from consensus (representative)" `Quick
+      test_participant_from_consensus;
+    Alcotest.test_case "query interface leaks participation" `Quick
+      test_contrast_with_theorem21;
+  ]

@@ -1,0 +1,142 @@
+(* Randomized fault-injection properties: qcheck drives seeds, fault
+   patterns, proposal assignments and scheduler policies; the safety
+   clauses of every algorithm must hold on every run (liveness clauses
+   may be Undecided when the pattern exceeds the tolerance or the
+   budget, never Violated). *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+
+(* Generator for a fault scenario over n locations: up to [maxf]
+   distinct crash locations with crash steps below [horizon]. *)
+let scenario_gen ~n ~maxf ~horizon =
+  QCheck2.Gen.(
+    let crash =
+      map2 (fun step loc -> (step, loc mod n)) (int_bound horizon) (int_bound (n - 1))
+    in
+    let dedup l =
+      let seen = Hashtbl.create 4 in
+      List.filter
+        (fun (_, i) ->
+          if Hashtbl.mem seen i then false
+          else begin
+            Hashtbl.add seen i ();
+            true
+          end)
+        l
+    in
+    triple (int_bound 10_000) (map dedup (list_size (int_bound maxf) crash))
+      (list_repeat n bool))
+
+let crashable_of crash_at =
+  List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
+
+let no_safety_violation ~n verdict_parts =
+  List.for_all (fun v -> not (Verdict.is_violated v)) (verdict_parts ~n)
+
+let prop_flood_safety =
+  let n = 3 in
+  QCheck2.Test.make ~name:"flood+P: safety under random faults" ~count:60
+    (scenario_gen ~n ~maxf:2 ~horizon:120)
+    (fun (seed, crash_at, values) ->
+      let net = C.Flood_p.net ~n ~f:2 ~values ~crashable:(crashable_of crash_at) () in
+      let r = Net.run net ~seed ~crash_at ~steps:2500 in
+      let t = r.Net.trace in
+      no_safety_violation ~n (fun ~n ->
+          [ C.Spec.agreement t;
+            C.Spec.validity t;
+            C.Spec.crash_validity t;
+            C.Spec.termination ~n t;
+          ]))
+
+let prop_flood_liveness_within_tolerance =
+  let n = 3 in
+  QCheck2.Test.make ~name:"flood+P: decides under random faults (f=2)" ~count:40
+    (scenario_gen ~n ~maxf:2 ~horizon:100)
+    (fun (seed, crash_at, values) ->
+      let net = C.Flood_p.net ~n ~f:2 ~values ~crashable:(crashable_of crash_at) () in
+      let r = Net.run net ~seed ~crash_at ~steps:3500 in
+      Verdict.is_sat (C.Spec.check ~n ~f:2 r.Net.trace))
+
+let prop_synod_safety_any_faults =
+  let n = 3 in
+  QCheck2.Test.make ~name:"synod+Omega: safety even beyond minority" ~count:60
+    (scenario_gen ~n ~maxf:2 ~horizon:150)
+    (fun (seed, crash_at, values) ->
+      let net = C.Synod_omega.net ~n ~values ~crashable:(crashable_of crash_at) () in
+      let r = Net.run net ~seed ~crash_at ~steps:4000 in
+      let t = r.Net.trace in
+      no_safety_violation ~n (fun ~n ->
+          [ C.Spec.agreement t;
+            C.Spec.validity t;
+            C.Spec.crash_validity t;
+            C.Spec.termination ~n t;
+          ]))
+
+let prop_synod_decides_minority =
+  let n = 3 in
+  QCheck2.Test.make ~name:"synod+Omega: decides with at most one crash" ~count:30
+    (scenario_gen ~n ~maxf:1 ~horizon:100)
+    (fun (seed, crash_at, values) ->
+      let net = C.Synod_omega.net ~n ~values ~crashable:(crashable_of crash_at) () in
+      let r = Net.run net ~seed ~crash_at ~steps:8000 in
+      Verdict.is_sat (C.Spec.check ~n ~f:1 r.Net.trace))
+
+let prop_trb_safety =
+  let n = 3 in
+  QCheck2.Test.make ~name:"TRB: never violated under random faults" ~count:60
+    (scenario_gen ~n ~maxf:2 ~horizon:80)
+    (fun (seed, crash_at, values) ->
+      let value = List.hd values in
+      let net = C.Trb.net ~n ~sender:0 ~value ~crashable:(crashable_of crash_at) in
+      let r = Net.run net ~seed ~crash_at ~steps:2500 in
+      not (Verdict.is_violated (C.Trb.check ~n ~sender:0 r.Net.trace)))
+
+let prop_detector_streams_always_valid =
+  (* Whatever the fault pattern, the embedded FD-P stream of a flooding
+     run satisfies validity (never an output after a crash). *)
+  let n = 3 in
+  QCheck2.Test.make ~name:"embedded FD stream: validity under random faults" ~count:60
+    (scenario_gen ~n ~maxf:2 ~horizon:120)
+    (fun (seed, crash_at, values) ->
+      let net = C.Flood_p.net ~n ~f:2 ~values ~crashable:(crashable_of crash_at) () in
+      let r = Net.run net ~seed ~crash_at ~steps:1500 in
+      let fd = Act.fd_trace_set ~detector:"P" r.Net.trace in
+      not (Verdict.is_violated (Trace_ops.validity ~n fd)))
+
+let prop_heartbeat_validity =
+  let n = 3 in
+  QCheck2.Test.make ~name:"heartbeat detector: validity under random faults" ~count:40
+    (scenario_gen ~n ~maxf:2 ~horizon:100)
+    (fun (seed, crash_at, _values) ->
+      let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:(crashable_of crash_at) in
+      let r = Net.run net ~seed ~crash_at ~steps:1200 in
+      let fd = Act.fd_trace_set ~detector:Heartbeat.detector_name r.Net.trace in
+      not (Verdict.is_violated (Trace_ops.validity ~n fd)))
+
+let prop_channels_fifo_in_all_runs =
+  (* queues_of_trace raises if any receive is out of order or
+     unmatched: replaying arbitrary runs through it is a FIFO check. *)
+  let n = 3 in
+  QCheck2.Test.make ~name:"channels: FIFO discipline in every run" ~count:40
+    (scenario_gen ~n ~maxf:2 ~horizon:100)
+    (fun (seed, crash_at, values) ->
+      let net = C.Synod_omega.net ~n ~values ~crashable:(crashable_of crash_at) () in
+      let r = Net.run net ~seed ~crash_at ~steps:2500 in
+      match Channel.queues_of_trace r.Net.trace with
+      | _ -> true
+      | exception Invalid_argument _ -> false)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_flood_safety;
+      prop_flood_liveness_within_tolerance;
+      prop_synod_safety_any_faults;
+      prop_synod_decides_minority;
+      prop_trb_safety;
+      prop_detector_streams_always_valid;
+      prop_heartbeat_validity;
+      prop_channels_fifo_in_all_runs;
+    ]

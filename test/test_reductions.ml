@@ -1,0 +1,152 @@
+(* Reductions between AFDs (E5/E6): downward reductions hold on
+   generated traces, Theorem 15's composition works, and the hierarchy
+   separations refute representative extraction candidates. *)
+
+open Afd_ioa
+open Afd_core
+
+let p_trace ~n ~seed ~crash_at =
+  Afd_automata.generate_trace ~detector:(Afd_automata.fd_perfect ~n) ~n ~seed ~crash_at
+    ~steps:120
+
+let omega_trace ~n ~seed ~crash_at =
+  Afd_automata.generate_trace ~detector:(Afd_automata.fd_omega ~n) ~n ~seed ~crash_at
+    ~steps:120
+
+let check_reduction name reduction ~n mk_trace =
+  Alcotest.test_case name `Quick (fun () ->
+      List.iter
+        (fun (seed, crash_at) ->
+          let t = mk_trace ~n ~seed ~crash_at in
+          match Reduction.check_on_trace reduction ~n t with
+          | Verdict.Sat -> ()
+          | v ->
+            Alcotest.failf "seed %d: %a (source %s, target %s)" seed Verdict.pp v
+              reduction.Reduction.source.Afd.name reduction.Reduction.target.Afd.name)
+        [ (1, []); (2, [ (10, 1) ]); (3, [ (5, 0); (25, 2) ]); (4, [ (0, 2) ]) ])
+
+let test_transformer_runs () =
+  (* End-to-end: the transformer network (distributed algorithm) also
+     produces a target-satisfying trace, not just the pure map. *)
+  let r =
+    Xform.run ~detector:(Afd_automata.fd_perfect ~n:3)
+      ~f:(Reduction.p_to_omega ~n:3).Reduction.f ~name:"p2omega" ~n:3 ~seed:5
+      ~crash_at:[ (9, 1) ] ~steps:400
+  in
+  (match Afd.check Perfect.spec ~n:3 r.Xform.source with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "source not in T_P: %a" Verdict.pp v);
+  match Afd.check Omega.spec ~n:3 r.Xform.target with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "target not in T_Omega: %a" Verdict.pp v
+
+let test_transitivity () =
+  (* Theorem 15: P -> EvP -> Omega composed equals a correct P -> Omega. *)
+  let composed = Reduction.(compose p_to_evp (evp_to_omega ~n:4)) in
+  List.iter
+    (fun seed ->
+      let t = p_trace ~n:4 ~seed ~crash_at:[ (7, 3); (30, 1) ] in
+      match Reduction.check_on_trace composed ~n:4 t with
+      | Verdict.Sat -> ()
+      | v -> Alcotest.failf "seed %d: %a" seed Verdict.pp v)
+    [ 1; 2; 3 ]
+
+let test_upward_identity_fails () =
+  (* T_EvP is strictly larger than T_P: a noisy EvP trace is rejected by
+     P, so the identity is not a reduction upward. *)
+  let noise = Afd_automata.noise_of_list [ (0, Loc.Set.singleton 1) ] in
+  let t =
+    Afd_automata.generate_trace
+      ~detector:(Afd_automata.fd_ev_perfect_noisy ~n:2 ~noise)
+      ~n:2 ~seed:3 ~crash_at:[] ~steps:60
+  in
+  (match Afd.check Ev_perfect.spec ~n:2 t with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "EvP should accept: %a" Verdict.pp v);
+  match Afd.check Perfect.spec ~n:2 t with
+  | Verdict.Violated _ -> ()
+  | v -> Alcotest.failf "P should reject the noisy trace, got %a" Verdict.pp v
+
+let refute_case name ~candidate ~target sep =
+  Alcotest.test_case name `Quick (fun () ->
+      match Reduction.refute ~candidate ~target sep with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+
+let echo _i hist = match List.rev hist with [] -> None | h :: _ -> Some h
+
+let separations_suite =
+  [ refute_case "EvP cannot implement P (echo candidate)" ~candidate:echo
+      ~target:Perfect.spec (Reduction.evp_not_to_p ~len:5);
+    refute_case "EvP cannot implement P (silent candidate)"
+      ~candidate:(fun _ _ -> Some Loc.Set.empty)
+      ~target:Perfect.spec (Reduction.evp_not_to_p ~len:5);
+    refute_case "Omega cannot implement EvP (empty-suspicions candidate)"
+      ~candidate:(fun _ _ -> Some Loc.Set.empty)
+      ~target:Ev_perfect.spec
+      (Reduction.omega_not_to_evp ~len:5);
+    refute_case "Omega cannot implement EvP (suspect-all-but-leader)"
+      ~candidate:(fun i hist ->
+        match List.rev hist with
+        | [] -> None
+        | l :: _ ->
+          Some (Loc.Set.remove l (Loc.Set.remove i (Loc.set_of_universe ~n:3))))
+      ~target:Ev_perfect.spec
+      (Reduction.omega_not_to_evp ~len:5);
+    refute_case "anti-Omega cannot implement Omega (self-leader)"
+      ~candidate:(fun i _ -> Some i)
+      ~target:Omega.spec
+      (Reduction.anti_omega_not_to_omega ~len:5);
+    refute_case "anti-Omega cannot implement Omega (un-named leader)"
+      ~candidate:(fun _i hist ->
+        match List.rev hist with
+        | [] -> None
+        | l :: _ -> Loc.min_not_in ~n:3 (Loc.equal l))
+      ~target:Omega.spec
+      (Reduction.anti_omega_not_to_omega ~len:5);
+  ]
+
+let test_separation_traces_admissible () =
+  (* The witnesses themselves must be admissible for their source AFDs. *)
+  let sep = Reduction.evp_not_to_p ~len:4 in
+  List.iter
+    (fun (label, t) ->
+      match Afd.check Ev_perfect.spec ~n:sep.Reduction.n t with
+      | Verdict.Sat -> ()
+      | v -> Alcotest.failf "%s not in T_EvP: %a" label Verdict.pp v)
+    sep.Reduction.traces;
+  let sep = Reduction.omega_not_to_evp ~len:4 in
+  List.iter
+    (fun (label, t) ->
+      match Afd.check Omega.spec ~n:sep.Reduction.n t with
+      | Verdict.Sat -> ()
+      | v -> Alcotest.failf "%s not in T_Omega: %a" label Verdict.pp v)
+    sep.Reduction.traces;
+  let sep = Reduction.anti_omega_not_to_omega ~len:4 in
+  List.iter
+    (fun (label, t) ->
+      match Afd.check Anti_omega.spec ~n:sep.Reduction.n t with
+      | Verdict.Sat -> ()
+      | v -> Alcotest.failf "%s not in T_anti-Omega: %a" label Verdict.pp v)
+    sep.Reduction.traces
+
+let suite =
+  [ check_reduction "P -> EvP" Reduction.p_to_evp ~n:3 p_trace;
+    check_reduction "P -> S" Reduction.p_to_strong ~n:3 p_trace;
+    check_reduction "S <- P then EvS" Reduction.(compose p_to_strong strong_to_ev_strong)
+      ~n:3 p_trace;
+    check_reduction "P -> Omega" (Reduction.p_to_omega ~n:3) ~n:3 p_trace;
+    check_reduction "P -> Sigma" (Reduction.p_to_sigma ~n:3) ~n:3 p_trace;
+    check_reduction "Omega -> anti-Omega" (Reduction.omega_to_anti_omega ~n:3) ~n:3
+      omega_trace;
+    check_reduction "Omega -> Omega_2" (Reduction.omega_to_omega_k ~n:3 ~k:2) ~n:3
+      omega_trace;
+    check_reduction "Omega -> Psi_2" (Reduction.omega_to_psi_k ~n:3 ~k:2) ~n:3
+      omega_trace;
+    Alcotest.test_case "transformer network end-to-end" `Quick test_transformer_runs;
+    Alcotest.test_case "theorem 15: transitive composition" `Quick test_transitivity;
+    Alcotest.test_case "upward identity EvP->P fails" `Quick test_upward_identity_fails;
+    Alcotest.test_case "separation witnesses admissible" `Quick
+      test_separation_traces_admissible;
+  ]
+  @ separations_suite

@@ -1,0 +1,77 @@
+(* Algorithm 3 / Theorem 13: every catalog AFD is self-implementable
+   (E4).  We run A^self over each detector automaton under several
+   seeds and fault patterns and check both projections. *)
+
+open Afd_ioa
+open Afd_core
+
+let seeds = [ 1; 7; 23; 99 ]
+
+let check name ~spec ~detector ~n ~crash_at ~steps =
+  Alcotest.test_case name `Quick (fun () ->
+      List.iter
+        (fun seed ->
+          match Self_impl.check_theorem13 ~spec ~detector ~n ~seed ~crash_at ~steps with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "seed %d: %s" seed e)
+        seeds)
+
+let noise_sets =
+  Afd_automata.noise_of_list
+    [ (0, Loc.Set.singleton 1); (1, Loc.Set.singleton 2); (2, Loc.Set.singleton 0) ]
+
+let test_queue_semantics () =
+  (* The A^self automaton preserves order and stops after a crash. *)
+  let a = Self_impl.self_automaton ~loc:0 in
+  let s0 = a.Automaton.start in
+  let s1 = Automaton.step_exn a s0 (Self_impl.Orig (Fd_event.Output (0, "x"))) in
+  let s2 = Automaton.step_exn a s1 (Self_impl.Orig (Fd_event.Output (0, "y"))) in
+  Alcotest.(check bool) "head is x" true
+    (List.exists
+       (fun t -> t.Automaton.enabled s2 = Some (Self_impl.Renamed (0, "x")))
+       a.Automaton.tasks);
+  let s3 = Automaton.step_exn a s2 (Self_impl.Renamed (0, "x")) in
+  Alcotest.(check bool) "then y" true
+    (List.exists
+       (fun t -> t.Automaton.enabled s3 = Some (Self_impl.Renamed (0, "y")))
+       a.Automaton.tasks);
+  let s4 = Automaton.step_exn a s3 (Self_impl.Orig (Fd_event.Crash 0)) in
+  Alcotest.(check bool) "crash disables renamed outputs" true
+    (List.for_all (fun t -> t.Automaton.enabled s4 = None) a.Automaton.tasks);
+  (* events at other locations are outside the signature *)
+  Alcotest.(check bool) "other locations ignored" true
+    (a.Automaton.kind (Self_impl.Orig (Fd_event.Output (1, "z"))) = None)
+
+let test_renamed_trace_lags () =
+  (* The renamed projection is a per-location prefix of the original
+     one (the queue can only lag). *)
+  let r =
+    Self_impl.run ~detector:(Afd_automata.fd_omega ~n:3) ~n:3 ~seed:3
+      ~crash_at:[ (9, 1) ] ~steps:200
+  in
+  List.iter
+    (fun i ->
+      let orig = Fd_event.outputs_at i r.Self_impl.original in
+      let ren = Fd_event.outputs_at i r.Self_impl.renamed in
+      Alcotest.(check bool)
+        (Fmt.str "renamed at p%d is a prefix" i)
+        true
+        (Afd_ioa.Trace.is_prefix ~equal:Loc.equal ren orig))
+    (Loc.universe ~n:3)
+
+let suite =
+  [ Alcotest.test_case "A^self queue semantics" `Quick test_queue_semantics;
+    Alcotest.test_case "renamed projection lags the original" `Quick test_renamed_trace_lags;
+    check "theorem 13: Omega" ~spec:Omega.spec ~detector:(Afd_automata.fd_omega ~n:3)
+      ~n:3 ~crash_at:[ (11, 2) ] ~steps:400;
+    check "theorem 13: Omega, two crashes" ~spec:Omega.spec
+      ~detector:(Afd_automata.fd_omega ~n:4) ~n:4
+      ~crash_at:[ (11, 2); (40, 0) ] ~steps:600;
+    check "theorem 13: P" ~spec:Perfect.spec ~detector:(Afd_automata.fd_perfect ~n:3)
+      ~n:3 ~crash_at:[ (13, 0) ] ~steps:400;
+    check "theorem 13: noisy EvP" ~spec:Ev_perfect.spec
+      ~detector:(Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise_sets) ~n:3
+      ~crash_at:[ (17, 1) ] ~steps:500;
+    check "theorem 13: crash-free" ~spec:Omega.spec
+      ~detector:(Afd_automata.fd_omega ~n:2) ~n:2 ~crash_at:[] ~steps:300;
+  ]

@@ -1,0 +1,75 @@
+(* Consensus from Sigma + Omega: dynamic quorums replace majorities,
+   pushing tolerance from f < n/2 to f <= n-1. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+
+let run ~n ~crash_at ~seed ~steps =
+  let crashable =
+    List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
+  in
+  let net = C.Synod_sigma.net ~n ~crashable () in
+  (Net.run net ~seed ~crash_at ~steps).Net.trace
+
+let test_crash_free () =
+  List.iter
+    (fun seed ->
+      let t = run ~n:3 ~crash_at:[] ~seed ~steps:4000 in
+      match C.Spec.check ~n:3 ~f:0 t with
+      | Verdict.Sat -> ()
+      | v -> Alcotest.failf "seed %d: %a" seed Verdict.pp v)
+    [ 1; 2; 3 ]
+
+let test_beyond_minority () =
+  (* two of three crash: impossible for majority-based synod, fine for
+     Sigma quorums *)
+  List.iter
+    (fun seed ->
+      let t = run ~n:3 ~crash_at:[ (30, 0); (70, 1) ] ~seed ~steps:6000 in
+      match C.Spec.check ~n:3 ~f:2 t with
+      | Verdict.Sat -> ()
+      | v -> Alcotest.failf "seed %d: %a" seed Verdict.pp v)
+    (List.init 8 Fun.id)
+
+let test_all_but_one_crash () =
+  let t = run ~n:4 ~crash_at:[ (20, 0); (50, 1); (90, 2) ] ~seed:3 ~steps:9000 in
+  match C.Spec.check ~n:4 ~f:3 t with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "%a" Verdict.pp v
+
+let test_majority_synod_contrast () =
+  (* the same two-of-three fault pattern leaves the majority-based
+     synod undecided (its waits never complete), while safety still
+     holds: the exact gap Sigma closes *)
+  let crashable = Loc.Set.of_list [ 0; 1 ] in
+  let net = C.Synod_omega.net ~n:3 ~crashable () in
+  let r = Net.run net ~seed:3 ~crash_at:[ (10, 0); (25, 1) ] ~steps:6000 in
+  let t = r.Net.trace in
+  (match
+     Verdict.(C.Spec.agreement t &&& C.Spec.validity t &&& C.Spec.crash_validity t)
+   with
+  | Verdict.Violated m -> Alcotest.failf "safety broken: %s" m
+  | _ -> ());
+  match C.Spec.termination ~n:3 t with
+  | Verdict.Sat -> Alcotest.fail "majority synod should not terminate with 2/3 crashed"
+  | Verdict.Undecided _ -> ()
+  | Verdict.Violated m -> Alcotest.failf "termination monitor: %s" m
+
+let test_sigma_stream_valid () =
+  let t = run ~n:3 ~crash_at:[ (30, 1) ] ~seed:5 ~steps:4000 in
+  match
+    Afd.check Sigma.spec ~n:3 (Act.fd_trace_set ~detector:C.Synod_sigma.sigma_name t)
+  with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "embedded Sigma stream: %a" Verdict.pp v
+
+let suite =
+  [ Alcotest.test_case "crash-free" `Quick test_crash_free;
+    Alcotest.test_case "f=2 of n=3 (beyond minority)" `Quick test_beyond_minority;
+    Alcotest.test_case "f=3 of n=4" `Quick test_all_but_one_crash;
+    Alcotest.test_case "contrast: majority synod stalls there" `Quick
+      test_majority_synod_contrast;
+    Alcotest.test_case "embedded Sigma stream valid" `Quick test_sigma_stream_valid;
+  ]

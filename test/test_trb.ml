@@ -1,0 +1,104 @@
+(* Terminating reliable broadcast (weak variant) using P: a second
+   bounded problem, exercised across fault patterns. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_system
+module C = Afd_consensus
+
+let run ~n ~sender ~value ~crash_at ~seed ~steps =
+  let crashable =
+    List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
+  in
+  let net = C.Trb.net ~n ~sender ~value ~crashable in
+  (Net.run net ~seed ~crash_at ~steps).Net.trace
+
+let test_live_sender_delivers_value () =
+  let t = run ~n:4 ~sender:0 ~value:true ~crash_at:[] ~seed:1 ~steps:1500 in
+  (match C.Trb.check ~n:4 ~sender:0 t with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "%a" Verdict.pp v);
+  let ds = C.Trb.deliveries t in
+  Alcotest.(check int) "four deliveries" 4 (List.length ds);
+  Alcotest.(check bool) "all the sender's value" true
+    (List.for_all (fun (_, d) -> d = C.Trb.Value true) ds)
+
+let test_sender_crashes_at_start () =
+  let t = run ~n:4 ~sender:0 ~value:true ~crash_at:[ (0, 0) ] ~seed:2 ~steps:1500 in
+  (match C.Trb.check ~n:4 ~sender:0 t with
+  | Verdict.Sat -> ()
+  | v -> Alcotest.failf "%a" Verdict.pp v);
+  Alcotest.(check bool) "all survivors deliver SF" true
+    (List.for_all (fun (_, d) -> d = C.Trb.Sender_faulty) (C.Trb.deliveries t))
+
+let test_sender_crashes_midway_sweep () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun step ->
+          let t = run ~n:3 ~sender:0 ~value:false ~crash_at:[ (step, 0) ] ~seed ~steps:2000 in
+          match C.Trb.check ~n:3 ~sender:0 t with
+          | Verdict.Violated m -> Alcotest.failf "seed %d crash@%d: %s" seed step m
+          | Verdict.Sat -> ()
+          | Verdict.Undecided m -> Alcotest.failf "seed %d crash@%d: undecided %s" seed step m)
+        [ 2; 5; 9; 14; 30 ])
+    [ 1; 2; 3; 4 ]
+
+let test_monitor_integrity () =
+  let d v at = Act.Decide { at; v } in
+  Alcotest.(check bool) "double delivery" true
+    (Verdict.is_violated (C.Trb.integrity [ d true 0; d true 0 ]));
+  Alcotest.(check bool) "delivery after crash" true
+    (Verdict.is_violated (C.Trb.integrity [ Act.Crash 0; d true 0 ]));
+  Alcotest.(check bool) "SF after crash" true
+    (Verdict.is_violated
+       (C.Trb.integrity [ Act.Crash 0; Act.Step { at = 0; tag = C.Trb.sf_tag } ]))
+
+let test_monitor_validity () =
+  let t = [ Act.Propose { at = 0; v = true }; Act.Decide { at = 1; v = false } ] in
+  Alcotest.(check bool) "wrong value with live sender" true
+    (Verdict.is_violated (C.Trb.validity ~sender:0 t));
+  let t = [ Act.Propose { at = 0; v = true }; Act.Step { at = 1; tag = C.Trb.sf_tag } ] in
+  Alcotest.(check bool) "SF with live sender" true
+    (Verdict.is_violated (C.Trb.validity ~sender:0 t));
+  let t = [ Act.Crash 0; Act.Step { at = 1; tag = C.Trb.sf_tag } ] in
+  Alcotest.(check bool) "SF with faulty sender ok" true
+    (Verdict.is_sat (C.Trb.validity ~sender:0 t))
+
+let test_monitor_agreement () =
+  let d v at = Act.Decide { at; v } in
+  Alcotest.(check bool) "two values" true
+    (Verdict.is_violated (C.Trb.agreement [ d true 0; d false 1 ]));
+  Alcotest.(check bool) "value + SF allowed (weak variant)" true
+    (Verdict.is_sat
+       (C.Trb.agreement [ d true 0; Act.Step { at = 1; tag = C.Trb.sf_tag } ]))
+
+let test_trb_is_bounded () =
+  (* TRB is a bounded problem: deliveries are bounded by n on every run. *)
+  let traces =
+    List.map
+      (fun seed -> run ~n:3 ~sender:0 ~value:true ~crash_at:[ (7, 0) ] ~seed ~steps:1500)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let is_delivery a =
+    Act.is_decide a
+    || (match a with Act.Step { tag; _ } -> String.equal tag C.Trb.sf_tag | _ -> false)
+  in
+  match
+    Bounded_problem.check_bounded_length ~is_output:is_delivery ~bound:3 ~traces
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [ Alcotest.test_case "live sender: everyone delivers its value" `Quick
+      test_live_sender_delivers_value;
+    Alcotest.test_case "immediate sender crash: SF everywhere" `Quick
+      test_sender_crashes_at_start;
+    Alcotest.test_case "mid-broadcast crash sweep (20 runs)" `Quick
+      test_sender_crashes_midway_sweep;
+    Alcotest.test_case "integrity monitor" `Quick test_monitor_integrity;
+    Alcotest.test_case "validity monitor" `Quick test_monitor_validity;
+    Alcotest.test_case "agreement monitor (weak variant)" `Quick test_monitor_agreement;
+    Alcotest.test_case "TRB is bounded" `Quick test_trb_is_bounded;
+  ]
