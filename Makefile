@@ -1,0 +1,24 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test lint bench-smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+# unit + property tests, plus the model lint gating the suite
+test:
+	dune runtest
+
+# the static well-formedness analysis over the automaton catalog
+lint:
+	dune exec bin/afd_lint.exe
+
+# one quick pass over the experiment harness (laptop-scale defaults;
+# AFD_BENCH_LARGE=1 adds the n=3 tree)
+bench-smoke:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

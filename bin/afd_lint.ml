@@ -1,0 +1,78 @@
+(* afd_lint: run the static well-formedness analysis over the full
+   automaton catalog (see lib/analysis).  Exits nonzero when any
+   error-severity finding survives; `dune runtest` runs this binary, so
+   a malformed automaton fails tier-1. *)
+
+let usage =
+  "afd_lint [--json] [--strict] [--rule ID]... [--fixture ID] [--list-rules] \
+   [--catalog]"
+
+let () =
+  let json = ref false in
+  let strict = ref false in
+  let list_rules = ref false in
+  let list_catalog = ref false in
+  let selected = ref [] in
+  let fixture = ref None in
+  let spec =
+    [ ("--json", Arg.Set json, "emit the report as JSON on stdout");
+      ("--strict", Arg.Set strict, "exit nonzero on warnings as well as errors");
+      ( "--rule",
+        Arg.String (fun id -> selected := id :: !selected),
+        "ID run only the named rule (repeatable)" );
+      ( "--fixture",
+        Arg.String (fun id -> fixture := Some id),
+        "ID lint the named malformed fixture instead of the catalog \
+         (demonstrates a nonzero exit; IDs are rule ids)" );
+      ("--list-rules", Arg.Set list_rules, "print the rule set and exit");
+      ("--catalog", Arg.Set list_catalog, "print the registered subjects and exit");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let open Afd_analysis in
+  if !list_rules then begin
+    List.iter
+      (fun r ->
+        Fmt.pr "%-20s %-7s §%-8s %s@." r.Rule.id
+          (Fmt.str "%a" Report.pp_severity r.Rule.severity)
+          r.Rule.paper r.Rule.doc)
+      Rules.all;
+    exit 0
+  end;
+  let items =
+    match !fixture with
+    | None -> Catalog.items ()
+    | Some id -> (
+      match Fixtures.find id with
+      | Some entry -> [ { Registry.origin = "fixture"; entry } ]
+      | None ->
+        Fmt.epr "afd_lint: unknown fixture %s (fixture ids are rule ids)@." id;
+        exit 2)
+  in
+  if !list_catalog then begin
+    List.iter
+      (fun { Registry.origin; entry } ->
+        Fmt.pr "%-10s %s@." origin (Registry.entry_name entry))
+      items;
+    exit 0
+  end;
+  let rules =
+    match !selected with
+    | [] -> Rules.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Rule.find Rules.all id with
+          | Some r -> r
+          | None ->
+            Fmt.epr "afd_lint: unknown rule %s (try --list-rules)@." id;
+            exit 2)
+        (List.rev ids)
+  in
+  let report = Engine.run ~rules items in
+  if !json then print_endline (Report.to_json report)
+  else Fmt.pr "%a@." Report.pp report;
+  let fail =
+    Report.has_errors report || (!strict && Report.warnings report <> [])
+  in
+  exit (if fail then 1 else 0)

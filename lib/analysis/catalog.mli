@@ -1,0 +1,14 @@
+(** The audited catalog: every automaton and composition family the
+    repository defines, registered with a representative probe
+    universe.
+
+    One registration section per library — [core] (the AFD automata of
+    Algorithms 1/2 and their variants), [system] (channels, crash,
+    environment, heartbeat, detector bridge, full nets) and [consensus]
+    (flooding, Synod over Ω and over Σ+Ω, TRB, k-set agreement, the
+    participant detector).  Parametric families are registered at
+    representative parameters (n = 3, one location per per-location
+    family); the lint samples states by bounded exploration from there. *)
+
+val items : unit -> Registry.item list
+(** (Re)build the registry from scratch and return its contents. *)

@@ -1,0 +1,11 @@
+let run ?(rules = Rules.all) items =
+  let findings =
+    List.concat_map
+      (fun { Registry.origin; entry } ->
+        List.concat_map (fun r -> r.Rule.check ~origin entry) rules)
+      items
+  in
+  Report.make ~rules_run:(List.length rules) ~subjects_checked:(List.length items)
+    findings
+
+let run_entry ?rules ~origin entry = run ?rules [ { Registry.origin; entry } ]

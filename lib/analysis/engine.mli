@@ -1,0 +1,7 @@
+(** The lint engine: run a rule set over registry items. *)
+
+val run : ?rules:Rule.t list -> Registry.item list -> Report.t
+(** Defaults to {!Rules.all}. *)
+
+val run_entry : ?rules:Rule.t list -> origin:string -> Registry.entry -> Report.t
+(** Lint a single subject (used by the fixture tests). *)

@@ -1,0 +1,12 @@
+(** Bounded reachable-state sampling.
+
+    From the start state (plus the probe universe's seed states), apply
+    every probed action and every task-enabled action, breadth-first,
+    deduplicating with the probe's state equality, until the probe's
+    [max_states] cap.  The sample is sound (every state is reachable
+    via probed/enabled actions) but deliberately not complete — the
+    rules that consume it are lint rules, not proofs. *)
+
+val reachable :
+  ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> 's list
+(** In discovery (BFS) order; the start state is first. *)

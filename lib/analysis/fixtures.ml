@@ -1,0 +1,178 @@
+open Afd_ioa
+
+(* A tiny three-action alphabet: Tick k (locally controlled), Reset
+   (input), Noise (deliberately outside every fixture's signature). *)
+type act = Tick of int | Reset | Noise
+
+let pp_act fmt = function
+  | Tick k -> Fmt.pf fmt "tick%d" k
+  | Reset -> Format.pp_print_string fmt "reset"
+  | Noise -> Format.pp_print_string fmt "noise"
+
+let acts = [ Tick 1; Tick 2; Tick 3; Reset; Noise ]
+
+let probe ?actions ?rename_roundtrip ?base_kind () =
+  Probe.make ~pp_action:pp_act ?rename_roundtrip ?base_kind
+    (Option.value ~default:acts actions)
+
+(* The well-formed witness: counts 1..limit, Reset restarts. *)
+let counter ~name ~limit =
+  let kind = function
+    | Tick _ -> Some Automaton.Output
+    | Reset -> Some Automaton.Input
+    | Noise -> None
+  in
+  let step s = function
+    | Tick k when k = s + 1 && k <= limit -> Some k
+    | Tick _ -> None
+    | Reset -> Some 0
+    | Noise -> None
+  in
+  let task =
+    { Automaton.task_name = "tick";
+      fair = true;
+      enabled = (fun s -> if s < limit then Some (Tick (s + 1)) else None);
+    }
+  in
+  { Automaton.name; kind; start = 0; step; tasks = [ task ] }
+
+let listener =
+  let kind = function
+    | Tick _ -> Some Automaton.Input
+    | Reset -> None
+    | Noise -> None
+  in
+  let step s = function Tick _ -> Some s | Reset | Noise -> None in
+  { Automaton.name = "listener"; kind; start = 0; step; tasks = [] }
+
+let base = counter ~name:"fixture" ~limit:3
+
+let well_formed = Registry.Automaton (base, probe ())
+
+let not_input_enabled =
+  (* Reset becomes disabled once the counter has advanced *)
+  let step s = function
+    | Reset -> if s = 0 then Some 0 else None
+    | act -> base.Automaton.step s act
+  in
+  Registry.Automaton ({ base with Automaton.step }, probe ())
+
+let task_nondeterministic =
+  (* a second task enabling the same action as the first *)
+  let clone =
+    { Automaton.task_name = "tick-again";
+      fair = true;
+      enabled = (fun s -> if s < 3 then Some (Tick (s + 1)) else None);
+    }
+  in
+  Registry.Automaton
+    ({ base with Automaton.tasks = base.Automaton.tasks @ [ clone ] }, probe ())
+
+let step_outside_signature =
+  (* the step relation accepts Noise, which kind_of excludes *)
+  let step s = function Noise -> Some s | act -> base.Automaton.step s act in
+  Registry.Automaton ({ base with Automaton.step }, probe ())
+
+let task_enables_input =
+  let bad =
+    { Automaton.task_name = "reset-from-inside";
+      fair = true;
+      enabled = (fun _ -> Some Reset);
+    }
+  in
+  Registry.Automaton
+    ({ base with Automaton.tasks = base.Automaton.tasks @ [ bad ] }, probe ())
+
+let enabled_not_steppable =
+  (* the task offers Tick 5, which the step relation rejects *)
+  let bad =
+    { Automaton.task_name = "overrun";
+      fair = true;
+      enabled = (fun s -> if s = 0 then Some (Tick 5) else None);
+    }
+  in
+  Registry.Automaton
+    ({ base with Automaton.tasks = base.Automaton.tasks @ [ bad ] }, probe ())
+
+let dead_task =
+  let dead =
+    { Automaton.task_name = "never"; fair = true; enabled = (fun _ -> None) }
+  in
+  Registry.Automaton
+    ({ base with Automaton.tasks = base.Automaton.tasks @ [ dead ] }, probe ())
+
+let unfair_task =
+  let unfair =
+    { Automaton.task_name = "lazy";
+      fair = false;
+      enabled = (fun s -> if s < 3 then Some (Tick (s + 1)) else None);
+    }
+  in
+  (* replace, don't append: two tasks enabling the same action would
+     also trip task-determinism *)
+  Registry.Automaton ({ base with Automaton.tasks = [ unfair ] }, probe ())
+
+let dual_controlled =
+  Registry.Composition
+    ( Composition.make ~name:"dual"
+        [ Component.C (counter ~name:"c1" ~limit:3);
+          Component.C (counter ~name:"c2" ~limit:3);
+        ],
+      probe () )
+
+let internal_leaked =
+  (* c1's Tick is internal, yet c2 still has Tick in its signature *)
+  let internalized =
+    let kind = function
+      | Tick _ -> Some Automaton.Internal
+      | Reset -> Some Automaton.Input
+      | Noise -> None
+    in
+    { (counter ~name:"c1" ~limit:3) with Automaton.kind }
+  in
+  Registry.Composition
+    ( Composition.make ~name:"leaky"
+        [ Component.C internalized;
+          Component.C { listener with Automaton.name = "c2" };
+        ],
+      probe () )
+
+let broken_roundtrip =
+  (* a "renamed" automaton whose claimed inverse loses Tick 2 and sends
+     Tick 1 elsewhere *)
+  let rt = function
+    | Tick 1 -> Some (Tick 3)
+    | Tick 2 -> None
+    | act -> Some act
+  in
+  Registry.Automaton (base, probe ~rename_roundtrip:rt ())
+
+let broken_hiding =
+  (* the "hidden" automaton reclassified the Reset input as internal *)
+  let kind = function
+    | Tick _ -> Some Automaton.Output
+    | Reset -> Some Automaton.Internal
+    | Noise -> None
+  in
+  Registry.Automaton
+    ({ base with Automaton.kind }, probe ~base_kind:base.Automaton.kind ())
+
+let no_probes = Registry.Automaton (base, probe ~actions:[] ())
+
+let all =
+  [ ("input-enabled", not_input_enabled);
+    ("task-determinism", task_nondeterministic);
+    ("step-signature", step_outside_signature);
+    ("task-signature", task_enables_input);
+    ("enabled-consistency", enabled_not_steppable);
+    ("dual-control", dual_controlled);
+    ("internal-leakage", internal_leaked);
+    ("dead-task", dead_task);
+    ("unfair-task", unfair_task);
+    ("rename-roundtrip", broken_roundtrip);
+    ("hiding", broken_hiding);
+    ("probe-coverage", no_probes);
+  ]
+
+let find id =
+  Option.map snd (List.find_opt (fun (id', _) -> String.equal id id') all)

@@ -1,0 +1,29 @@
+(** Deliberately malformed automata, one per lint rule.
+
+    Each fixture violates exactly the side condition its name (a rule
+    id from {!Rules}) refers to, and is otherwise well-formed.  They
+    serve two purposes: the test suite asserts that every rule fires on
+    its fixture (and that the well-formed witness passes clean), and
+    [afd_lint --fixture ID] demonstrates a nonzero exit on demand. *)
+
+type act = Tick of int | Reset | Noise
+(** The fixtures' alphabet: [Tick] is locally controlled, [Reset] is an
+    input, [Noise] is outside every fixture's signature. *)
+
+val counter : name:string -> limit:int -> (int, act) Afd_ioa.Automaton.t
+(** A well-formed counter: one fair task ticks up to [limit], [Reset]
+    restarts.  Building block for the fixtures and the library-level
+    check tests. *)
+
+val listener : (int, act) Afd_ioa.Automaton.t
+(** A taskless automaton with [Tick] as an input, compatible with a
+    single [counter] in a composition. *)
+
+val well_formed : Registry.entry
+(** A small well-formed counter automaton; the lint finds nothing. *)
+
+val all : (string * Registry.entry) list
+(** [(rule_id, fixture)] pairs: linting the fixture yields at least one
+    finding of rule [rule_id]. *)
+
+val find : string -> Registry.entry option

@@ -1,0 +1,28 @@
+type ('s, 'a) t = {
+  actions : 'a list;
+  seed_states : 's list;
+  equal_action : 'a -> 'a -> bool;
+  equal_state : 's -> 's -> bool;
+  pp_action : 'a Fmt.t;
+  max_states : int;
+  rename_roundtrip : ('a -> 'a option) option;
+  base_kind : ('a -> Afd_ioa.Automaton.kind option) option;
+}
+
+(* Structural equality that never raises: states/actions containing
+   abstract blocks (closures) compare unequal, which only makes the
+   reachable-state sample larger, never wrong. *)
+let structural a b = try Stdlib.compare a b = 0 with Invalid_argument _ -> false
+
+let make ?(seed_states = []) ?(equal_action = structural) ?(equal_state = structural)
+    ?(pp_action = Fmt.any "<action>") ?(max_states = 96) ?rename_roundtrip ?base_kind
+    actions =
+  { actions;
+    seed_states;
+    equal_action;
+    equal_state;
+    pp_action;
+    max_states;
+    rename_roundtrip;
+    base_kind;
+  }

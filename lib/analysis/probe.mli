@@ -1,0 +1,45 @@
+(** Probe universes: the finite samples over which the lint rules audit
+    a (possibly infinite-state, infinite-alphabet) automaton.
+
+    Signatures in this repository are predicates over possibly infinite
+    action sets, so none of the paper's side conditions is decidable in
+    general.  A probe universe makes the check mechanical anyway: a set
+    of representative actions, optional extra seed states (reachable
+    states are sampled by bounded exploration from the start state, see
+    {!Explore}), and the equalities needed to compare states and
+    actions.  Registering an automaton with a dishonest probe universe
+    weakens the lint, never the automaton — the rules report a
+    [Warning] when a universe is empty rather than silently passing. *)
+
+type ('s, 'a) t = {
+  actions : 'a list;  (** representative actions, inputs and outputs alike *)
+  seed_states : 's list;  (** extra exploration seeds besides the start state *)
+  equal_action : 'a -> 'a -> bool;
+  equal_state : 's -> 's -> bool;
+  pp_action : 'a Fmt.t;
+  max_states : int;  (** cap on the bounded state exploration *)
+  rename_roundtrip : ('a -> 'a option) option;
+      (** For automata built by {!Afd_ioa.Automaton.rename} (or a
+          wrapper such as [Fd_bridge.lift]): the composition
+          [to_ ∘ of_].  The bijection sanity rule demands that it be
+          the identity on every probed in-signature action. *)
+  base_kind : ('a -> Afd_ioa.Automaton.kind option) option;
+      (** For automata built by {!Afd_ioa.Automaton.hide}: the
+          signature of the unhidden base.  The hiding sanity rule
+          demands that hiding only reclassifies outputs as internal. *)
+}
+
+val make :
+  ?seed_states:'s list ->
+  ?equal_action:('a -> 'a -> bool) ->
+  ?equal_state:('s -> 's -> bool) ->
+  ?pp_action:'a Fmt.t ->
+  ?max_states:int ->
+  ?rename_roundtrip:('a -> 'a option) ->
+  ?base_kind:('a -> Afd_ioa.Automaton.kind option) ->
+  'a list ->
+  ('s, 'a) t
+(** Defaults: no seed states, structural equality (total — comparison
+    failures on abstract values compare unequal, which only makes the
+    exploration more conservative), a ["<action>"] printer, and a
+    96-state exploration cap. *)

@@ -1,0 +1,100 @@
+type severity = Error | Warning | Info
+
+let pp_severity fmt (s : severity) =
+  Format.pp_print_string fmt
+    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+let severity_rank (s : severity) =
+  match s with Error -> 2 | Warning -> 1 | Info -> 0
+
+type subject = {
+  name : string;
+  origin : string;
+  component : string option;
+  task : string option;
+  state : int option;
+}
+
+let subject ?component ?task ?state ~origin name =
+  { name; origin; component; task; state }
+
+type finding = {
+  rule : string;
+  severity : severity;
+  where : subject;
+  message : string;
+}
+
+type t = { findings : finding list; rules_run : int; subjects_checked : int }
+
+let compare_finding f1 f2 =
+  match compare (severity_rank f2.severity) (severity_rank f1.severity) with
+  | 0 -> (
+    match String.compare f1.where.name f2.where.name with
+    | 0 -> String.compare f1.rule f2.rule
+    | c -> c)
+  | c -> c
+
+let make ~rules_run ~subjects_checked findings =
+  { findings = List.stable_sort compare_finding findings; rules_run; subjects_checked }
+
+let errors t = List.filter (fun f -> f.severity = Error) t.findings
+let warnings t = List.filter (fun f -> f.severity = Warning) t.findings
+let has_errors t = errors t <> []
+
+let pp_where fmt w =
+  Fmt.pf fmt "%s(%s)" w.name w.origin;
+  Option.iter (Fmt.pf fmt "/%s") w.component;
+  Option.iter (Fmt.pf fmt " task:%s") w.task;
+  Option.iter (Fmt.pf fmt " state:#%d") w.state
+
+let pp_finding fmt f =
+  Fmt.pf fmt "%a[%s] %a: %s" pp_severity f.severity f.rule pp_where f.where f.message
+
+let pp fmt t =
+  Fmt.pf fmt "lint: %d subject(s), %d rule(s), %d error(s), %d warning(s)"
+    t.subjects_checked t.rules_run
+    (List.length (errors t))
+    (List.length (warnings t));
+  List.iter (fun f -> Fmt.pf fmt "@\n  %a" pp_finding f) t.findings
+
+(* --- JSON (hand-rolled; the repo deliberately has no JSON dependency) --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_opt_str = function None -> "null" | Some s -> json_str s
+let json_opt_int = function None -> "null" | Some i -> string_of_int i
+
+let finding_to_json f =
+  Printf.sprintf
+    "{\"rule\":%s,\"severity\":%s,\"subject\":%s,\"origin\":%s,\"component\":%s,\"task\":%s,\"state\":%s,\"message\":%s}"
+    (json_str f.rule)
+    (json_str (Fmt.str "%a" pp_severity f.severity))
+    (json_str f.where.name) (json_str f.where.origin)
+    (json_opt_str f.where.component)
+    (json_opt_str f.where.task)
+    (json_opt_int f.where.state)
+    (json_str f.message)
+
+let to_json t =
+  Printf.sprintf
+    "{\"summary\":{\"subjects\":%d,\"rules\":%d,\"errors\":%d,\"warnings\":%d},\"findings\":[%s]}"
+    t.subjects_checked t.rules_run
+    (List.length (errors t))
+    (List.length (warnings t))
+    (String.concat "," (List.map finding_to_json t.findings))

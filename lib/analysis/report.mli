@@ -1,0 +1,54 @@
+(** Structured results of the static well-formedness analysis.
+
+    A lint run produces a list of {!type-finding}s, each locating a
+    violated side condition inside a subject (an automaton or a
+    composition), possibly down to a component, a task, and a probed
+    state.  Reports render both human-readable (one line per finding,
+    grouped under a summary header) and as JSON for tooling. *)
+
+type severity = Error | Warning | Info
+
+val pp_severity : severity Fmt.t
+val severity_rank : severity -> int
+(** [Error] > [Warning] > [Info]; used for sorting and gating. *)
+
+(** Where a finding points: the registered subject plus optional
+    component (for compositions), task, and explored-state index. *)
+type subject = {
+  name : string;  (** automaton or composition name *)
+  origin : string;  (** library section that registered it, e.g. ["system"] *)
+  component : string option;
+  task : string option;
+  state : int option;  (** index into the explored state sample *)
+}
+
+val subject :
+  ?component:string -> ?task:string -> ?state:int -> origin:string -> string -> subject
+
+type finding = {
+  rule : string;  (** id of the rule that fired *)
+  severity : severity;
+  where : subject;
+  message : string;
+}
+
+type t = {
+  findings : finding list;  (** sorted: errors first, then by subject *)
+  rules_run : int;
+  subjects_checked : int;
+}
+
+val make : rules_run:int -> subjects_checked:int -> finding list -> t
+(** Sorts the findings by descending severity, then subject name. *)
+
+val errors : t -> finding list
+val warnings : t -> finding list
+val has_errors : t -> bool
+
+val pp_finding : finding Fmt.t
+val pp : t Fmt.t
+(** Summary header plus one line per finding. *)
+
+val to_json : t -> string
+(** The whole report as a JSON object (hand-rolled, no dependency):
+    [{"summary": {...}, "findings": [...]}]. *)

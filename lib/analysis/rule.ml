@@ -1,0 +1,9 @@
+type t = {
+  id : string;
+  severity : Report.severity;
+  doc : string;
+  paper : string;
+  check : origin:string -> Registry.entry -> Report.finding list;
+}
+
+let find rules id = List.find_opt (fun r -> String.equal r.id id) rules

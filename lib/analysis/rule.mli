@@ -1,0 +1,13 @@
+(** A lint rule: one mechanically checkable well-formedness side
+    condition, tied to the paper section that imposes it. *)
+
+type t = {
+  id : string;  (** stable kebab-case identifier, e.g. ["input-enabled"] *)
+  severity : Report.severity;
+  doc : string;  (** one-line description for [--list-rules] and docs *)
+  paper : string;  (** paper section whose side condition this enforces *)
+  check : origin:string -> Registry.entry -> Report.finding list;
+}
+
+val find : t list -> string -> t option
+(** Look a rule up by [id]. *)

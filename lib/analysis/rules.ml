@@ -1,0 +1,378 @@
+open Afd_ioa
+
+(* Uniform automaton view of an entry: compositions are flattened with
+   {!Composition.as_automaton}, and their state equality replaced by
+   the componentwise structural one (composition states hold closures,
+   on which the probe's default structural equality would bail out). *)
+type packed = P : ('s, 'a) Automaton.t * ('s, 'a) Probe.t -> packed
+
+let packed = function
+  | Registry.Automaton (a, p) -> P (a, p)
+  | Registry.Composition (c, p) ->
+    P (Composition.as_automaton c, { p with Probe.equal_state = Composition.equal_state })
+
+let mkf ~rule ~severity ~origin ~name ?component ?task ?state message =
+  { Report.rule;
+    severity;
+    where = Report.subject ?component ?task ?state ~origin name;
+    message;
+  }
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+  in
+  go 0
+
+let pp_kind_opt fmt = function
+  | None -> Format.pp_print_string fmt "none"
+  | Some k -> Automaton.pp_kind fmt k
+
+let enabled_by_task a s =
+  List.filter_map
+    (fun t -> Option.map (fun act -> (t.Automaton.task_name, act)) (t.Automaton.enabled s))
+    a.Automaton.tasks
+
+(* --- the rules --- *)
+
+let probe_coverage =
+  { Rule.id = "probe-coverage";
+    severity = Report.Warning;
+    doc = "a registered subject has an empty action probe universe: nothing was checked";
+    paper = "2.3";
+    check =
+      (fun ~origin entry ->
+        match packed entry with
+        | P (_, { Probe.actions = []; _ }) ->
+          [ mkf ~rule:"probe-coverage" ~severity:Report.Warning ~origin
+              ~name:(Registry.entry_name entry)
+              "empty action probe universe: the well-formedness of this subject was \
+               not actually checked"
+          ]
+        | P _ -> []);
+  }
+
+let input_enabled =
+  { Rule.id = "input-enabled";
+    severity = Report.Error;
+    doc = "every input action must be enabled in every reachable state";
+    paper = "2.1";
+    check =
+      (fun ~origin entry ->
+        match packed entry with
+        | P (a, p) ->
+          let name = Registry.entry_name entry in
+          let states = Explore.reachable a p in
+          List.map
+            (fun (si, act) ->
+              mkf ~rule:"input-enabled" ~severity:Report.Error ~origin ~name ~state:si
+                (Fmt.str "input action %a is disabled" p.Probe.pp_action act))
+            (Automaton.input_enabledness_counterexamples a ~states
+               ~probes:p.Probe.actions));
+  }
+
+let task_determinism =
+  { Rule.id = "task-determinism";
+    severity = Report.Error;
+    doc = "no two tasks may enable the same action in one state";
+    paper = "2.5";
+    check =
+      (fun ~origin entry ->
+        match packed entry with
+        | P (a, p) ->
+          let name = Registry.entry_name entry in
+          List.concat
+            (List.mapi
+               (fun si s ->
+                 let rec pairs acc = function
+                   | [] -> acc
+                   | (t1, a1) :: rest ->
+                     let acc =
+                       List.fold_left
+                         (fun acc (t2, a2) ->
+                           if p.Probe.equal_action a1 a2 then
+                             mkf ~rule:"task-determinism" ~severity:Report.Error ~origin
+                               ~name ~task:t1 ~state:si
+                               (Fmt.str "tasks %s and %s both enable %a" t1 t2
+                                  p.Probe.pp_action a1)
+                             :: acc
+                           else acc)
+                         acc rest
+                     in
+                     pairs acc rest
+                 in
+                 pairs [] (enabled_by_task a s))
+               (Explore.reachable a p)));
+  }
+
+let step_signature =
+  { Rule.id = "step-signature";
+    severity = Report.Error;
+    doc = "the step relation must reject actions outside the signature";
+    paper = "2.1";
+    check =
+      (fun ~origin entry ->
+        match packed entry with
+        | P (a, p) ->
+          let name = Registry.entry_name entry in
+          List.concat
+            (List.mapi
+               (fun si s ->
+                 List.filter_map
+                   (fun act ->
+                     if Automaton.kind_of a act = None && a.Automaton.step s act <> None
+                     then
+                       Some
+                         (mkf ~rule:"step-signature" ~severity:Report.Error ~origin
+                            ~name ~state:si
+                            (Fmt.str
+                               "action %a is outside the signature but the step \
+                                relation accepts it"
+                               p.Probe.pp_action act))
+                     else None)
+                   p.Probe.actions)
+               (Explore.reachable a p)));
+  }
+
+let task_signature =
+  { Rule.id = "task-signature";
+    severity = Report.Error;
+    doc = "tasks may only enable locally controlled (output/internal) actions";
+    paper = "2.5";
+    check =
+      (fun ~origin entry ->
+        match packed entry with
+        | P (a, p) ->
+          let name = Registry.entry_name entry in
+          List.concat
+            (List.mapi
+               (fun si s ->
+                 List.filter_map
+                   (fun (tname, act) ->
+                     match Automaton.kind_of a act with
+                     | Some Automaton.Output | Some Automaton.Internal -> None
+                     | Some Automaton.Input ->
+                       Some
+                         (mkf ~rule:"task-signature" ~severity:Report.Error ~origin
+                            ~name ~task:tname ~state:si
+                            (Fmt.str "task enables the input action %a"
+                               p.Probe.pp_action act))
+                     | None ->
+                       Some
+                         (mkf ~rule:"task-signature" ~severity:Report.Error ~origin
+                            ~name ~task:tname ~state:si
+                            (Fmt.str "task enables %a, which is not in the signature"
+                               p.Probe.pp_action act)))
+                   (enabled_by_task a s))
+               (Explore.reachable a p)));
+  }
+
+let enabled_consistency =
+  { Rule.id = "enabled-consistency";
+    severity = Report.Error;
+    doc = "an action a task enables must be accepted by the step relation";
+    paper = "2.5";
+    check =
+      (fun ~origin entry ->
+        match packed entry with
+        | P (a, p) ->
+          let name = Registry.entry_name entry in
+          List.concat
+            (List.mapi
+               (fun si s ->
+                 List.filter_map
+                   (fun (tname, act) ->
+                     match a.Automaton.step s act with
+                     | Some _ -> None
+                     | None ->
+                       Some
+                         (mkf ~rule:"enabled-consistency" ~severity:Report.Error
+                            ~origin ~name ~task:tname ~state:si
+                            (Fmt.str "task enables %a but the step relation rejects it"
+                               p.Probe.pp_action act)))
+                   (enabled_by_task a s))
+               (Explore.reachable a p)));
+  }
+
+let dual_control =
+  { Rule.id = "dual-control";
+    severity = Report.Error;
+    doc = "no action of a composition may be controlled by two components";
+    paper = "2.3";
+    check =
+      (fun ~origin entry ->
+        match entry with
+        | Registry.Automaton _ -> []
+        | Registry.Composition (c, p) ->
+          List.map
+            (fun (act, owners) ->
+              mkf ~rule:"dual-control" ~severity:Report.Error ~origin
+                ~name:(Composition.name c)
+                ~component:(String.concat "+" owners)
+                (Fmt.str "action %a is controlled by %d components" p.Probe.pp_action
+                   act (List.length owners)))
+            (Composition.dual_controlled c ~probes:p.Probe.actions));
+  }
+
+let internal_leakage =
+  { Rule.id = "internal-leakage";
+    severity = Report.Error;
+    doc = "internal actions of one component must be private to it";
+    paper = "2.3";
+    check =
+      (fun ~origin entry ->
+        match entry with
+        | Registry.Automaton _ -> []
+        | Registry.Composition (c, p) ->
+          List.map
+            (fun (act, owner) ->
+              mkf ~rule:"internal-leakage" ~severity:Report.Error ~origin
+                ~name:(Composition.name c) ~component:owner
+                (Fmt.str "internal action %a of %s is in another component's signature"
+                   p.Probe.pp_action act owner))
+            (Composition.shared_internal c ~probes:p.Probe.actions));
+  }
+
+let dead_task =
+  { Rule.id = "dead-task";
+    severity = Report.Warning;
+    doc = "a fair task never enabled on any explored reachable state";
+    paper = "2.4";
+    check =
+      (fun ~origin entry ->
+        match entry with
+        | Registry.Composition _ ->
+          (* the bounded sample of a whole composition is too sparse to
+             call a component's task dead; components are expected to be
+             registered (and checked) individually *)
+          []
+        | Registry.Automaton (a, p) ->
+          let states = Explore.reachable a p in
+          List.filter_map
+            (fun t ->
+              if
+                t.Automaton.fair
+                && List.for_all (fun s -> t.Automaton.enabled s = None) states
+              then
+                Some
+                  (mkf ~rule:"dead-task" ~severity:Report.Warning ~origin
+                     ~name:a.Automaton.name ~task:t.Automaton.task_name
+                     (Fmt.str
+                        "fair task is never enabled on any of the %d explored states \
+                         (dead task, or probe universe too small)"
+                        (List.length states)))
+              else None)
+            a.Automaton.tasks);
+  }
+
+let unfair_task =
+  { Rule.id = "unfair-task";
+    severity = Report.Warning;
+    doc = "only the crash automaton's tasks may carry no fairness obligation";
+    paper = "4.4";
+    check =
+      (fun ~origin entry ->
+        match packed entry with
+        | P (a, _) ->
+          let name = Registry.entry_name entry in
+          if contains_sub (String.lowercase_ascii name) "crash" then []
+          else
+            List.filter_map
+              (fun t ->
+                if
+                  (not t.Automaton.fair)
+                  && not
+                       (contains_sub
+                          (String.lowercase_ascii t.Automaton.task_name)
+                          "crash")
+                then
+                  Some
+                    (mkf ~rule:"unfair-task" ~severity:Report.Warning ~origin ~name
+                       ~task:t.Automaton.task_name
+                       "task carries no fairness obligation outside the crash \
+                        automaton (Section 4.4 reserves that for crash tasks)")
+                else None)
+              a.Automaton.tasks);
+  }
+
+let rename_roundtrip =
+  { Rule.id = "rename-roundtrip";
+    severity = Report.Error;
+    doc = "action renamings must round-trip (to_ after of_ is the identity)";
+    paper = "2.3/5.3";
+    check =
+      (fun ~origin entry ->
+        match packed entry with
+        | P (a, p) -> (
+          let name = Registry.entry_name entry in
+          match p.Probe.rename_roundtrip with
+          | None -> []
+          | Some rt ->
+            List.filter_map
+              (fun act ->
+                if not (Automaton.in_signature a act) then None
+                else
+                  match rt act with
+                  | Some act' when p.Probe.equal_action act act' -> None
+                  | Some act' ->
+                    Some
+                      (mkf ~rule:"rename-roundtrip" ~severity:Report.Error ~origin
+                         ~name
+                         (Fmt.str "renaming round-trips %a to the different action %a"
+                            p.Probe.pp_action act p.Probe.pp_action act'))
+                  | None ->
+                    Some
+                      (mkf ~rule:"rename-roundtrip" ~severity:Report.Error ~origin
+                         ~name
+                         (Fmt.str
+                            "renaming round-trip is undefined on the in-signature \
+                             action %a"
+                            p.Probe.pp_action act)))
+              p.Probe.actions));
+  }
+
+let hiding =
+  { Rule.id = "hiding";
+    severity = Report.Error;
+    doc = "hiding may only reclassify output actions as internal";
+    paper = "2.3";
+    check =
+      (fun ~origin entry ->
+        match packed entry with
+        | P (a, p) -> (
+          let name = Registry.entry_name entry in
+          match p.Probe.base_kind with
+          | None -> []
+          | Some base ->
+            List.filter_map
+              (fun act ->
+                match (base act, Automaton.kind_of a act) with
+                | Some Automaton.Output, Some Automaton.Internal -> None
+                | before, after when before = after -> None
+                | before, after ->
+                  Some
+                    (mkf ~rule:"hiding" ~severity:Report.Error ~origin ~name
+                       (Fmt.str
+                          "hiding changed %a from %a to %a (only output to internal \
+                           is allowed)"
+                          p.Probe.pp_action act pp_kind_opt before pp_kind_opt after)))
+              p.Probe.actions));
+  }
+
+let all =
+  [ probe_coverage;
+    input_enabled;
+    task_determinism;
+    step_signature;
+    task_signature;
+    enabled_consistency;
+    dual_control;
+    internal_leakage;
+    dead_task;
+    unfair_task;
+    rename_roundtrip;
+    hiding;
+  ]
+
+let ids = List.map (fun r -> r.Rule.id) all

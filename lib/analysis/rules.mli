@@ -1,0 +1,39 @@
+(** The initial rule set of the model linter.
+
+    Every rule enforces a structural side condition that the paper's
+    theorems assume (Sections 2.3–2.5, 4.4, 5.3); an automaton that
+    violates one can silently invalidate an experiment, which is why
+    the whole catalog is audited by [afd_lint] under [dune runtest].
+
+    - [probe-coverage] (warning) — a registered subject with an empty
+      action probe universe was not actually checked (the silent-pass
+      fix for the old sampled probes);
+    - [input-enabled] (error, §2.1) — a probed input action is disabled
+      in a reachable sampled state;
+    - [task-determinism] (error, §2.5) — two tasks enable the same
+      action in one state;
+    - [step-signature] (error, §2.1) — the step relation accepts an
+      action whose [kind_of] is [None];
+    - [task-signature] (error, §2.5) — a task enables an action that is
+      an input or outside the signature (tasks partition the locally
+      controlled actions);
+    - [enabled-consistency] (error, §2.5) — a task enables an action
+      the step relation then rejects;
+    - [dual-control] (error, §2.3) — a probed action is controlled by
+      two components of a composition;
+    - [internal-leakage] (error, §2.3) — a probed action is internal to
+      one component yet in another component's signature;
+    - [dead-task] (warning, §2.4) — a fair task of a standalone
+      automaton is never enabled on any explored reachable state;
+    - [unfair-task] (warning, §4.4) — a task without a fairness
+      obligation outside the crash automaton (only the crash
+      automaton's tasks are exempt from fairness);
+    - [rename-roundtrip] (error, §2.3/§5.3) — an action renaming whose
+      [to_ ∘ of_] is not the identity on a probed in-signature action;
+    - [hiding] (error, §2.3) — a hiding that changes the signature
+      other than reclassifying outputs as internal. *)
+
+val all : Rule.t list
+(** The full rule set, in documentation order. *)
+
+val ids : string list

@@ -36,7 +36,6 @@ type st = {
   n : int;
   k : int;
   self : Loc.t;
-  started : bool;
   leaders : Loc.t list;  (* latest Psi_k output, sorted ascending *)
   insts : inst_st Int_map.t;
   decided : Loc.t option;
@@ -48,7 +47,6 @@ let init ~n ~k ~self =
   { n;
     k;
     self;
-    started = false;
     leaders = [];
     insts = Int_map.empty;
     decided = None;
@@ -182,7 +180,7 @@ let handle st = function
   | Process.Receive { src; msg } -> deliver st ~src msg
   | Process.Fd { detector; payload = Act.Pset set }
     when String.equal detector detector_name ->
-    on_leaders { st with started = true } set
+    on_leaders st set
   | Process.Fd _ | Process.Propose _ -> st
 
 let output st =
@@ -226,7 +224,13 @@ let process ~n ~k ~loc =
     | Act.Step { at; tag = "decide_id" } when Loc.equal at loc -> None
     | other -> inner.Automaton.kind other
   in
-  let step s act = inner.Automaton.step s (hide_back act) in
+  let step s act =
+    match act with
+    (* the internal decide step is renamed away: only its Decide_id
+       alias is in the signature, so the raw action must be rejected *)
+    | Act.Step { at; tag = "decide_id" } when Loc.equal at loc -> None
+    | _ -> inner.Automaton.step s (hide_back act)
+  in
   let task t =
     { Automaton.task_name = t.Automaton.task_name;
       fair = t.Automaton.fair;

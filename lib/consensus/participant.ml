@@ -85,11 +85,12 @@ let automaton ~n =
     | _ -> None
   in
   let step ((chosen, pending) as st) = function
-    | Act.Query { at; _ } ->
+    | Act.Query { at; detector } when String.equal detector detector_name ->
       let chosen = match chosen with None -> Some at | some -> some in
       Some (chosen, pending @ [ at ])
     | Act.Crash _ -> Some st
-    | Act.Resp { at; payload = Act.Pleader l; _ } -> (
+    | Act.Resp { at; detector; payload = Act.Pleader l }
+      when String.equal detector detector_name -> (
       match (pending, chosen) with
       | at' :: rest, Some c when Loc.equal at at' && Loc.equal l c -> Some (chosen, rest)
       | _ -> None)

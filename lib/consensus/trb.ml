@@ -117,7 +117,6 @@ type st = {
   sender : Loc.t;
   self : Loc.t;
   value : bool option;
-  relayed : bool;
   suspects : Loc.Set.t;
   delivered : bool;
   outbox : Process.Outbox.t;
@@ -128,7 +127,6 @@ let adopt st v =
   else
     { st with
       value = Some v;
-      relayed = true;
       outbox = Process.Outbox.broadcast st.outbox ~n:st.n ~self:st.self (Msg.Decided { v });
     }
 
@@ -161,7 +159,6 @@ let process ~n ~sender ~loc =
           sender;
           self = loc;
           value = None;
-          relayed = false;
           suspects = Loc.Set.empty;
           delivered = false;
           outbox = Process.Outbox.empty;

@@ -36,16 +36,29 @@ let step_exn a s act =
   | None ->
     invalid_arg (Printf.sprintf "Automaton.step_exn: action not enabled in %s" a.name)
 
+let input_enabledness_counterexamples a ~states ~probes =
+  List.concat
+    (List.mapi
+       (fun si s ->
+         List.filter_map
+           (fun act ->
+             if is_input a act && a.step s act = None then Some (si, act) else None)
+           probes)
+       states)
+
 let check_input_enabled a states probes =
-  let bad =
-    List.exists
-      (fun s ->
-        List.exists (fun act -> is_input a act && a.step s act = None) probes)
-      states
-  in
-  if bad then
-    Error (Printf.sprintf "automaton %s is not input-enabled on a probed state" a.name)
-  else Ok ()
+  match (states, probes) with
+  | [], _ | _, [] ->
+    Error
+      (Printf.sprintf
+         "automaton %s: empty probe set, input-enabledness was not checked" a.name)
+  | _ -> (
+    match input_enabledness_counterexamples a ~states ~probes with
+    | [] -> Ok ()
+    | (si, _) :: _ ->
+      Error
+        (Printf.sprintf "automaton %s is not input-enabled on probed state #%d" a.name
+           si))
 
 let hide p a =
   let kind act =

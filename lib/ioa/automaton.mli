@@ -66,11 +66,20 @@ val step_exn : ('s, 'a) t -> 's -> 'a -> 's
 (** Like [step] but raises [Invalid_argument] when the action is not
     enabled; for use where enabledness was already established. *)
 
+val input_enabledness_counterexamples :
+  ('s, 'a) t -> states:'s list -> probes:'a list -> (int * 'a) list
+(** All [(state_index, action)] pairs such that the probed action is an
+    input of the automaton but is disabled in the probed state.
+    Input-enabledness over infinite state/action sets cannot be decided,
+    so this is a sampled probe.  This is the single implementation
+    behind both {!check_input_enabled} and the [input-enabled] rule of
+    the [Afd_analysis] lint engine. *)
+
 val check_input_enabled : ('s, 'a) t -> 's list -> 'a list -> (unit, string) result
 (** [check_input_enabled a states probes] checks that every input
     action among [probes] is enabled in every state of [states].
-    Input-enabledness over infinite state/action sets cannot be decided,
-    so this is a sampled probe used by tests. *)
+    An empty [states] or [probes] list is an [Error] (nothing was
+    checked, so the automaton must not be reported well-formed). *)
 
 val hide : ('a -> bool) -> ('s, 'a) t -> ('s, 'a) t
 (** [hide p a] reclassifies the output actions of [a] satisfying [p] as

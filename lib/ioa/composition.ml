@@ -37,19 +37,53 @@ let controllers c act =
          | Some Automaton.Output | Some Automaton.Internal -> true
          | Some Automaton.Input | None -> false)
 
-let check_compatible c ~probes =
-  let rec go = function
-    | [] -> Ok ()
-    | act :: rest -> (
+let dual_controlled c ~probes =
+  List.filter_map
+    (fun act ->
       match controllers c act with
-      | [] | [ _ ] -> go rest
-      | owner :: _ :: _ ->
+      | [] | [ _ ] -> None
+      | owners -> Some (act, List.map Component.name owners))
+    probes
+
+let shared_internal c ~probes =
+  List.filter_map
+    (fun act ->
+      let internal_owner = ref None and others = ref 0 in
+      Array.iter
+        (fun comp ->
+          match Component.kind_of comp act with
+          | Some Automaton.Internal ->
+            if !internal_owner = None then internal_owner := Some (Component.name comp)
+            else incr others
+          | Some Automaton.Input | Some Automaton.Output -> incr others
+          | None -> ())
+        c.comps;
+      match !internal_owner with
+      | Some owner when !others > 0 -> Some (act, owner)
+      | Some _ | None -> None)
+    probes
+
+let check_compatible c ~probes =
+  match probes with
+  | [] ->
+    Error
+      (Printf.sprintf "composition %s: empty probe set, compatibility was not checked"
+         c.name)
+  | _ -> (
+    match dual_controlled c ~probes with
+    | (_, owner :: _) :: _ ->
+      Error
+        (Printf.sprintf
+           "composition %s: action controlled by multiple components (first: %s)"
+           c.name owner)
+    | _ -> (
+      match shared_internal c ~probes with
+      | (_, owner) :: _ ->
         Error
           (Printf.sprintf
-             "composition %s: action controlled by multiple components (first: %s)"
-             c.name (Component.name owner)))
-  in
-  go probes
+             "composition %s: internal action of %s is in another component's signature"
+             c.name owner)
+      | [] -> Ok ()))
 
 let step _c st act =
   let n = Array.length st in

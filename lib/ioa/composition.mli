@@ -39,9 +39,21 @@ val kind_of : 'a t -> 'a -> Automaton.kind option
     component, an input if it is an input of some component and an
     output/internal of none. *)
 
+val dual_controlled : 'a t -> probes:'a list -> ('a * string list) list
+(** Probed actions controlled (output or internal) by more than one
+    component, with the offending component names.  Single
+    implementation behind {!check_compatible} and the [dual-control]
+    rule of the [Afd_analysis] lint engine. *)
+
+val shared_internal : 'a t -> probes:'a list -> ('a * string) list
+(** Probed actions that are internal to one component but also appear
+    in another component's signature (the internal-action privacy half
+    of compatibility, Section 2.3), with the internal owner's name. *)
+
 val check_compatible : 'a t -> probes:'a list -> (unit, string) result
 (** Sampled compatibility check: no probed action is controlled by two
-    components, and no probed internal action is shared. *)
+    components, and no probed internal action is shared.  An empty
+    [probes] list is an [Error] (nothing was checked). *)
 
 val step : 'a t -> 'a state -> 'a -> 'a state option
 (** Perform an action: all components with the action in their

@@ -22,4 +22,5 @@ let () =
       ("sigma-omega", Test_synod_sigma.suite);
       ("channel-variants", Test_channel_variants.suite);
       ("k-set", Test_kset.suite);
+      ("lint", Test_lint.suite);
     ]

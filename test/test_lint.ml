@@ -1,0 +1,159 @@
+(* Tests for the static well-formedness lint (lib/analysis).
+
+   Two directions: every rule fires on its deliberately malformed
+   fixture (Fixtures.all pairs each rule id with an automaton violating
+   exactly that side condition), and the real catalog gets a clean bill
+   of health.  Also covers the shared-kernel refactor of
+   Automaton.check_input_enabled / Composition.check_compatible: empty
+   probe lists now fail loudly instead of silently passing. *)
+
+open Afd_ioa
+open Afd_analysis
+
+let rule_ids report =
+  List.map (fun f -> f.Report.rule) report.Report.findings
+
+let fires id entry =
+  let report = Engine.run_entry ~origin:"fixture" entry in
+  List.mem id (rule_ids report)
+
+let test_each_rule_fires () =
+  List.iter
+    (fun (id, entry) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %s fires on its fixture" id)
+        true (fires id entry))
+    Fixtures.all
+
+let test_fixtures_cover_all_rules () =
+  (* every shipped rule has a malformed fixture exercising it *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %s has a fixture" id)
+        true
+        (Option.is_some (Fixtures.find id)))
+    Rules.ids
+
+let test_well_formed_fixture_clean () =
+  let report = Engine.run_entry ~origin:"fixture" Fixtures.well_formed in
+  Alcotest.(check (list string)) "no findings at all" [] (rule_ids report)
+
+let test_malformed_fixtures_error () =
+  (* error-severity fixtures must make the report (and hence the CLI)
+     fail; warning-severity rules only fail under --strict *)
+  List.iter
+    (fun (id, entry) ->
+      let report = Engine.run_entry ~origin:"fixture" entry in
+      match Rule.find Rules.all id with
+      | None -> Alcotest.failf "fixture %s names no rule" id
+      | Some r ->
+        let expect_error = r.Rule.severity = Report.Error in
+        Alcotest.(check bool)
+          (Printf.sprintf "fixture %s yields error findings iff rule is error" id)
+          expect_error
+          (Report.has_errors report))
+    Fixtures.all
+
+let test_catalog_clean () =
+  let report = Engine.run (Catalog.items ()) in
+  Alcotest.(check int) "zero error findings on the real catalog" 0
+    (List.length (Report.errors report));
+  Alcotest.(check int) "zero warning findings on the real catalog" 0
+    (List.length (Report.warnings report))
+
+let test_catalog_breadth () =
+  let report = Engine.run (Catalog.items ()) in
+  Alcotest.(check bool) "at least 15 registered subjects" true
+    (report.Report.subjects_checked >= 15);
+  Alcotest.(check bool) "at least 8 rules" true (report.Report.rules_run >= 8)
+
+let test_rule_selection () =
+  (* running only input-enabled over the task-nondeterminism fixture
+     finds nothing: selection really restricts the rule set *)
+  match Fixtures.find "task-determinism" with
+  | None -> Alcotest.fail "missing fixture"
+  | Some entry ->
+    let rules =
+      match Rule.find Rules.all "input-enabled" with
+      | Some r -> [ r ]
+      | None -> Alcotest.fail "missing rule"
+    in
+    let report = Engine.run_entry ~rules ~origin:"fixture" entry in
+    Alcotest.(check (list string)) "selected rule finds nothing here" []
+      (rule_ids report)
+
+let test_report_shape () =
+  match Fixtures.find "task-determinism" with
+  | None -> Alcotest.fail "missing fixture"
+  | Some entry ->
+    let report = Engine.run_entry ~origin:"fixture" entry in
+    let f =
+      match Report.errors report with
+      | f :: _ -> f
+      | [] -> Alcotest.fail "expected an error finding"
+    in
+    Alcotest.(check string) "origin recorded" "fixture" f.Report.where.Report.origin;
+    Alcotest.(check bool) "task location recorded" true
+      (Option.is_some f.Report.where.Report.task);
+    (* the JSON rendering embeds the rule id and is parse-shaped *)
+    let json = Report.to_json report in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "json mentions the rule" true
+      (contains json "\"rule\":\"task-determinism\"");
+    Alcotest.(check bool) "json has a summary" true
+      (contains json "\"summary\":")
+
+(* --- the refactored library-side checks (satellite: shared kernels) --- *)
+
+let counter_probes = [ Fixtures.Tick 1; Fixtures.Tick 2; Fixtures.Reset ]
+
+let test_check_input_enabled_empty () =
+  (* the pre-refactor behavior silently returned Ok () here *)
+  let c = Fixtures.counter ~name:"counter" ~limit:3 in
+  (match Automaton.check_input_enabled c [ 0 ] [] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty probe list must not pass");
+  (match Automaton.check_input_enabled c [] counter_probes with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty state list must not pass");
+  match Automaton.check_input_enabled c [ 0; 1 ] counter_probes with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "well-formed counter rejected: %s" e
+
+let test_check_compatible_empty () =
+  let c =
+    Composition.make ~name:"pair"
+      [ Component.C (Fixtures.counter ~name:"counter" ~limit:3);
+        Component.C Fixtures.listener;
+      ]
+  in
+  (match Composition.check_compatible c ~probes:[] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty probe list must not pass");
+  match Composition.check_compatible c ~probes:counter_probes with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "compatible pair rejected: %s" e
+
+let suite =
+  [ Alcotest.test_case "each rule fires on its fixture" `Quick test_each_rule_fires;
+    Alcotest.test_case "every rule has a fixture" `Quick test_fixtures_cover_all_rules;
+    Alcotest.test_case "well-formed fixture is clean" `Quick
+      test_well_formed_fixture_clean;
+    Alcotest.test_case "malformed fixtures produce errors" `Quick
+      test_malformed_fixtures_error;
+    Alcotest.test_case "catalog clean bill of health" `Quick test_catalog_clean;
+    Alcotest.test_case "catalog breadth" `Quick test_catalog_breadth;
+    Alcotest.test_case "rule selection restricts the run" `Quick test_rule_selection;
+    Alcotest.test_case "report locations and json" `Quick test_report_shape;
+    Alcotest.test_case "check_input_enabled rejects empty probes" `Quick
+      test_check_input_enabled_empty;
+    Alcotest.test_case "check_compatible rejects empty probes" `Quick
+      test_check_compatible_empty;
+  ]
