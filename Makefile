@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test lint bench-smoke clean
+.PHONY: all build test lint bench bench-json bench-smoke clean
 
 all: build
 
@@ -14,6 +14,15 @@ test:
 # the static well-formedness analysis over the automaton catalog
 lint:
 	dune exec bin/afd_lint.exe
+
+# the full experiment harness; the E1-E7 matrix runs on all available
+# cores (override with JOBS=n)
+bench:
+	dune exec bench/main.exe -- $(if $(JOBS),--jobs $(JOBS),)
+
+# same, plus the machine-readable BENCH.json for cross-PR perf diffing
+bench-json:
+	dune exec bench/main.exe -- $(if $(JOBS),--jobs $(JOBS),) --json BENCH.json
 
 # one quick pass over the experiment harness (laptop-scale defaults;
 # AFD_BENCH_LARGE=1 adds the n=3 tree)

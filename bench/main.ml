@@ -24,182 +24,258 @@ let verdict_str = function
 let ok_str = function Ok _ -> "ok" | Error e -> "FAIL: " ^ e
 
 (* ------------------------------------------------------------------ *)
-(* E1/E2: Algorithms 1 and 2 implement their AFDs                     *)
+(* E1-E7 as a declarative matrix on the parallel runner (Afd_runner)   *)
 (* ------------------------------------------------------------------ *)
 
-let e1_e2 () =
-  section "E1/E2  Algorithms 1-2 implement Omega / P / EvP";
-  let cases =
-    [ ("FD-Omega (Alg 1) vs T_Omega", fun seed ->
-        let t = Afd_automata.generate_trace ~detector:(Afd_automata.fd_omega ~n:4) ~n:4
-                  ~seed ~crash_at:[ (10, 1); (30, 3) ] ~steps:150 in
-        Afd.check Omega.spec ~n:4 t);
-      ("FD-P (Alg 2 + erratum guard) vs T_P", fun seed ->
-        let t = Afd_automata.generate_trace ~detector:(Afd_automata.fd_perfect ~n:4) ~n:4
-                  ~seed ~crash_at:[ (12, 0) ] ~steps:150 in
-        Afd.check Perfect.spec ~n:4 t);
-      ("FD-P renamed vs T_EvP", fun seed ->
-        let t = Afd_automata.generate_trace ~detector:(Afd_automata.fd_perfect ~n:4) ~n:4
-                  ~seed ~crash_at:[ (12, 0) ] ~steps:150 in
-        Afd.check Ev_perfect.spec ~n:4 t);
-    ]
+(* Each entry declares detector/spec builders, a seed count, fault
+   patterns and a step budget; the engine derives one scheduler seed
+   per cell from --root-seed (splitmix64, Scheduler.Seed), runs the
+   cells on --jobs domains, and renders the historical rows.  The
+   verdict table is identical for any --jobs by construction. *)
+
+module R = Afd_runner
+
+let s12 = "E1/E2  Algorithms 1-2 implement Omega / P / EvP"
+let s3 = "E3  AFD closure properties (validity, sampling, reordering)"
+let s4 = "E4  Self-implementability: A^self uses D to solve a renaming of D"
+let s56 = "E5/E6  Reductions and the strict hierarchy"
+let s7 = "E7  Consensus is bounded; no representative AFD (Thm 21)"
+
+let fd_check_entry ~id ~label ~detector ~spec ~n ~faults ~steps =
+  R.Matrix.entry ~id ~section:s12 ~label ~seeds:5 ~faults:[ faults ]
+    (fun ~seed ~faults ->
+      let t =
+        Afd_automata.generate_trace ~detector:(detector ()) ~n ~seed ~crash_at:faults
+          ~steps
+      in
+      R.Metrics.outcome ~steps:(List.length t) (Afd.check spec ~n t))
+
+let closure_entry ~id ~label ~detector ~spec ~faults ~steps =
+  R.Matrix.entry ~id ~section:s3 ~label ~seeds:3 ~faults:[ faults ]
+    ~show:(fun os ->
+      Printf.sprintf "  %-40s %s" label
+        (if R.Metrics.all_sat os then
+           Printf.sprintf "closed (%d traces x 40 transforms)" (List.length os)
+         else "FAILED"))
+    (fun ~seed ~faults ->
+      let rng = Random.State.make [| seed |] in
+      let t =
+        Afd_automata.generate_trace ~detector:(detector ()) ~n:3 ~seed
+          ~crash_at:faults ~steps
+      in
+      R.Metrics.of_result ~steps:(List.length t)
+        (Afd.check_all_properties spec ~n:3 ~rng ~trials:40 t))
+
+let dk_entry =
+  let label = "D_k (negative control)" in
+  R.Matrix.entry ~id:"E3.dk" ~section:s3 ~label ~show:(R.Matrix.show_detail ~label)
+    (fun ~seed:_ ~faults:_ ->
+      let orig, reord = D_k.closure_counterexample ~k:2 in
+      let a = Afd.check (D_k.spec ~k:2) ~n:2 orig
+      and b = Afd.check (D_k.spec ~k:2) ~n:2 reord in
+      let ok = Verdict.is_sat a && Verdict.is_violated b in
+      R.Metrics.outcome
+        ~steps:(List.length orig + List.length reord)
+        ~detail:(Printf.sprintf "original=%s, reordering=%s" (verdict_str a) (verdict_str b))
+        (if ok then Verdict.Sat
+         else Verdict.Violated "D_k negative control did not separate"))
+
+let self_impl_entry ~id ~label ~spec ~detector ~faults =
+  R.Matrix.entry ~id ~section:s4 ~label ~seeds:4 ~faults:[ faults ]
+    ~show:(R.Matrix.show_seeds_sat ~label ~ok:"theorem 13 holds")
+    (fun ~seed ~faults ->
+      R.Metrics.of_result ~steps:400
+        (Self_impl.check_theorem13 ~spec ~detector:(detector ()) ~n:3 ~seed
+           ~crash_at:faults ~steps:400))
+
+let p_trace seed =
+  Afd_automata.generate_trace ~detector:(Afd_automata.fd_perfect ~n:3) ~n:3 ~seed
+    ~crash_at:[ (10, 1) ] ~steps:120
+
+let omega_trace seed =
+  Afd_automata.generate_trace ~detector:(Afd_automata.fd_omega ~n:3) ~n:3 ~seed
+    ~crash_at:[ (10, 1) ] ~steps:120
+
+let reduction_entry ~id ~label ~mk_trace ~reduction =
+  R.Matrix.entry ~id ~section:s56 ~label ~seeds:3 ~faults:[ [ (10, 1) ] ]
+    ~show:(R.Matrix.show_sat ~label ~ok:"sound")
+    (fun ~seed ~faults:_ ->
+      let t = mk_trace seed in
+      R.Metrics.outcome ~steps:(List.length t)
+        (Reduction.check_on_trace (reduction ()) ~n:3 t))
+
+let separation_entry ~id ~label ?pre_lines ~refute () =
+  R.Matrix.entry ~id ~section:s56 ~label ?pre_lines
+    ~show:(R.Matrix.show_detail ~label)
+    (fun ~seed:_ ~faults:_ ->
+      match refute () with
+      | Ok _ -> R.Metrics.outcome ~detail:"candidate refuted" Verdict.Sat
+      | Error e -> R.Metrics.outcome ~detail:("FAILED: " ^ e) (Verdict.Violated e))
+
+(* E7's witness machinery: sub-seeds for the sampled fair traces are
+   derived from the cell seed, one splitmix64 stream per purpose. *)
+let e7_witness_traces ~seed =
+  let witness_external = function
+    | Act.Crash _ | Act.Propose _ | Act.Decide _ -> true
+    | Act.Send _ | Act.Receive _ | Act.Fd _ | Act.Step _ | Act.Query _ | Act.Resp _
+    | Act.Decide_id _ -> false
   in
-  List.iter
-    (fun (name, run) ->
-      let sat = List.for_all (fun s -> Verdict.is_sat (run s)) [ 1; 2; 3; 4; 5 ] in
-      row "  %-40s 5 seeds: %s@." name (if sat then "all sat" else "FAILED"))
-    cases
+  let seeds =
+    List.init 6 (fun i -> Scheduler.Seed.derive ~root:seed ~key:"witness" ~index:i)
+  in
+  List.map (List.filter witness_external)
+    (C.Witness.sample_traces ~n:3 ~seeds ~steps:150)
 
-(* ------------------------------------------------------------------ *)
-(* E3: closure properties for the catalog                              *)
-(* ------------------------------------------------------------------ *)
+let e7_crash_indep =
+  R.Matrix.entry ~id:"E7.crash-independence" ~section:s7
+    ~label:"witness U: crash independence"
+    ~show:(fun os ->
+      Printf.sprintf "  witness U: crash independence          %s"
+        (List.hd os).R.Metrics.detail)
+    (fun ~seed ~faults:_ ->
+      let traces = e7_witness_traces ~seed in
+      let r =
+        Bounded_problem.check_crash_independent (C.Witness.automaton ~n:3)
+          ~is_crash:(fun a -> Act.is_crash a <> None)
+          ~traces
+      in
+      R.Metrics.of_result
+        ~steps:(List.fold_left (fun acc t -> acc + List.length t) 0 traces)
+        ~detail:(ok_str r) r)
 
-let e3 () =
-  section "E3  AFD closure properties (validity, sampling, reordering)";
-  let rng = Random.State.make [| 7 |] in
-  let noise =
+let e7_bounded_length =
+  let bound = C.Witness.output_bound ~n:3 in
+  R.Matrix.entry ~id:"E7.bounded-length" ~section:s7
+    ~label:"witness U: bounded length"
+    ~show:(fun os ->
+      Printf.sprintf "  witness U: bounded length (b = %d)      %s" bound
+        (List.hd os).R.Metrics.detail)
+    (fun ~seed ~faults:_ ->
+      let traces = e7_witness_traces ~seed in
+      let r =
+        Bounded_problem.check_bounded_length ~is_output:Act.is_decide ~bound ~traces
+      in
+      R.Metrics.of_result
+        ~steps:(List.fold_left (fun acc t -> acc + List.length t) 0 traces)
+        ~detail:(ok_str r) r)
+
+let e7_extraction =
+  R.Matrix.entry ~id:"E7.extraction" ~section:s7
+    ~label:"extraction after quiescence"
+    ~show:(fun os ->
+      Printf.sprintf "  extraction after quiescence: %s" (List.hd os).R.Metrics.detail)
+    (fun ~seed ~faults:_ ->
+      let r =
+        C.Extraction.run ~n:3 ~target:Ev_perfect.spec
+          ~candidate:C.Extraction.echo_decision ~late_crash:1 ~seed ~steps:4000
+      in
+      let detail =
+        Printf.sprintf "views equal=%b  A=%s  B=%s  refuted=%b"
+          r.C.Extraction.observations_equal
+          (verdict_str r.C.Extraction.verdict_a)
+          (verdict_str r.C.Extraction.verdict_b)
+          r.C.Extraction.refuted
+      in
+      R.Metrics.outcome ~steps:4000 ~detail
+        (if r.C.Extraction.observations_equal && r.C.Extraction.refuted then
+           Verdict.Sat
+         else Verdict.Violated "extraction experiment did not refute the candidate"))
+
+let matrix =
+  let noise3 =
     Afd_automata.noise_of_list
       [ (0, Loc.Set.singleton 1); (1, Loc.Set.singleton 2); (2, Loc.Set.of_list [ 0; 1 ]) ]
   in
-  let catalog =
-    [ ("Omega", fun seed ->
-        let t = Afd_automata.generate_trace ~detector:(Afd_automata.fd_omega ~n:3) ~n:3
-                  ~seed ~crash_at:[ (9, 2) ] ~steps:90 in
-        Afd.check_all_properties Omega.spec ~n:3 ~rng ~trials:40 t);
-      ("P", fun seed ->
-        let t = Afd_automata.generate_trace ~detector:(Afd_automata.fd_perfect ~n:3) ~n:3
-                  ~seed ~crash_at:[ (9, 2) ] ~steps:90 in
-        Afd.check_all_properties Perfect.spec ~n:3 ~rng ~trials:40 t);
-      ("EvP (noisy)", fun seed ->
-        let t = Afd_automata.generate_trace
-                  ~detector:(Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise) ~n:3
-                  ~seed ~crash_at:[ (11, 2) ] ~steps:110 in
-        Afd.check_all_properties Ev_perfect.spec ~n:3 ~rng ~trials:40 t);
-    ]
-  in
-  List.iter
-    (fun (name, run) ->
-      let all_ok = List.for_all (fun s -> Result.is_ok (run s)) [ 1; 2; 3 ] in
-      row "  %-40s %s@." name (if all_ok then "closed (3 traces x 40 transforms)" else "FAILED"))
-    catalog;
-  let orig, reord = D_k.closure_counterexample ~k:2 in
-  let a = Afd.check (D_k.spec ~k:2) ~n:2 orig and b = Afd.check (D_k.spec ~k:2) ~n:2 reord in
-  row "  %-40s original=%s, reordering=%s@." "D_k (negative control)"
-    (verdict_str a) (verdict_str b)
-
-(* ------------------------------------------------------------------ *)
-(* E4: self-implementability (Algorithm 3 / Theorem 13)               *)
-(* ------------------------------------------------------------------ *)
-
-let e4 () =
-  section "E4  Self-implementability: A^self uses D to solve a renaming of D";
-  let run name spec detector crash_at =
-    let results =
-      List.map
-        (fun seed ->
-          Self_impl.check_theorem13 ~spec ~detector ~n:3 ~seed ~crash_at ~steps:400)
-        [ 1; 2; 3; 4 ]
-    in
-    let ok = List.for_all Result.is_ok results in
-    row "  %-40s 4 seeds: %s@." name (if ok then "theorem 13 holds" else "FAILED")
-  in
-  run "Omega" Omega.spec (Afd_automata.fd_omega ~n:3) [ (11, 2) ];
-  run "P" Perfect.spec (Afd_automata.fd_perfect ~n:3) [ (13, 0) ];
-  run "EvP (noisy)" Ev_perfect.spec
-    (Afd_automata.fd_ev_perfect_noisy ~n:3
-       ~noise:(Afd_automata.noise_of_list [ (0, Loc.Set.singleton 1) ]))
-    [ (17, 1) ]
-
-(* ------------------------------------------------------------------ *)
-(* E5/E6: reductions, transitivity, hierarchy                          *)
-(* ------------------------------------------------------------------ *)
-
-let e5_e6 () =
-  section "E5/E6  Reductions and the strict hierarchy";
-  let p_trace seed =
-    Afd_automata.generate_trace ~detector:(Afd_automata.fd_perfect ~n:3) ~n:3 ~seed
-      ~crash_at:[ (10, 1) ] ~steps:120
-  in
-  let omega_trace seed =
-    Afd_automata.generate_trace ~detector:(Afd_automata.fd_omega ~n:3) ~n:3 ~seed
-      ~crash_at:[ (10, 1) ] ~steps:120
-  in
-  let reductions =
-    [ ("P -> EvP", fun s -> Reduction.(check_on_trace p_to_evp ~n:3 (p_trace s)));
-      ("P -> S", fun s -> Reduction.(check_on_trace p_to_strong ~n:3 (p_trace s)));
-      ("P -> Omega", fun s -> Reduction.(check_on_trace (p_to_omega ~n:3) ~n:3 (p_trace s)));
-      ("P -> Sigma", fun s -> Reduction.(check_on_trace (p_to_sigma ~n:3) ~n:3 (p_trace s)));
-      ("Omega -> anti-Omega", fun s ->
-        Reduction.(check_on_trace (omega_to_anti_omega ~n:3) ~n:3 (omega_trace s)));
-      ("Omega -> Omega_2", fun s ->
-        Reduction.(check_on_trace (omega_to_omega_k ~n:3 ~k:2) ~n:3 (omega_trace s)));
-      ("Omega -> Psi_2", fun s ->
-        Reduction.(check_on_trace (omega_to_psi_k ~n:3 ~k:2) ~n:3 (omega_trace s)));
-      ("P -> EvP -> Omega (Thm 15 compose)", fun s ->
-        Reduction.(check_on_trace (compose p_to_evp (evp_to_omega ~n:3)) ~n:3 (p_trace s)));
-    ]
-  in
-  List.iter
-    (fun (name, run) ->
-      let ok = List.for_all (fun s -> Verdict.is_sat (run s)) [ 1; 2; 3 ] in
-      row "  %-40s %s@." name (if ok then "sound" else "FAILED"))
-    reductions;
-  row "  -- upward directions (separations refute extraction candidates) --@.";
-  let echo _i hist = match List.rev hist with [] -> None | h :: _ -> Some h in
-  let seps =
-    [ ("EvP -/-> P (echo candidate)",
-       Reduction.refute ~candidate:echo ~target:Perfect.spec (Reduction.evp_not_to_p ~len:5));
-      ("Omega -/-> EvP (constant candidate)",
-       Reduction.refute ~candidate:(fun _ _ -> Some Loc.Set.empty)
-         ~target:Ev_perfect.spec (Reduction.omega_not_to_evp ~len:5));
-      ("anti-Omega -/-> Omega (self-leader)",
-       Reduction.refute ~candidate:(fun i _ -> Some i) ~target:Omega.spec
-         (Reduction.anti_omega_not_to_omega ~len:5));
-      ("anti-Omega -/-> Omega (min-unnamed)",
-       Reduction.refute
-         ~candidate:(fun _i hist ->
-           match List.rev hist with [] -> None | l :: _ -> Loc.min_not_in ~n:3 (Loc.equal l))
-         ~target:Omega.spec
-         (Reduction.anti_omega_not_to_omega ~len:5));
-    ]
-  in
-  List.iter
-    (fun (name, r) ->
-      row "  %-40s %s@." name
-        (match r with Ok _ -> "candidate refuted" | Error e -> "FAILED: " ^ e))
-    seps
-
-(* ------------------------------------------------------------------ *)
-(* E7: bounded problems and Theorem 21                                 *)
-(* ------------------------------------------------------------------ *)
-
-let e7 () =
-  section "E7  Consensus is bounded; no representative AFD (Thm 21)";
-  let n = 3 in
-  let witness_external = function
-    | Act.Crash _ | Act.Propose _ | Act.Decide _ -> true
-    | Act.Send _ | Act.Receive _ | Act.Fd _ | Act.Step _ | Act.Query _ | Act.Resp _ | Act.Decide_id _ -> false
-  in
-  let traces =
-    List.map (List.filter witness_external)
-      (C.Witness.sample_traces ~n ~seeds:[ 0; 1; 2; 3; 4; 5 ] ~steps:150)
-  in
-  row "  witness U: crash independence          %s@."
-    (ok_str
-       (Bounded_problem.check_crash_independent (C.Witness.automaton ~n)
-          ~is_crash:(fun a -> Act.is_crash a <> None)
-          ~traces));
-  row "  witness U: bounded length (b = %d)      %s@." (C.Witness.output_bound ~n)
-    (ok_str
-       (Bounded_problem.check_bounded_length ~is_output:Act.is_decide
-          ~bound:(C.Witness.output_bound ~n) ~traces));
-  let r =
-    C.Extraction.run ~n ~target:Ev_perfect.spec ~candidate:C.Extraction.echo_decision
-      ~late_crash:1 ~seed:11 ~steps:4000
-  in
-  row "  extraction after quiescence: views equal=%b  A=%s  B=%s  refuted=%b@."
-    r.C.Extraction.observations_equal (verdict_str r.C.Extraction.verdict_a)
-    (verdict_str r.C.Extraction.verdict_b) r.C.Extraction.refuted
+  [ (* E1/E2 *)
+    fd_check_entry ~id:"E1.omega" ~label:"FD-Omega (Alg 1) vs T_Omega"
+      ~detector:(fun () -> Afd_automata.fd_omega ~n:4)
+      ~spec:Omega.spec ~n:4 ~faults:[ (10, 1); (30, 3) ] ~steps:150;
+    fd_check_entry ~id:"E2.p" ~label:"FD-P (Alg 2 + erratum guard) vs T_P"
+      ~detector:(fun () -> Afd_automata.fd_perfect ~n:4)
+      ~spec:Perfect.spec ~n:4 ~faults:[ (12, 0) ] ~steps:150;
+    fd_check_entry ~id:"E2.evp" ~label:"FD-P renamed vs T_EvP"
+      ~detector:(fun () -> Afd_automata.fd_perfect ~n:4)
+      ~spec:Ev_perfect.spec ~n:4 ~faults:[ (12, 0) ] ~steps:150;
+    (* E3 *)
+    closure_entry ~id:"E3.omega" ~label:"Omega"
+      ~detector:(fun () -> Afd_automata.fd_omega ~n:3)
+      ~spec:Omega.spec ~faults:[ (9, 2) ] ~steps:90;
+    closure_entry ~id:"E3.p" ~label:"P"
+      ~detector:(fun () -> Afd_automata.fd_perfect ~n:3)
+      ~spec:Perfect.spec ~faults:[ (9, 2) ] ~steps:90;
+    closure_entry ~id:"E3.evp" ~label:"EvP (noisy)"
+      ~detector:(fun () -> Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise3)
+      ~spec:Ev_perfect.spec ~faults:[ (11, 2) ] ~steps:110;
+    dk_entry;
+    (* E4 *)
+    self_impl_entry ~id:"E4.omega" ~label:"Omega" ~spec:Omega.spec
+      ~detector:(fun () -> Afd_automata.fd_omega ~n:3)
+      ~faults:[ (11, 2) ];
+    self_impl_entry ~id:"E4.p" ~label:"P" ~spec:Perfect.spec
+      ~detector:(fun () -> Afd_automata.fd_perfect ~n:3)
+      ~faults:[ (13, 0) ];
+    self_impl_entry ~id:"E4.evp" ~label:"EvP (noisy)" ~spec:Ev_perfect.spec
+      ~detector:(fun () ->
+        Afd_automata.fd_ev_perfect_noisy ~n:3
+          ~noise:(Afd_automata.noise_of_list [ (0, Loc.Set.singleton 1) ]))
+      ~faults:[ (17, 1) ];
+    (* E5/E6: downward reductions *)
+    reduction_entry ~id:"E5.p-evp" ~label:"P -> EvP" ~mk_trace:p_trace
+      ~reduction:(fun () -> Reduction.p_to_evp);
+    reduction_entry ~id:"E5.p-s" ~label:"P -> S" ~mk_trace:p_trace
+      ~reduction:(fun () -> Reduction.p_to_strong);
+    reduction_entry ~id:"E5.p-omega" ~label:"P -> Omega" ~mk_trace:p_trace
+      ~reduction:(fun () -> Reduction.p_to_omega ~n:3);
+    reduction_entry ~id:"E5.p-sigma" ~label:"P -> Sigma" ~mk_trace:p_trace
+      ~reduction:(fun () -> Reduction.p_to_sigma ~n:3);
+    reduction_entry ~id:"E5.omega-antiomega" ~label:"Omega -> anti-Omega"
+      ~mk_trace:omega_trace
+      ~reduction:(fun () -> Reduction.omega_to_anti_omega ~n:3);
+    reduction_entry ~id:"E5.omega-omega2" ~label:"Omega -> Omega_2"
+      ~mk_trace:omega_trace
+      ~reduction:(fun () -> Reduction.omega_to_omega_k ~n:3 ~k:2);
+    reduction_entry ~id:"E5.omega-psi2" ~label:"Omega -> Psi_2" ~mk_trace:omega_trace
+      ~reduction:(fun () -> Reduction.omega_to_psi_k ~n:3 ~k:2);
+    reduction_entry ~id:"E5.compose" ~label:"P -> EvP -> Omega (Thm 15 compose)"
+      ~mk_trace:p_trace
+      ~reduction:(fun () -> Reduction.(compose p_to_evp (evp_to_omega ~n:3)));
+    (* E6: separations *)
+    separation_entry ~id:"E6.evp-p" ~label:"EvP -/-> P (echo candidate)"
+      ~pre_lines:
+        [ "  -- upward directions (separations refute extraction candidates) --" ]
+      ~refute:(fun () ->
+        let echo _i hist = match List.rev hist with [] -> None | h :: _ -> Some h in
+        Reduction.refute ~candidate:echo ~target:Perfect.spec
+          (Reduction.evp_not_to_p ~len:5))
+      ();
+    separation_entry ~id:"E6.omega-evp" ~label:"Omega -/-> EvP (constant candidate)"
+      ~refute:(fun () ->
+        Reduction.refute
+          ~candidate:(fun _ _ -> Some Loc.Set.empty)
+          ~target:Ev_perfect.spec (Reduction.omega_not_to_evp ~len:5))
+      ();
+    separation_entry ~id:"E6.antiomega-omega-self"
+      ~label:"anti-Omega -/-> Omega (self-leader)"
+      ~refute:(fun () ->
+        Reduction.refute ~candidate:(fun i _ -> Some i) ~target:Omega.spec
+          (Reduction.anti_omega_not_to_omega ~len:5))
+      ();
+    separation_entry ~id:"E6.antiomega-omega-min"
+      ~label:"anti-Omega -/-> Omega (min-unnamed)"
+      ~refute:(fun () ->
+        Reduction.refute
+          ~candidate:(fun _i hist ->
+            match List.rev hist with
+            | [] -> None
+            | l :: _ -> Loc.min_not_in ~n:3 (Loc.equal l))
+          ~target:Omega.spec
+          (Reduction.anti_omega_not_to_omega ~len:5))
+      ();
+    (* E7 *)
+    e7_crash_indep;
+    e7_bounded_length;
+    e7_extraction;
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* E8: Theorem 44 (E_C well-formed)                                    *)
@@ -704,28 +780,86 @@ let perf () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type opts = {
+  jobs : int;
+  seeds : int option;
+  json : string option;
+  root_seed : int;
+  smoke : bool;  (** matrix only (E1-E7), nonzero exit on violation *)
+}
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--jobs N] [--seeds N] [--json PATH] [--root-seed N] [--smoke]";
+  exit 2
+
+let parse_opts () =
+  let defaults =
+    { jobs = Domain.recommended_domain_count ();
+      seeds = None;
+      json = None;
+      root_seed = 1;
+      smoke = false;
+    }
+  in
+  let int_of v = match int_of_string_opt v with Some n -> n | None -> usage () in
+  let rec go o = function
+    | [] -> o
+    | "--jobs" :: v :: rest -> go { o with jobs = int_of v } rest
+    | "--seeds" :: v :: rest -> go { o with seeds = Some (int_of v) } rest
+    | "--json" :: v :: rest -> go { o with json = Some v } rest
+    | "--root-seed" :: v :: rest -> go { o with root_seed = int_of v } rest
+    | "--smoke" :: rest -> go { o with smoke = true } rest
+    | _ -> usage ()
+  in
+  go defaults (List.tl (Array.to_list Sys.argv))
+
 let () =
+  let o = parse_opts () in
   Format.printf "Asynchronous Failure Detectors - experiment harness@.";
   Format.printf "(paper: Cornejo, Lynch, Sastry; each row regenerates a claim)@.";
-  e1_e2 ();
-  e3 ();
-  e4 ();
-  e5_e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10_e11_e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  e17 ();
-  e18 ();
-  a1 ();
-  a2 ();
-  a3 ();
-  a4 ();
-  a5 ();
-  f1 ();
-  perf ();
-  Format.printf "@.done.@."
+  let cfg =
+    { R.Engine.jobs = o.jobs; root_seed = o.root_seed; seeds_override = o.seeds }
+  in
+  let run = R.Engine.run cfg matrix in
+  Format.printf "%a" R.Engine.pp run;
+  (match o.json with
+  | Some path ->
+    R.Report.write ~path run;
+    Format.printf "wrote %s@." path
+  | None -> ());
+  if o.smoke then begin
+    let violated =
+      List.exists
+        (fun e -> (R.Metrics.exp_counts e).R.Metrics.violated > 0)
+        run.R.Engine.exps
+    in
+    if violated then begin
+      prerr_endline "smoke: violated verdicts in the experiment matrix";
+      exit 1
+    end;
+    Format.printf "@.smoke ok.@."
+  end
+  else begin
+    e8 ();
+    e9 ();
+    e10_e11_e12 ();
+    e13 ();
+    e14 ();
+    e15 ();
+    e16 ();
+    e17 ();
+    e18 ();
+    a1 ();
+    a2 ();
+    a3 ();
+    a4 ();
+    a5 ();
+    f1 ();
+    perf ();
+    Format.printf "@.done.@."
+  end

@@ -7,11 +7,14 @@
      consensus  run a consensus algorithm (flood | synod | via-evp)
      selfimpl   run Algorithm 3 (self-implementation) over a detector
      tree       build the tagged execution tree, report valence/hooks
+     sweep      run a detector under many derived seeds on a Domain
+                pool (the Afd_runner engine) and tally verdicts
 
    Examples:
      afd_sim detector --fd omega -n 4 --crash 10:1 --crash 30:3
      afd_sim consensus --algo synod -n 5 --crash 40:0 --seed 3
      afd_sim tree -n 2 --crash-loc 1
+     afd_sim sweep --fd evp --seeds 16 --jobs 4 --crash 15:2
 *)
 
 open Cmdliner
@@ -20,6 +23,7 @@ open Afd_core
 open Afd_system
 module C = Afd_consensus
 module T = Afd_tree
+module R = Afd_runner
 
 (* --- shared argument parsing --- *)
 
@@ -262,6 +266,77 @@ let kset_cmd =
   let term = Term.(const run $ n_arg $ k_arg $ seed_arg $ steps_arg $ crash_arg) in
   Cmd.v (Cmd.info "kset" ~doc:"Run k-set agreement over Psi_k.") term
 
+(* --- sweep subcommand --- *)
+
+let sweep_cmd =
+  let fd_arg =
+    Arg.(value & opt fd_conv P_fd & info [ "fd" ] ~docv:"FD" ~doc:"Detector: omega, p, or evp.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Seeded runs per fault pattern.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"J" ~doc:"Domains to run on (default: all cores).")
+  in
+  let root_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "root-seed" ] ~docv:"SEED" ~doc:"Root of the per-cell seed derivation.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Also write the BENCH.json report to $(i,PATH).")
+  in
+  let run which n steps crash_at seeds jobs root json =
+    let mk name detector spec =
+      R.Matrix.entry
+        ~id:("sweep." ^ name)
+        ~section:"seed sweep"
+        ~label:(Printf.sprintf "%s n=%d steps=%d" name n steps)
+        ~seeds ~faults:[ crash_at ]
+        (fun ~seed ~faults ->
+          let t =
+            Afd_automata.generate_trace ~detector:(detector ()) ~n ~seed
+              ~crash_at:faults ~steps
+          in
+          R.Metrics.outcome ~steps:(List.length t) (Afd.check spec ~n t))
+    in
+    let entry =
+      match which with
+      | Omega_fd -> mk "omega" (fun () -> Afd_automata.fd_omega ~n) Omega.spec
+      | P_fd -> mk "p" (fun () -> Afd_automata.fd_perfect ~n) Perfect.spec
+      | Evp_noisy_fd ->
+        let noise () =
+          Afd_automata.noise_of_list
+            (List.map (fun i -> (i, Loc.Set.singleton ((i + 1) mod n))) (Loc.universe ~n))
+        in
+        mk "evp"
+          (fun () -> Afd_automata.fd_ev_perfect_noisy ~n ~noise:(noise ()))
+          Ev_perfect.spec
+    in
+    let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+    let r =
+      R.Engine.run { R.Engine.jobs; root_seed = root; seeds_override = None } [ entry ]
+    in
+    Format.printf "%a@." R.Engine.pp r;
+    (match json with Some path -> R.Report.write ~path r | None -> ());
+    if List.exists (fun e -> (R.Metrics.exp_counts e).R.Metrics.violated > 0) r.R.Engine.exps
+    then 1
+    else 0
+  in
+  let term =
+    Term.(
+      const run $ fd_arg $ n_arg $ steps_arg $ crash_arg $ seeds_arg $ jobs_arg $ root_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a detector over many derived seeds in parallel and tally verdicts.")
+    term
+
 (* --- trb subcommand --- *)
 
 let trb_cmd =
@@ -292,4 +367,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ detector_cmd; consensus_cmd; selfimpl_cmd; tree_cmd; kset_cmd; trb_cmd ]))
+          [ detector_cmd; consensus_cmd; selfimpl_cmd; tree_cmd; kset_cmd; trb_cmd;
+            sweep_cmd ]))

@@ -30,13 +30,48 @@ let contains ~needle hay =
    task fires at latest after [patience * #tasks] consecutive steps. *)
 let patience = 4
 
+let starvation_bound ~ntasks = (patience * ntasks) + 1
+
+module Seed = struct
+  (* splitmix64 (Steele-Lea-Flood).  The finalizer [mix64] is pinned
+     against the reference vectors in test/test_seed_derive.ml: any
+     change here silently reseeds every derived experiment, so the
+     golden test must be updated deliberately, never incidentally. *)
+  let golden = 0x9e3779b97f4a7c15L
+
+  let mix64 z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    logxor z (shift_right_logical z 31)
+
+  (* FNV-1a, 64-bit: stream names enter the derivation as a hash so
+     that distinct experiment ids occupy distinct splitmix streams. *)
+  let hash_key s =
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+      s;
+    !h
+
+  let derive ~root ~key ~index =
+    let z =
+      Int64.add
+        (Int64.logxor (Int64.of_int root) (hash_key key))
+        (Int64.mul golden (Int64.of_int (index + 1)))
+    in
+    Int64.to_int (Int64.logand (mix64 (mix64 z)) 0x3fffffffffffffffL)
+end
+
 let run comp cfg =
   let tasks = Array.of_list (Composition.tasks comp) in
   let ntasks = Array.length tasks in
+  (* Round-robin is RNG-free: only the random policy builds a state,
+     so its outcomes cannot depend on any seed, by construction. *)
   let rng =
     match cfg.policy with
-    | Round_robin -> Stdlib.Random.State.make [| 0 |]
-    | Random seed -> Stdlib.Random.State.make [| seed |]
+    | Round_robin -> None
+    | Random seed -> Some (Stdlib.Random.State.make [| seed |])
   in
   let starving = Array.make ntasks 0 in
   let rr_cursor = ref 0 in
@@ -91,7 +126,7 @@ let run comp cfg =
     in
     go 0
   in
-  let pick_random () =
+  let pick_random rng =
     (* Starvation backstop first. *)
     let starved = ref None in
     Array.iteri
@@ -131,7 +166,10 @@ let run comp cfg =
       match forced_candidate () with
       | Some c -> Some c
       | None -> (
-        match cfg.policy with Round_robin -> pick_round_robin () | Random _ -> pick_random ())
+        match (cfg.policy, rng) with
+        | Round_robin, _ -> pick_round_robin ()
+        | Random _, Some rng -> pick_random rng
+        | Random _, None -> assert false)
     in
     (match choice with
     | Some (tid, act) ->

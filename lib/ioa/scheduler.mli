@@ -33,6 +33,33 @@ type cfg = {
 val default_cfg : cfg
 (** Round-robin, 1000 steps, stop when quiescent, no forced tasks. *)
 
+val starvation_bound : ntasks:int -> int
+(** Operational fairness bound of the [Random] policy: a fair task that
+    stays enabled fires within [starvation_bound ~ntasks] consecutive
+    steps (the backstop resets its wait counter whenever it fires or is
+    disabled).  Exposed so the bound is testable, not just documented;
+    see test/test_sched_fairness.ml. *)
+
+(** {1 Deterministic seed derivation}
+
+    The hook used by the parallel experiment runner ({!Afd_runner}) to
+    give every matrix cell its own scheduler seed.  Derivation is a
+    pure function of [(root, key, index)], so a sweep's seeds are
+    bit-identical regardless of how many domains execute it or in what
+    order cells are scheduled — the deterministic-replay discipline of
+    randomized systematic testers. *)
+module Seed : sig
+  val mix64 : int64 -> int64
+  (** The splitmix64 finalizer (bijective on [int64]).  Pinned by
+      reference vectors in the test suite. *)
+
+  val derive : root:int -> key:string -> index:int -> int
+  (** [derive ~root ~key ~index] is a nonnegative seed (62 bits) for
+      cell [index] of the stream named [key], suitable for the
+      [Random] policy.  Distinct [(key, index)] pairs yield distinct
+      seeds (up to the 2^-62 truncation collision probability). *)
+end
+
 type 'a outcome = {
   execution : ('a Composition.state, 'a) Execution.t;
   fired : (Composition.task_id * 'a) list;  (** in firing order *)

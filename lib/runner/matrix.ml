@@ -1,0 +1,35 @@
+type faults = (int * Afd_ioa.Loc.t) list
+
+type entry = {
+  id : string;
+  section : string;
+  label : string;
+  seeds : int;
+  faults : faults list;
+  body : seed:int -> faults:faults -> Metrics.outcome;
+  show : Metrics.outcome list -> string;
+  pre_lines : string list;
+}
+
+let show_seeds_sat ~label ~ok outcomes =
+  Printf.sprintf "  %-40s %d seeds: %s" label (List.length outcomes)
+    (if Metrics.all_sat outcomes then ok else "FAILED")
+
+let show_sat ~label ~ok outcomes =
+  Printf.sprintf "  %-40s %s" label (if Metrics.all_sat outcomes then ok else "FAILED")
+
+let show_detail ~label outcomes =
+  let detail =
+    match outcomes with o :: _ -> o.Metrics.detail | [] -> "(no cells)"
+  in
+  Printf.sprintf "  %-40s %s" label detail
+
+let entry ~id ~section ?label ?(seeds = 1) ?(faults = [ [] ]) ?(pre_lines = []) ?show
+    body =
+  let label = Option.value label ~default:id in
+  let show =
+    match show with Some s -> s | None -> show_seeds_sat ~label ~ok:"all sat"
+  in
+  if faults = [] then invalid_arg "Matrix.entry: empty fault-pattern list";
+  if seeds <= 0 then invalid_arg "Matrix.entry: seeds must be positive";
+  { id; section; label; seeds; faults; body; show; pre_lines }

@@ -1,0 +1,54 @@
+(** Declarative experiment matrices.
+
+    An {!entry} declares one experiment row: what to run (the [body],
+    closing over an automaton builder, a spec and a step budget), under
+    how many seeds, and under which fault patterns.  The engine takes
+    the cross product [faults x seeds], derives one scheduler seed per
+    cell from the root seed ([Scheduler.Seed.derive], keyed by the
+    entry id and fault index), and runs the cells on a Domain pool.
+
+    Bodies must be self-contained: they run concurrently on multiple
+    domains, so any RNG or mutable scratch state has to be created
+    inside the body from the given seed, never shared across cells. *)
+
+type faults = (int * Afd_ioa.Loc.t) list
+(** A fault pattern: [(step, location)] crash injections, as consumed
+    by [Afd_automata.generate_trace] and [Net.run]. *)
+
+type entry = {
+  id : string;  (** stable identifier, e.g. ["E1.omega"]; seeds the derivation *)
+  section : string;  (** pretty section header this row prints under *)
+  label : string;  (** left column of the pretty row; also in BENCH.json *)
+  seeds : int;  (** default seed count; overridable by [--seeds] *)
+  faults : faults list;  (** fault patterns; [[[]]] when crash-free *)
+  body : seed:int -> faults:faults -> Metrics.outcome;
+  show : Metrics.outcome list -> string;
+      (** renders the complete pretty row (including leading spaces)
+          from the outcomes in matrix order *)
+  pre_lines : string list;  (** sub-headers printed before the row *)
+}
+
+val entry :
+  id:string ->
+  section:string ->
+  ?label:string ->
+  ?seeds:int ->
+  ?faults:faults list ->
+  ?pre_lines:string list ->
+  ?show:(Metrics.outcome list -> string) ->
+  (seed:int -> faults:faults -> Metrics.outcome) ->
+  entry
+(** Defaults: [label = id], [seeds = 1], [faults = [[]]],
+    [show = show_seeds_sat ~label ~ok:"all sat"]. *)
+
+(** {1 Stock row renderers} — all print ["  %-40s ..."] like the
+    historical bench rows, so refactored rows stay byte-identical. *)
+
+val show_seeds_sat : label:string -> ok:string -> Metrics.outcome list -> string
+(** ["  <label> N seeds: <ok>"], or [FAILED] unless all cells are sat. *)
+
+val show_sat : label:string -> ok:string -> Metrics.outcome list -> string
+(** ["  <label> <ok>"], or [FAILED] unless all cells are sat. *)
+
+val show_detail : label:string -> Metrics.outcome list -> string
+(** ["  <label> <detail of the first cell>"]. *)

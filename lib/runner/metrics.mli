@@ -1,0 +1,53 @@
+(** Typed per-run metrics collected by the parallel experiment engine.
+
+    Every matrix cell (one seeded run of one experiment under one fault
+    pattern) produces an {!outcome}; the engine times it into a {!cell}
+    and aggregates cells into an {!exp} row.  Nothing here depends on
+    wall-clock except the explicitly-named [seconds] fields, so two
+    runs with the same root seed compare byte-for-byte once timings are
+    stripped (see [Report.to_json ~timings:false]). *)
+
+open Afd_core
+
+type outcome = {
+  verdict : Verdict.t;
+  steps_fired : int;
+      (** events the run produced (trace length), or the step budget
+          when the experiment does not expose its trace *)
+  quiescent : bool;
+  detail : string;
+      (** free-form row fragment for custom renderers; [""] if unused *)
+}
+
+val outcome : ?steps:int -> ?quiescent:bool -> ?detail:string -> Verdict.t -> outcome
+
+val of_result : ?steps:int -> ?detail:string -> (unit, string) result -> outcome
+(** [Ok () -> Sat], [Error e -> Violated e]. *)
+
+type counts = { sat : int; undecided : int; violated : int }
+
+val counts : outcome list -> counts
+val all_sat : outcome list -> bool
+
+type cell = {
+  seed_index : int;
+  fault_index : int;
+  scheduler_seed : int;  (** derived via [Scheduler.Seed.derive] *)
+  outcome : outcome;
+  seconds : float;  (** wall-clock of this cell alone *)
+}
+
+type exp = {
+  id : string;
+  section : string;
+  label : string;
+  cells : cell list;  (** in matrix order: fault-major, seed-minor *)
+  rendered : string;  (** the pretty row, exactly as printed *)
+}
+
+val exp_counts : exp -> counts
+val exp_steps : exp -> int
+val exp_seconds : exp -> float
+
+val transitions_per_sec : exp -> float
+(** [exp_steps / exp_seconds]; [0.] when no time was observed. *)

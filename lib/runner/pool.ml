@@ -1,0 +1,28 @@
+(* Re-raise the first failure in index order, so error reporting does
+   not depend on domain interleaving. *)
+let unwrap results =
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results
+
+let map ~jobs f arr =
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e);
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    unwrap (Array.map (function Some r -> r | None -> assert false) results)
+  end

@@ -1,0 +1,40 @@
+(** BENCH.json emission — the machine-readable counterpart of the
+    pretty verdict table, so the perf trajectory is diffable across
+    PRs.
+
+    The JSON is hand-rolled (the repo deliberately has no JSON
+    dependency, same as [Afd_analysis.Report]).  Schema, informally:
+
+    {v
+    { "schema": "afd-bench/1",
+      "root_seed": int, "seeds_override": int|null,
+      "run_id": str, "git": str, "jobs": int,        -- timings only
+      "wall_clock_s": float,                          -- timings only
+      "experiments": [
+        { "id": str, "section": str, "label": str,
+          "cells": int, "steps_fired": int,
+          "verdicts": {"sat": int, "undecided": int, "violated": int},
+          "rows": [ { "seed_index": int, "fault_index": int,
+                      "scheduler_seed": int, "verdict": str,
+                      "reason": str|null, "steps": int,
+                      "quiescent": bool,
+                      "seconds": float } ],          -- timings only
+          "wall_clock_s": float,                      -- timings only
+          "transitions_per_sec": float } ] }          -- timings only
+    v}
+
+    With [~timings:false] every field that can vary between two runs of
+    the same root seed (wall-clock, throughput, job count, git state,
+    run id) is omitted, so determinism tests can compare the emitted
+    strings byte-for-byte. *)
+
+val git_describe : unit -> string
+(** [git describe --always --dirty], or ["unknown"] when git or the
+    repository is unavailable. *)
+
+val to_json : ?timings:bool -> ?git:string -> Engine.run -> string
+(** [timings] defaults to [true]; [git] defaults to {!git_describe}
+    (only consulted when [timings]). *)
+
+val write : path:string -> Engine.run -> unit
+(** Write [to_json ~timings:true] to [path]. *)

@@ -23,4 +23,7 @@ let () =
       ("channel-variants", Test_channel_variants.suite);
       ("k-set", Test_kset.suite);
       ("lint", Test_lint.suite);
+      ("sched-fairness", Test_sched_fairness.suite);
+      ("seed-derive", Test_seed_derive.suite);
+      ("runner", Test_runner.suite);
     ]

@@ -1,0 +1,77 @@
+(* Golden vectors and qcheck properties for the splitmix64 seed
+   derivation (Scheduler.Seed) behind the parallel experiment runner.
+   The derivation must be (a) stable across versions — the golden
+   vectors pin it — and (b) collision-free across the (key, index)
+   pairs of a sweep, so no two matrix cells share a scheduler seed. *)
+
+open Afd_ioa
+
+let golden = 0x9e3779b97f4a7c15L
+
+(* The first three outputs of the reference splitmix64 stream seeded
+   with 0 are mix64(k * golden) for k = 1, 2, 3.  Pinning them proves
+   [mix64] is the Steele-Lea-Flood finalizer, not a lookalike. *)
+let test_mix64_reference () =
+  let check k expect =
+    Alcotest.(check int64)
+      (Printf.sprintf "mix64(%d * golden)" k)
+      expect
+      (Scheduler.Seed.mix64 (Int64.mul (Int64.of_int k) golden))
+  in
+  check 1 0xE220A8397B1DCDAFL;
+  check 2 0x6E789E6AA1B965F4L;
+  check 3 0x06C45D188009454FL
+
+(* Any change to the derivation silently reseeds every experiment in
+   BENCH.json; this golden vector forces such a change to be explicit. *)
+let test_derive_golden () =
+  Alcotest.(check (list int))
+    "derive ~root:42 ~key:\"E1.omega\" over indices 0-4"
+    [ 1716765618302146912;
+      4399002401112993793;
+      4448027821325446042;
+      334720682438423586;
+      1670140343467387876
+    ]
+    (List.init 5 (fun i -> Scheduler.Seed.derive ~root:42 ~key:"E1.omega" ~index:i));
+  Alcotest.(check (list int))
+    "derive ~root:7 ~key:\"witness\" over indices 0-2"
+    [ 969093086627286985; 908769538675487606; 591168567809123946 ]
+    (List.init 3 (fun i -> Scheduler.Seed.derive ~root:7 ~key:"witness" ~index:i))
+
+let key_gen = QCheck2.Gen.(string_size ~gen:printable (int_range 0 12))
+let cell_gen = QCheck2.Gen.(pair key_gen (int_range 0 1000))
+
+let prop_distinct_cells_distinct_seeds =
+  QCheck2.Test.make ~name:"distinct (key, index) pairs yield distinct seeds"
+    ~count:10_000
+    QCheck2.Gen.(pair cell_gen cell_gen)
+    (fun ((k1, i1), (k2, i2)) ->
+      ((k1, i1) = (k2, i2))
+      || Scheduler.Seed.derive ~root:5 ~key:k1 ~index:i1
+         <> Scheduler.Seed.derive ~root:5 ~key:k2 ~index:i2)
+
+let prop_nonnegative_and_pure =
+  QCheck2.Test.make ~name:"derivation is nonnegative and a pure function"
+    ~count:1_000
+    QCheck2.Gen.(pair (int_range (-1000) 1000) cell_gen)
+    (fun (root, (key, index)) ->
+      let a = Scheduler.Seed.derive ~root ~key ~index in
+      let b = Scheduler.Seed.derive ~root ~key ~index in
+      a >= 0 && a = b)
+
+let prop_root_sensitivity =
+  QCheck2.Test.make ~name:"distinct roots reseed every stream" ~count:1_000
+    QCheck2.Gen.(triple (int_range 0 100_000) (int_range 0 100_000) cell_gen)
+    (fun (r1, r2, (key, index)) ->
+      r1 = r2
+      || Scheduler.Seed.derive ~root:r1 ~key ~index
+         <> Scheduler.Seed.derive ~root:r2 ~key ~index)
+
+let suite =
+  [ Alcotest.test_case "mix64 reference vectors" `Quick test_mix64_reference;
+    Alcotest.test_case "derivation golden vectors" `Quick test_derive_golden;
+    QCheck_alcotest.to_alcotest prop_distinct_cells_distinct_seeds;
+    QCheck_alcotest.to_alcotest prop_nonnegative_and_pure;
+    QCheck_alcotest.to_alcotest prop_root_sensitivity;
+  ]
