@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-json bench-smoke clean
+.PHONY: all build test lint bench bench-json bench-smoke perf clean
 
 all: build
 
@@ -28,6 +28,12 @@ bench-json:
 # AFD_BENCH_LARGE=1 adds the n=3 tree)
 bench-smoke:
 	dune exec bench/main.exe
+
+# throughput gate: re-run the E1-E7 matrix and fail (exit 1) if the
+# aggregate transitions/sec regressed more than 30% against the
+# checked-in pre-optimization baseline
+perf:
+	dune exec bench/main.exe -- --smoke $(if $(JOBS),--jobs $(JOBS),) --baseline BENCH_baseline.json
 
 clean:
 	dune clean

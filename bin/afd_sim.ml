@@ -57,6 +57,37 @@ let crash_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full event trace.")
 
+let retention_conv =
+  let parse s =
+    match s with
+    | "full" -> Ok Scheduler.Full
+    | "trace" -> Ok Scheduler.Trace_only
+    | _ -> (
+      match String.split_on_char ':' s with
+      | [ "window"; w ] -> (
+        match int_of_string_opt w with
+        | Some w -> Ok (Scheduler.Window w)
+        | None -> Error (`Msg "expected full | trace | window:N"))
+      | _ -> Error (`Msg "expected full | trace | window:N"))
+  in
+  let print fmt = function
+    | Scheduler.Full -> Format.fprintf fmt "full"
+    | Scheduler.Trace_only -> Format.fprintf fmt "trace"
+    | Scheduler.Window w -> Format.fprintf fmt "window:%d" w
+  in
+  Arg.conv (parse, print)
+
+let retention_arg =
+  Arg.(
+    value
+    & opt retention_conv Scheduler.Trace_only
+    & info [ "retention" ] ~docv:"POLICY"
+        ~doc:
+          "Execution retention: $(b,trace) (default; keep only the fired trace, O(1) \
+           memory per step), $(b,full) (keep every intermediate state), or \
+           $(b,window:N) (keep the last N steps in O(N) memory).  Verdicts are \
+           identical under every policy.")
+
 let crashable_of crash_at =
   List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
 
@@ -73,7 +104,7 @@ let detector_cmd =
   let fd_arg =
     Arg.(value & opt fd_conv P_fd & info [ "fd" ] ~docv:"FD" ~doc:"Detector: omega, p, or evp.")
   in
-  let run which n seed steps crash_at verbose =
+  let run which n seed steps crash_at retention verbose =
     let check_and_print pp spec trace =
       if verbose then
         List.iter (fun e -> Format.printf "  %a@." (Fd_event.pp pp) e) trace;
@@ -88,14 +119,14 @@ let detector_cmd =
     (match which with
     | Omega_fd ->
       let t =
-        Afd_automata.generate_trace ~detector:(Afd_automata.fd_omega ~n) ~n ~seed
-          ~crash_at ~steps
+        Afd_automata.generate_trace_with ~retention
+          ~detector:(Afd_automata.fd_omega ~n) ~n ~seed ~crash_at ~steps
       in
       check_and_print Loc.pp Omega.spec t
     | P_fd ->
       let t =
-        Afd_automata.generate_trace ~detector:(Afd_automata.fd_perfect ~n) ~n ~seed
-          ~crash_at ~steps
+        Afd_automata.generate_trace_with ~retention
+          ~detector:(Afd_automata.fd_perfect ~n) ~n ~seed ~crash_at ~steps
       in
       check_and_print Loc.pp_set Perfect.spec t
     | Evp_noisy_fd ->
@@ -104,14 +135,18 @@ let detector_cmd =
           (List.map (fun i -> (i, Loc.Set.singleton ((i + 1) mod n))) (Loc.universe ~n))
       in
       let t =
-        Afd_automata.generate_trace
+        Afd_automata.generate_trace_with ~retention
           ~detector:(Afd_automata.fd_ev_perfect_noisy ~n ~noise) ~n ~seed ~crash_at
           ~steps
       in
       check_and_print Loc.pp_set Ev_perfect.spec t);
     0
   in
-  let term = Term.(const run $ fd_arg $ n_arg $ seed_arg $ steps_arg $ crash_arg $ verbose_arg) in
+  let term =
+    Term.(
+      const run $ fd_arg $ n_arg $ seed_arg $ steps_arg $ crash_arg $ retention_arg
+      $ verbose_arg)
+  in
   Cmd.v (Cmd.info "detector" ~doc:"Run a failure-detector automaton and check its trace.") term
 
 (* --- consensus subcommand --- *)
@@ -133,7 +168,7 @@ let consensus_cmd =
   let f_arg =
     Arg.(value & opt (some int) None & info [ "f" ] ~docv:"F" ~doc:"Crash tolerance (default: algorithm-specific).")
   in
-  let run algo n f seed steps crash_at verbose =
+  let run algo n f seed steps crash_at retention verbose =
     let crashable = crashable_of crash_at in
     let f =
       match (f, algo) with
@@ -148,7 +183,7 @@ let consensus_cmd =
       | Via_evp -> C.Via_reduction.net ~n ~crashable ()
       | Sigma_omega -> C.Synod_sigma.net ~n ~crashable ()
     in
-    let r = Net.run net ~seed ~crash_at ~steps in
+    let r = Net.run ~retention net ~seed ~crash_at ~steps in
     if verbose then
       List.iter
         (fun a ->
@@ -167,7 +202,9 @@ let consensus_cmd =
     (match C.Spec.check ~n ~f r.Net.trace with Verdict.Violated _ -> 1 | _ -> 0)
   in
   let term =
-    Term.(const run $ algo_arg $ n_arg $ f_arg $ seed_arg $ steps_arg $ crash_arg $ verbose_arg)
+    Term.(
+      const run $ algo_arg $ n_arg $ f_arg $ seed_arg $ steps_arg $ crash_arg
+      $ retention_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "consensus" ~doc:"Run a consensus algorithm over an AFD.") term
 
@@ -177,7 +214,7 @@ let selfimpl_cmd =
   let fd_arg =
     Arg.(value & opt fd_conv Omega_fd & info [ "fd" ] ~docv:"FD" ~doc:"Detector to self-implement.")
   in
-  let run which n seed steps crash_at =
+  let run which n seed steps crash_at retention =
     let report name r =
       match r with
       | Ok () -> Format.printf "theorem 13 holds for %s@." name; 0
@@ -186,20 +223,22 @@ let selfimpl_cmd =
     (match which with
     | Omega_fd ->
       report "Omega"
-        (Self_impl.check_theorem13 ~spec:Omega.spec
+        (Self_impl.check_theorem13_with ~retention ~spec:Omega.spec
            ~detector:(Afd_automata.fd_omega ~n) ~n ~seed ~crash_at ~steps)
     | P_fd ->
       report "P"
-        (Self_impl.check_theorem13 ~spec:Perfect.spec
+        (Self_impl.check_theorem13_with ~retention ~spec:Perfect.spec
            ~detector:(Afd_automata.fd_perfect ~n) ~n ~seed ~crash_at ~steps)
     | Evp_noisy_fd ->
       let noise = Afd_automata.noise_of_list [ (0, Loc.Set.singleton 1) ] in
       report "EvP"
-        (Self_impl.check_theorem13 ~spec:Ev_perfect.spec
+        (Self_impl.check_theorem13_with ~retention ~spec:Ev_perfect.spec
            ~detector:(Afd_automata.fd_ev_perfect_noisy ~n ~noise) ~n ~seed ~crash_at
            ~steps))
   in
-  let term = Term.(const run $ fd_arg $ n_arg $ seed_arg $ steps_arg $ crash_arg) in
+  let term =
+    Term.(const run $ fd_arg $ n_arg $ seed_arg $ steps_arg $ crash_arg $ retention_arg)
+  in
   Cmd.v (Cmd.info "selfimpl" ~doc:"Run Algorithm 3 and verify Theorem 13.") term
 
 (* --- tree subcommand --- *)

@@ -1,0 +1,21 @@
+(** The E1-E7 experiment matrix of the bench harness, as a library.
+
+    Exposed so the test suite can run the exact matrix the harness
+    runs: the determinism tests compare its verdict tables across
+    domain counts, and the retention-equivalence regression re-runs
+    every cell under each {!Afd_ioa.Scheduler.retention} policy and
+    demands identical (timing-free) results. *)
+
+val verdict_str : Afd_core.Verdict.t -> string
+(** ["sat"], ["VIOLATED: ..."] or ["undecided: ..."]. *)
+
+val ok_str : ('a, string) result -> string
+(** ["ok"] or ["FAIL: ..."]. *)
+
+val matrix :
+  ?retention:Afd_ioa.Scheduler.retention ->
+  unit ->
+  Afd_runner.Matrix.entry list
+(** The 25 entries of E1-E7.  [retention] (default
+    {!Afd_ioa.Scheduler.Trace_only}) is threaded into every
+    scheduler-driven cell body; verdicts must not depend on it. *)

@@ -144,7 +144,7 @@ let fd_omega_noisy ~n ~noise =
 let fd_ev_perfect_noisy ~n ~noise =
   noisy ~name:"FD-EvP-noisy" ~n ~noise ~output:(fun crashset _i -> Some crashset)
 
-let generate_trace ~detector ~n ~seed ~crash_at ~steps =
+let generate_trace_with ~retention ~detector ~n ~seed ~crash_at ~steps =
   let crashable =
     List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
   in
@@ -167,5 +167,11 @@ let generate_trace ~detector ~n ~seed ~crash_at ~steps =
       forced;
     }
   in
-  let outcome = Scheduler.run comp cfg in
-  Execution.schedule outcome.Scheduler.execution
+  (* Traces come from the fired sequence, which every retention policy
+     keeps in full: no per-step state snapshots are retained. *)
+  let outcome = Scheduler.run ~retention comp cfg in
+  List.map snd outcome.Scheduler.fired
+
+let generate_trace ~detector ~n ~seed ~crash_at ~steps =
+  generate_trace_with ~retention:Scheduler.Trace_only ~detector ~n ~seed ~crash_at
+    ~steps

@@ -88,4 +88,19 @@ val generate_trace :
 (** Compose the detector with the crash automaton, run a fair random
     schedule of [steps] steps with the given fault pattern (location
     [i] is crashed at global step [k] for each [(k, i)]), and return
-    the resulting FD trace. *)
+    the resulting FD trace.  Retains no per-step states
+    ({!Scheduler.Trace_only}): the trace is read off the fired
+    sequence. *)
+
+val generate_trace_with :
+  retention:Scheduler.retention ->
+  detector:('s, 'o Fd_event.t) Automaton.t ->
+  n:int ->
+  seed:int ->
+  crash_at:(int * Loc.t) list ->
+  steps:int ->
+  'o Fd_event.t list
+(** {!generate_trace} under an explicit retention policy.  The trace is
+    retention-invariant by construction; the knob exists so the
+    retention-equivalence regression suite can drive the whole
+    experiment matrix under each policy. *)

@@ -44,7 +44,7 @@ type ('i, 'o) run = {
   target : 'o Fd_event.t list;
 }
 
-let run ~detector ~f ~name ~n ~seed ~crash_at ~steps =
+let run_with ~retention ~detector ~f ~name ~n ~seed ~crash_at ~steps =
   let crashable =
     List.fold_left (fun acc (_, i) -> Loc.Set.add i acc) Loc.Set.empty crash_at
   in
@@ -75,8 +75,8 @@ let run ~detector ~f ~name ~n ~seed ~crash_at ~steps =
       forced;
     }
   in
-  let outcome = Scheduler.run comp cfg in
-  let combined = Execution.schedule outcome.Scheduler.execution in
+  let outcome = Scheduler.run ~retention comp cfg in
+  let combined = List.map snd outcome.Scheduler.fired in
   let source = List.filter_map (function In e -> Some e | Out _ -> None) combined in
   let target =
     List.filter_map
@@ -87,6 +87,9 @@ let run ~detector ~f ~name ~n ~seed ~crash_at ~steps =
       combined
   in
   { source; target }
+
+let run ~detector ~f ~name ~n ~seed ~crash_at ~steps =
+  run_with ~retention:Scheduler.Trace_only ~detector ~f ~name ~n ~seed ~crash_at ~steps
 
 let apply_to_trace ~f t =
   List.map

@@ -1,6 +1,3 @@
-type 'a t = { name : string; comps : 'a Component.t array }
-type 'a state = 'a Component.inst array
-
 type task_id = {
   comp_idx : int;
   task_idx : int;
@@ -9,7 +6,22 @@ type task_id = {
   fair : bool;
 }
 
-let make ~name comps = { name; comps = Array.of_list comps }
+type 'a t = {
+  name : string;
+  comps : 'a Component.t array;
+  (* Memoized task structure: the flattened task array and, per
+     component, the indices of its tasks in that array.  Both are pure
+     functions of [comps]; computing them once keeps the scheduler's
+     per-step work proportional to touched components only. *)
+  mutable tasks_memo : task_id array option;
+  mutable by_comp_memo : int array array option;
+}
+
+type 'a state = 'a Component.inst array
+
+let make ~name comps =
+  { name; comps = Array.of_list comps; tasks_memo = None; by_comp_memo = None }
+
 let name c = c.name
 let components c = c.comps
 let start c = Array.map Component.init c.comps
@@ -85,35 +97,69 @@ let check_compatible c ~probes =
              c.name owner)
       | [] -> Ok ()))
 
-let step _c st act =
+let step_touched _c st act =
   let n = Array.length st in
-  let next = Array.make n st.(0) in
+  let next = ref st in
+  let touched = ref [] in
   let ok = ref true in
   for i = 0 to n - 1 do
     if !ok then
-      match Component.step st.(i) act with
-      | Some inst -> next.(i) <- inst
+      let inst = st.(i) in
+      match Component.step inst act with
+      | Some inst' ->
+        if inst' != inst then begin
+          let nx = if !next == st then Array.copy st else !next in
+          nx.(i) <- inst';
+          next := nx;
+          touched := i :: !touched
+        end
       | None -> ok := false
   done;
-  if !ok then Some next else None
+  if !ok then Some (!next, List.rev !touched) else None
 
-let tasks c =
-  let acc = ref [] in
-  Array.iteri
-    (fun ci comp ->
-      List.iteri
-        (fun ti (task_name, fair) ->
-          acc :=
-            { comp_idx = ci;
-              task_idx = ti;
-              comp_name = Component.name comp;
-              task_name;
-              fair;
-            }
-            :: !acc)
-        (Component.task_names comp))
-    c.comps;
-  List.rev !acc
+let step c st act = Option.map fst (step_touched c st act)
+
+let tasks_array c =
+  match c.tasks_memo with
+  | Some a -> a
+  | None ->
+    let acc = ref [] in
+    Array.iteri
+      (fun ci comp ->
+        List.iteri
+          (fun ti (task_name, fair) ->
+            acc :=
+              { comp_idx = ci;
+                task_idx = ti;
+                comp_name = Component.name comp;
+                task_name;
+                fair;
+              }
+              :: !acc)
+          (Component.task_names comp))
+      c.comps;
+    let a = Array.of_list (List.rev !acc) in
+    c.tasks_memo <- Some a;
+    a
+
+let comp_task_indices c =
+  match c.by_comp_memo with
+  | Some m -> m
+  | None ->
+    let ts = tasks_array c in
+    let counts = Array.make (Array.length c.comps) 0 in
+    Array.iter (fun tid -> counts.(tid.comp_idx) <- counts.(tid.comp_idx) + 1) ts;
+    let m = Array.map (fun n -> Array.make n 0) counts in
+    let fill = Array.make (Array.length c.comps) 0 in
+    Array.iteri
+      (fun k tid ->
+        m.(tid.comp_idx).(fill.(tid.comp_idx)) <- k;
+        fill.(tid.comp_idx) <- fill.(tid.comp_idx) + 1)
+      ts;
+    c.by_comp_memo <- Some m;
+    m
+
+let tasks c = Array.to_list (tasks_array c)
 
 let enabled _c st tid = Component.enabled_of_task st.(tid.comp_idx) tid.task_idx
 
@@ -123,9 +169,9 @@ let enabled_tasks c st =
     (tasks c)
 
 let quiescent c st =
-  List.for_all
+  Array.for_all
     (fun tid -> (not tid.fair) || enabled c st tid = None)
-    (tasks c)
+    (tasks_array c)
 
 let find_component c nm =
   let found = ref None in

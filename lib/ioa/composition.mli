@@ -62,8 +62,28 @@ val step : 'a t -> 'a state -> 'a -> 'a state option
     controlling component has it disabled or a non-input-enabled
     automaton misbehaves). *)
 
+val step_touched : 'a t -> 'a state -> 'a -> ('a state * int list) option
+(** Like {!step}, but also reports the indices (ascending) of the
+    components whose instance actually changed.  Components whose
+    signature excludes the action — or whose transition hands back the
+    same state — are skipped and keep their instance {e physically},
+    so task enabledness of untouched components is provably unchanged
+    and cached enabledness need only be refreshed for touched ones.
+    When no component moves, the input state array itself is
+    returned. *)
+
 val tasks : 'a t -> task_id list
 (** All tasks of all components, component-major order. *)
+
+val tasks_array : 'a t -> task_id array
+(** Same as {!tasks}, materialized once per composition and memoized;
+    the scheduler's per-step structures index into this array.  The
+    caller must not mutate it. *)
+
+val comp_task_indices : 'a t -> int array array
+(** [comp_task_indices c].(i) lists the indices into {!tasks_array} of
+    component [i]'s tasks — the invalidation sets for incremental
+    enabledness.  Memoized; the caller must not mutate it. *)
 
 val enabled : 'a t -> 'a state -> task_id -> 'a option
 (** The unique action enabled in the given task, if any. *)

@@ -2,25 +2,37 @@
 
     An execution fragment is an alternating sequence of states and
     actions [s0, a1, s1, a2, ...].  We store the start state and the
-    list of (action, resulting state) steps.  The {e schedule} of an
-    execution is its sequence of events (all actions); its {e trace}
-    is the subsequence of external actions. *)
+    (action, resulting state) steps.  The {e schedule} of an execution
+    is its sequence of events (all actions); its {e trace} is the
+    subsequence of external actions.
 
-type ('s, 'a) t = { start : 's; steps : ('a * 's) list }
+    The representation is abstract: steps are kept newest-first with a
+    materialized length, so {!extend}, {!length} and {!final} are O(1)
+    and the simulator's hot loop never pays a list append. *)
+
+type ('s, 'a) t
 
 val init : 's -> ('s, 'a) t
 (** The null execution fragment consisting of one state. *)
 
 val extend : ('s, 'a) t -> 'a -> 's -> ('s, 'a) t
-(** Append one step. O(1) amortized is not needed here; steps are kept
-    in order, so this is O(length). Prefer {!of_rev_steps} in hot
-    loops. *)
+(** Append one step.  O(1). *)
 
 val of_rev_steps : 's -> ('a * 's) list -> ('s, 'a) t
 (** Build from steps accumulated in reverse order. *)
 
 val length : ('s, 'a) t -> int
+(** Number of steps.  O(1). *)
+
+val start : ('s, 'a) t -> 's
+(** The initial state of the fragment. *)
+
+val steps : ('s, 'a) t -> ('a * 's) list
+(** The (action, resulting state) steps in order.  O(length). *)
+
 val final : ('s, 'a) t -> 's
+(** The last state.  O(1). *)
+
 val schedule : ('s, 'a) t -> 'a list
 val states : ('s, 'a) t -> 's list
 

@@ -8,49 +8,111 @@ type report = {
 let full_name (tid : Composition.task_id) =
   tid.Composition.comp_name ^ "/" ^ tid.Composition.task_name
 
-let analyze ?window comp exe =
-  let tasks = Array.of_list (Composition.tasks comp) in
+(* Incremental monitor.  The naive analyzer probed every task's
+   enabledness in every state of the execution — O(steps * tasks)
+   closure calls.  The monitor keeps the per-task enabledness of the
+   current state cached and refreshes only the tasks of components
+   whose instance changed between consecutive states (physically
+   distinct slots; sound because a physically unchanged instance has
+   unchanged enabledness).  Same counters, same report. *)
+type 'a monitor = {
+  comp : 'a Composition.t;
+  tasks : Composition.task_id array;
+  by_comp : int array array;
+  window : int;
+  mutable state : 'a Composition.state;
+  cache : 'a option array;
+  firings : int array;
+  streak : int array;
+  worst : int array;
+}
+
+let create ?window comp st =
+  let tasks = Composition.tasks_array comp in
   let ntasks = Array.length tasks in
   let window = match window with Some w -> w | None -> 8 * max 1 ntasks in
-  let firings = Array.make ntasks 0 in
-  let streak = Array.make ntasks 0 in
-  let worst = Array.make ntasks 0 in
-  let update st act_opt =
+  let cache = Array.make (max 1 ntasks) None in
+  Array.iteri (fun k tid -> cache.(k) <- Composition.enabled comp st tid) tasks;
+  { comp;
+    tasks;
+    by_comp = Composition.comp_task_indices comp;
+    window;
+    state = st;
+    cache;
+    firings = Array.make (max 1 ntasks) 0;
+    streak = Array.make (max 1 ntasks) 0;
+    worst = Array.make (max 1 ntasks) 0;
+  }
+
+(* Account one fired action against the cached pre-state enabledness. *)
+let note m act =
+  Array.iteri
+    (fun k tid ->
+      if tid.Composition.fair then
+        match m.cache.(k) with
+        | None -> m.streak.(k) <- 0
+        | Some a ->
+          if Stdlib.compare act a = 0 then begin
+            m.firings.(k) <- m.firings.(k) + 1;
+            m.streak.(k) <- 0
+          end
+          else begin
+            m.streak.(k) <- m.streak.(k) + 1;
+            if m.streak.(k) > m.worst.(k) then m.worst.(k) <- m.streak.(k)
+          end)
+    m.tasks
+
+let refresh_comp m st' ci =
+  Array.iter
+    (fun k -> m.cache.(k) <- Composition.enabled m.comp st' m.tasks.(k))
+    m.by_comp.(ci)
+
+let observe_touched m act ~touched st' =
+  note m act;
+  List.iter (refresh_comp m st') touched;
+  m.state <- st'
+
+let observe m act st' =
+  note m act;
+  let st = m.state in
+  if st' != st then
+    if Array.length st' <> Array.length st then
+      (* Not a successor of the tracked state (foreign execution):
+         fall back to refreshing everything. *)
+      Array.iteri
+        (fun k tid -> m.cache.(k) <- Composition.enabled m.comp st' tid)
+        m.tasks
+    else
+      Array.iteri
+        (fun i inst' -> if inst' != st.(i) then refresh_comp m st' i)
+        st';
+  m.state <- st'
+
+let finalize m =
+  let quiescent_end =
+    let ok = ref true in
     Array.iteri
-      (fun k tid ->
-        if tid.Composition.fair then
-          match Composition.enabled comp st tid with
-          | None -> streak.(k) <- 0
-          | Some a -> (
-            match act_opt with
-            | Some act when Stdlib.compare act a = 0 ->
-              firings.(k) <- firings.(k) + 1;
-              streak.(k) <- 0
-            | _ ->
-              streak.(k) <- streak.(k) + 1;
-              if streak.(k) > worst.(k) then worst.(k) <- streak.(k)))
-      tasks
+      (fun k tid -> if tid.Composition.fair && m.cache.(k) <> None then ok := false)
+      m.tasks;
+    !ok
   in
-  let rec replay st = function
-    | [] -> st
-    | (act, st') :: rest ->
-      update st (Some act);
-      replay st' rest
-  in
-  let final = replay exe.Execution.start exe.Execution.steps in
-  let quiescent_end = Composition.quiescent comp final in
-  let fair_prefix = Array.for_all (fun w -> w <= window) worst in
+  let fair_prefix = Array.for_all (fun w -> w <= m.window) m.worst in
   let max_starvation =
     let best = ref None in
     Array.iteri
       (fun k w ->
         match !best with
         | Some (_, bw) when bw >= w -> ()
-        | _ -> if w > 0 then best := Some (full_name tasks.(k), w))
-      worst;
+        | _ -> if w > 0 then best := Some (full_name m.tasks.(k), w))
+      m.worst;
     !best
   in
   let firings =
-    Array.to_list (Array.mapi (fun k c -> (full_name tasks.(k), c)) firings)
+    Array.to_list (Array.mapi (fun k c -> (full_name m.tasks.(k), c)) m.firings)
   in
   { fair_prefix; quiescent_end; firings; max_starvation }
+
+let analyze ?window comp exe =
+  let m = create ?window comp (Execution.start exe) in
+  List.iter (fun (act, st') -> observe m act st') (Execution.steps exe);
+  finalize m

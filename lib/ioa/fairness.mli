@@ -16,7 +16,37 @@ type report = {
       (** worst observed enabled-without-firing stretch *)
 }
 
+(** {1 Streaming monitor}
+
+    The monitor folds over a run one step at a time, caching per-task
+    enabledness and re-probing only the tasks of components whose
+    instance changed — O(tasks of touched components) per step instead
+    of O(all tasks).  It can be fed online from a scheduler observer
+    (no retained execution needed) or offline from a stored
+    execution. *)
+
+type 'a monitor
+
+val create : ?window:int -> 'a Composition.t -> 'a Composition.state -> 'a monitor
+(** Monitor starting in the given state.  Default [window] is
+    [8 * number of tasks]. *)
+
+val observe : 'a monitor -> 'a -> 'a Composition.state -> unit
+(** [observe m act st'] accounts one fired action and its post-state.
+    Touched components are detected by physical diff against the
+    previous state, which is exact for states produced by
+    {!Composition.step}. *)
+
+val observe_touched : 'a monitor -> 'a -> touched:int list -> 'a Composition.state -> unit
+(** Like {!observe} with the touched-component indices already known
+    (as a scheduler observer receives them), skipping the diff scan. *)
+
+val finalize : 'a monitor -> report
+(** The report for the steps observed so far.  The monitor may keep
+    observing afterwards. *)
+
 val analyze :
   ?window:int -> 'a Composition.t -> ('a Composition.state, 'a) Execution.t -> report
-(** [analyze ~window comp exe] replays [exe] against [comp]'s task
-    structure.  Default [window] is [8 * number of tasks]. *)
+(** [analyze ~window comp exe] folds the monitor over [exe]'s steps:
+    equivalent to the naive full replay, without its quadratic
+    re-probing. *)

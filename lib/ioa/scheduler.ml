@@ -12,19 +12,62 @@ type cfg = {
 let default_cfg =
   { policy = Round_robin; max_steps = 1000; stop_when_quiescent = true; forced = [] }
 
+type retention = Full | Trace_only | Window of int
+
+type 'a observer =
+  step:int ->
+  Composition.task_id ->
+  'a ->
+  touched:int list ->
+  'a Composition.state ->
+  unit
+
 type 'a outcome = {
   execution : ('a Composition.state, 'a) Execution.t;
   fired : (Composition.task_id * 'a) list;
   quiescent : bool;
+  stopped_idle : bool;
+  final_state : 'a Composition.state;
+  steps_taken : int;
 }
 
 let full_name (tid : Composition.task_id) =
   tid.Composition.comp_name ^ "/" ^ tid.Composition.task_name
 
-let contains ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-  nl = 0 || go 0
+(* KMP substring search: [matcher needle] preprocesses the needle once
+   (O(|needle|)) and the returned predicate scans each haystack in a
+   single left-to-right pass (O(|hay|)), replacing the old O(n*m)
+   rescan-per-position loop. *)
+let matcher needle =
+  let m = String.length needle in
+  if m = 0 then fun _ -> true
+  else begin
+    let fail = Array.make m 0 in
+    let k = ref 0 in
+    for i = 1 to m - 1 do
+      while !k > 0 && needle.[i] <> needle.[!k] do
+        k := fail.(!k - 1)
+      done;
+      if needle.[i] = needle.[!k] then incr k;
+      fail.(i) <- !k
+    done;
+    fun hay ->
+      let n = String.length hay in
+      let q = ref 0 and found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < n do
+        let c = hay.[!i] in
+        while !q > 0 && c <> needle.[!q] do
+          q := fail.(!q - 1)
+        done;
+        if c = needle.[!q] then incr q;
+        if !q = m then found := true;
+        incr i
+      done;
+      !found
+  end
+
+let contains ~needle hay = matcher needle hay
 
 (* Starvation-bound parameter for the random policy: an enabled fair
    task fires at latest after [patience * #tasks] consecutive steps. *)
@@ -63,9 +106,66 @@ module Seed = struct
     Int64.to_int (Int64.logand (mix64 (mix64 z)) 0x3fffffffffffffffL)
 end
 
-let run comp cfg =
-  let tasks = Array.of_list (Composition.tasks comp) in
+(* --- streaming step recorders (one per retention policy) --- *)
+
+type ('s, 'a) recorder = {
+  push : 'a -> 's -> unit;
+  capture : unit -> ('s, 'a) Execution.t;
+}
+
+let make_recorder retention start =
+  match retention with
+  | Full ->
+    let rev = ref [] in
+    { push = (fun a s -> rev := (a, s) :: !rev);
+      capture = (fun () -> Execution.of_rev_steps start !rev);
+    }
+  | Trace_only ->
+    { push = (fun _ _ -> ()); capture = (fun () -> Execution.init start) }
+  | Window w when w <= 0 ->
+    (* Degenerate window: retain only the running final state. *)
+    let last = ref start in
+    { push = (fun _ s -> last := s); capture = (fun () -> Execution.init !last) }
+  | Window w ->
+    (* Ring buffer of the last [w] steps plus the state preceding the
+       oldest retained step, so the captured suffix is itself a valid
+       execution fragment.  O(w) memory however long the run. *)
+    let buf = Array.make w None in
+    let count = ref 0 in
+    let win_start = ref start in
+    { push =
+        (fun a s ->
+          let slot = !count mod w in
+          (if !count >= w then
+             match buf.(slot) with
+             | Some (_, evicted) -> win_start := evicted
+             | None -> ());
+          buf.(slot) <- Some (a, s);
+          incr count);
+      capture =
+        (fun () ->
+          let kept = min !count w in
+          let rev = ref [] in
+          for i = 0 to kept - 1 do
+            (* oldest first *)
+            let slot = (!count - kept + i) mod w in
+            match buf.(slot) with
+            | Some step -> rev := step :: !rev
+            | None -> ()
+          done;
+          Execution.of_rev_steps !win_start !rev);
+    }
+
+let no_observer ~step:_ _ _ ~touched:_ _ = ()
+
+let run ?(retention = Full) ?(observer = no_observer) comp cfg =
+  let tasks = Composition.tasks_array comp in
+  let by_comp = Composition.comp_task_indices comp in
   let ntasks = Array.length tasks in
+  (* Task names are only consulted by fault injection: build them once
+     per run (not once per probed task per step) and only when there
+     is a forced schedule at all. *)
+  let names = if cfg.forced = [] then [||] else Array.map full_name tasks in
   (* Round-robin is RNG-free: only the random policy builds a state,
      so its outcomes cannot depend on any seed, by construction. *)
   let rng =
@@ -73,32 +173,52 @@ let run comp cfg =
     | Round_robin -> None
     | Random seed -> Some (Stdlib.Random.State.make [| seed |])
   in
-  let starving = Array.make ntasks 0 in
+  let starving = Array.make (max 1 ntasks) 0 in
   let rr_cursor = ref 0 in
-  let state = ref (Composition.start comp) in
-  let rev_steps = ref [] in
+  let start = Composition.start comp in
+  let state = ref start in
+  (* Incremental enabledness: [enabled.(k)] is task [k]'s enabled
+     action in the current state.  A task's enabledness depends only on
+     its own component's instance, so after a step only the tasks of
+     components touched by that step are re-probed. *)
+  let enabled = Array.make (max 1 ntasks) None in
+  let refresh_task k = enabled.(k) <- Composition.enabled comp !state tasks.(k) in
+  for k = 0 to ntasks - 1 do
+    refresh_task k
+  done;
+  let recorder = make_recorder retention start in
   let fired = ref [] in
-  let pending_forced = ref (List.sort (fun a b -> compare a.at_step b.at_step) cfg.forced) in
+  let pending_forced =
+    ref
+      (List.map
+         (fun f -> (f, matcher f.task_pattern))
+         (List.sort (fun a b -> compare a.at_step b.at_step) cfg.forced))
+  in
   let quiescent = ref false in
+  let stopped_idle = ref false in
   let step = ref 0 in
   let fire tid act =
-    (match Composition.step comp !state act with
-    | Some st' -> state := st'
-    | None -> invalid_arg "Scheduler.run: enabled action failed to step");
-    rev_steps := (act, !state) :: !rev_steps;
-    fired := (tid, act) :: !fired
+    (match Composition.step_touched comp !state act with
+    | Some (st', touched) ->
+      state := st';
+      List.iter (fun ci -> Array.iter refresh_task by_comp.(ci)) touched;
+      recorder.push act st';
+      fired := (tid, act) :: !fired;
+      observer ~step:!step tid act ~touched st'
+    | None -> invalid_arg "Scheduler.run: enabled action failed to step")
   in
   let forced_candidate () =
     match !pending_forced with
-    | { at_step; task_pattern } :: rest when at_step <= !step -> (
+    | ({ at_step; _ }, matches) :: rest when at_step <= !step -> (
       let found = ref None in
-      Array.iter
-        (fun tid ->
-          if !found = None && contains ~needle:task_pattern (full_name tid) then
-            match Composition.enabled comp !state tid with
-            | Some act -> found := Some (tid, act)
-            | None -> ())
-        tasks;
+      let k = ref 0 in
+      while !found = None && !k < ntasks do
+        (if matches names.(!k) then
+           match enabled.(!k) with
+           | Some act -> found := Some (tasks.(!k), act)
+           | None -> ());
+        incr k
+      done;
       match !found with
       | Some c ->
         pending_forced := rest;
@@ -115,50 +235,58 @@ let run comp cfg =
       if tried >= ntasks then None
       else
         let k = (!rr_cursor + tried) mod ntasks in
-        let tid = tasks.(k) in
-        if not tid.Composition.fair then go (tried + 1)
+        if not tasks.(k).Composition.fair then go (tried + 1)
         else
-          match Composition.enabled comp !state tid with
+          match enabled.(k) with
           | Some act ->
             rr_cursor := (k + 1) mod ntasks;
-            Some (tid, act)
+            Some (tasks.(k), act)
           | None -> go (tried + 1)
     in
     go 0
   in
+  (* Scratch buffer for the random policy's enabled-task collection:
+     reused across steps, so the hot loop allocates no per-step list or
+     array.  Slots hold task indices in ascending order; the naive
+     implementation consed them into a descending list, so index [i]
+     of its candidate array is slot [count - 1 - i] here — the RNG
+     draw sequence and the chosen tasks are bit-identical. *)
+  let scratch = Array.make (max 1 ntasks) 0 in
   let pick_random rng =
     (* Starvation backstop first. *)
     let starved = ref None in
-    Array.iteri
-      (fun k tid ->
-        if !starved = None && tid.Composition.fair && starving.(k) > patience * ntasks
-        then
-          match Composition.enabled comp !state tid with
-          | Some act -> starved := Some (k, tid, act)
-          | None -> ())
-      tasks;
+    let k = ref 0 in
+    while !starved = None && !k < ntasks do
+      (if tasks.(!k).Composition.fair && starving.(!k) > patience * ntasks then
+         match enabled.(!k) with
+         | Some act -> starved := Some (!k, act)
+         | None -> ());
+      incr k
+    done;
     match !starved with
-    | Some (k, tid, act) ->
+    | Some (k, act) ->
       starving.(k) <- 0;
-      Some (tid, act)
+      Some (tasks.(k), act)
     | None ->
-      let enabled = ref [] in
-      Array.iteri
-        (fun k tid ->
-          if tid.Composition.fair then
-            match Composition.enabled comp !state tid with
-            | Some act ->
-              enabled := (k, tid, act) :: !enabled;
-              starving.(k) <- starving.(k) + 1
-            | None -> starving.(k) <- 0)
-        tasks;
-      (match !enabled with
-      | [] -> None
-      | l ->
-        let arr = Array.of_list l in
-        let k, tid, act = arr.(Stdlib.Random.State.int rng (Array.length arr)) in
+      let count = ref 0 in
+      for k = 0 to ntasks - 1 do
+        if tasks.(k).Composition.fair then
+          match enabled.(k) with
+          | Some _ ->
+            scratch.(!count) <- k;
+            incr count;
+            starving.(k) <- starving.(k) + 1
+          | None -> starving.(k) <- 0
+      done;
+      if !count = 0 then None
+      else begin
+        let i = Stdlib.Random.State.int rng !count in
+        let k = scratch.(!count - 1 - i) in
         starving.(k) <- 0;
-        Some (tid, act))
+        match enabled.(k) with
+        | Some act -> Some (tasks.(k), act)
+        | None -> assert false
+      end
   in
   let continue = ref true in
   while !continue && !step < cfg.max_steps do
@@ -171,34 +299,41 @@ let run comp cfg =
         | Random _, Some rng -> pick_random rng
         | Random _, None -> assert false)
     in
-    (match choice with
+    match choice with
     | Some (tid, act) ->
       fire tid act;
       incr step
-    | None ->
-      (* No fair task enabled and nothing forced right now. *)
-      if Composition.quiescent comp !state && !pending_forced = [] then begin
+    | None -> (
+      (* No fair task is enabled and nothing is forced right now; the
+         state can no longer change on its own. *)
+      match !pending_forced with
+      | [] ->
+        (* Nothing will ever fire again: stop instead of idle-stepping
+           to [max_steps].  All fair tasks are disabled here, which is
+           exactly [Composition.quiescent]; if some non-fair (crash)
+           task is still enabled the system merely went idle, and that
+           is reported separately from true quiescence. *)
         quiescent := true;
+        stopped_idle := Array.exists Option.is_some enabled;
         continue := false
-      end
-      else if cfg.stop_when_quiescent && !pending_forced = [] then begin
-        quiescent := true;
-        continue := false
-      end
-      else begin
-        (* Idle-step towards the next forced firing. *)
-        incr step
-      end);
-    ()
+      | ({ at_step; _ }, _) :: _ ->
+        (* Idle-step towards the next forced firing.  The state is
+           frozen until then, so jumping the counter is observably
+           identical to the old one-step-at-a-time spin. *)
+        step := max (!step + 1) (min at_step cfg.max_steps))
   done;
-  { execution = Execution.of_rev_steps (Composition.start comp) !rev_steps;
+  { execution = recorder.capture ();
     fired = List.rev !fired;
     quiescent = !quiescent;
+    stopped_idle = !stopped_idle;
+    final_state = !state;
+    steps_taken = !step;
   }
 
-let run_custom comp ~max_steps ~choose =
-  let state = ref (Composition.start comp) in
-  let rev_steps = ref [] in
+let run_custom ?(retention = Full) comp ~max_steps ~choose =
+  let start = Composition.start comp in
+  let state = ref start in
+  let recorder = make_recorder retention start in
   let fired = ref [] in
   let continue = ref true in
   let step = ref 0 in
@@ -211,11 +346,14 @@ let run_custom comp ~max_steps ~choose =
       | None -> invalid_arg "Scheduler.run_custom: chosen action not enabled"
       | Some st' ->
         state := st';
-        rev_steps := (act, !state) :: !rev_steps;
+        recorder.push act st';
         fired := (tid, act) :: !fired;
         incr step)
   done;
-  { execution = Execution.of_rev_steps (Composition.start comp) !rev_steps;
+  { execution = recorder.capture ();
     fired = List.rev !fired;
     quiescent = false;
+    stopped_idle = false;
+    final_state = !state;
+    steps_taken = !step;
   }

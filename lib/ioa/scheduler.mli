@@ -8,7 +8,16 @@
 
     Tasks marked [fair = false] (the crash automaton's tasks) carry no
     obligation and fire only when the fault-injection schedule forces
-    them. *)
+    them.
+
+    The stepping loop is incremental: per-task enabledness is cached
+    and, after each fired action, refreshed only for the tasks of
+    components actually touched by that action (see
+    {!Composition.step_touched}), so a step costs O(tasks of touched
+    components) rather than O(all tasks).  The fired sequence is
+    bit-identical to a naive rescan-everything scheduler for every
+    policy, seed, and fault pattern (enforced by a differential
+    property test). *)
 
 type policy =
   | Round_robin
@@ -40,6 +49,11 @@ val starvation_bound : ntasks:int -> int
     disabled).  Exposed so the bound is testable, not just documented;
     see test/test_sched_fairness.ml. *)
 
+val contains : needle:string -> string -> bool
+(** Single-pass (KMP) substring containment, the matcher behind
+    [task_pattern].  Exposed for the differential test against the
+    specification [exists i. hay[i..] starts with needle]. *)
+
 (** {1 Deterministic seed derivation}
 
     The hook used by the parallel experiment runner ({!Afd_runner}) to
@@ -60,15 +74,68 @@ module Seed : sig
       seeds (up to the 2^-62 truncation collision probability). *)
 end
 
+(** {1 Retention and observation}
+
+    Long runs need not retain every intermediate state.  The retention
+    policy controls what {!outcome}'s [execution] holds; the [fired]
+    task/action sequence and the final state are always complete, so
+    verdicts that fold over the trace are unaffected.  Monitors that
+    need per-step states stream them through an {!observer} instead of
+    replaying a retained execution. *)
+
+type retention =
+  | Full  (** Retain every step: [execution] is the whole run. *)
+  | Trace_only
+      (** Retain no steps: [execution] is the empty execution from the
+          start state; use [fired] and [final_state]. *)
+  | Window of int
+      (** Retain only the last [n] steps in O(n) memory; [execution] is
+          the run's suffix, whose {!Execution.start} is the state
+          preceding the oldest retained step. *)
+
+type 'a observer =
+  step:int ->
+  Composition.task_id ->
+  'a ->
+  touched:int list ->
+  'a Composition.state ->
+  unit
+(** Called after every fired step with the 0-based step index, the task
+    and action fired, the ascending indices of the components the
+    action touched, and the post-state.  Runs inline in the stepping
+    loop: observers should be cheap and must not mutate the
+    composition. *)
+
 type 'a outcome = {
   execution : ('a Composition.state, 'a) Execution.t;
+      (** Per the retention policy; the whole run under [Full]. *)
   fired : (Composition.task_id * 'a) list;  (** in firing order *)
-  quiescent : bool;  (** stopped because no fair task was enabled *)
+  quiescent : bool;
+      (** Stopped because no fair task was enabled
+          ({!Composition.quiescent}). *)
+  stopped_idle : bool;
+      (** Quiescent, but some non-fair task (e.g. an unforced crash)
+          was still enabled when the run stopped — the system went
+          idle rather than terminally silent. *)
+  final_state : 'a Composition.state;
+      (** Last reached state, under every retention policy. *)
+  steps_taken : int;
+      (** Global step counter at stop (counts idle fault-injection
+          waiting steps as well as fired ones). *)
 }
 
-val run : 'a Composition.t -> cfg -> 'a outcome
+val run :
+  ?retention:retention ->
+  ?observer:'a observer ->
+  'a Composition.t ->
+  cfg ->
+  'a outcome
+(** Run the scheduler.  [retention] defaults to [Full]; [observer]
+    defaults to a no-op.  The fired sequence, final state and verdict
+    flags are identical across retention policies. *)
 
 val run_custom :
+  ?retention:retention ->
   'a Composition.t ->
   max_steps:int ->
   choose:(step:int -> (Composition.task_id * 'a) list -> (Composition.task_id * 'a) option) ->

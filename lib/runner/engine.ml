@@ -86,6 +86,16 @@ let run cfg entries =
   in
   { cfg; exps; wall_seconds = Unix.gettimeofday () -. t0 }
 
+let total_steps r =
+  List.fold_left (fun acc e -> acc + Metrics.exp_steps e) 0 r.exps
+
+let total_seconds r =
+  List.fold_left (fun acc e -> acc +. Metrics.exp_seconds e) 0. r.exps
+
+let aggregate_transitions_per_sec r =
+  let s = total_seconds r in
+  if s <= 0. then 0. else float_of_int (total_steps r) /. s
+
 let verdict_table r =
   let buf = Buffer.create 4096 in
   let last_section = ref None in
@@ -105,5 +115,7 @@ let pp fmt r =
   let cells =
     List.fold_left (fun acc e -> acc + List.length e.Metrics.cells) 0 r.exps
   in
-  Format.fprintf fmt "(matrix: %d experiments, %d cells, jobs=%d, %.2fs)@."
+  Format.fprintf fmt
+    "(matrix: %d experiments, %d cells, jobs=%d, %.2fs, %.0f transitions/s)@."
     (List.length r.exps) cells r.cfg.jobs r.wall_seconds
+    (aggregate_transitions_per_sec r)

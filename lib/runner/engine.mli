@@ -31,6 +31,17 @@ val cell_seed : root:int -> id:string -> fault_index:int -> seed_index:int -> in
 
 val run : cfg -> Matrix.entry list -> run
 
+val total_steps : run -> int
+(** Sum of [steps_fired] over every cell of every experiment. *)
+
+val total_seconds : run -> float
+(** Sum of per-cell wall-clock over every cell (CPU-time-like: cells
+    running on different domains are summed, not overlapped). *)
+
+val aggregate_transitions_per_sec : run -> float
+(** [total_steps / total_seconds]; [0.] when no time was observed.
+    The throughput figure [make perf] gates on. *)
+
 val verdict_table : run -> string
 (** Section headers plus every rendered row, newline-separated — the
     byte-comparable artifact of the determinism tests.  Contains no

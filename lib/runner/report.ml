@@ -84,9 +84,12 @@ let to_json ?(timings = true) ?git (r : Engine.run) =
           r.Engine.cfg.Engine.jobs
       in
       header
-      ^ Printf.sprintf ",\"run_id\":%s,\"git\":%s,\"jobs\":%d,\"wall_clock_s\":%s"
+      ^ Printf.sprintf
+          ",\"run_id\":%s,\"git\":%s,\"jobs\":%d,\"wall_clock_s\":%s,\"total_steps\":%d,\"aggregate_transitions_per_sec\":%s"
           (json_str run_id) (json_str git) r.Engine.cfg.Engine.jobs
           (json_float r.Engine.wall_seconds)
+          (Engine.total_steps r)
+          (json_float (Engine.aggregate_transitions_per_sec r))
     else header
   in
   Printf.sprintf "{%s,\n  \"experiments\":[\n    %s\n  ]}\n" header experiments

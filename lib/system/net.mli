@@ -34,10 +34,15 @@ type run = {
 }
 
 val run :
+  ?retention:Scheduler.retention ->
   t -> seed:int -> crash_at:(int * Loc.t) list -> steps:int -> run
-(** Fair random schedule with the given fault pattern. *)
+(** Fair random schedule with the given fault pattern.  [trace] is
+    always the complete schedule; [retention] (default
+    {!Scheduler.Trace_only}) controls only how much per-step state
+    [outcome.execution] retains — pass [Full] to replay states. *)
 
 val run_round_robin :
+  ?retention:Scheduler.retention ->
   t -> crash_at:(int * Loc.t) list -> steps:int -> run
 
 val decisions : Act.t list -> (Loc.t * bool) list

@@ -24,6 +24,8 @@ let () =
       ("k-set", Test_kset.suite);
       ("lint", Test_lint.suite);
       ("sched-fairness", Test_sched_fairness.suite);
+      ("sched-stream", Test_sched_stream.suite);
+      ("retention-matrix", Test_retention_matrix.suite);
       ("seed-derive", Test_seed_derive.suite);
       ("runner", Test_runner.suite);
     ]

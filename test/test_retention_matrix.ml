@@ -1,0 +1,37 @@
+(* Retention-equivalence regression over the real experiment matrix.
+
+   Every E1-E7 cell must produce the same verdict under every
+   [Scheduler.retention] policy: the fired sequence and final state are
+   retention-invariant by construction, and every experiment reads its
+   trace from [fired] rather than from the retained execution.  This
+   re-runs the whole matrix (1 seed per cell, sequentially) under Full,
+   Trace_only and a small Window and compares both the rendered verdict
+   table and the timing-stripped JSON byte for byte. *)
+
+open Afd_ioa
+module R = Afd_runner
+
+let cfg = { R.Engine.jobs = 1; root_seed = 1; seeds_override = Some 1 }
+
+let run_with retention = R.Engine.run cfg (Afd_bench.matrix ~retention ())
+
+let test_verdicts_retention_invariant () =
+  let full = run_with Scheduler.Full in
+  let trace_only = run_with Scheduler.Trace_only in
+  let window = run_with (Scheduler.Window 16) in
+  Alcotest.(check string) "Trace_only verdict table == Full"
+    (R.Engine.verdict_table full)
+    (R.Engine.verdict_table trace_only);
+  Alcotest.(check string) "Window 16 verdict table == Full"
+    (R.Engine.verdict_table full)
+    (R.Engine.verdict_table window);
+  let json r = R.Report.to_json ~timings:false ~git:"test" r in
+  Alcotest.(check string) "Trace_only timing-free JSON == Full" (json full)
+    (json trace_only);
+  Alcotest.(check string) "Window 16 timing-free JSON == Full" (json full)
+    (json window)
+
+let suite =
+  [ Alcotest.test_case "E1-E7 verdicts identical across retention policies" `Quick
+      test_verdicts_retention_invariant
+  ]
