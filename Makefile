@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-json bench-smoke perf clean
+.PHONY: all build test lint check bench bench-json bench-smoke perf clean
 
 all: build
 
@@ -14,6 +14,12 @@ test:
 # the static well-formedness analysis over the automaton catalog
 lint:
 	dune exec bin/afd_lint.exe
+
+# online property monitors vs offline trace checks over the detector
+# catalog, streaming under windowed retention (smoke mode also runs as
+# part of `dune runtest`)
+check:
+	dune exec bin/afd_sim.exe -- check $(if $(JOBS),--jobs $(JOBS),)
 
 # the full experiment harness; the E1-E7 matrix runs on all available
 # cores (override with JOBS=n)

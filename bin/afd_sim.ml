@@ -9,6 +9,8 @@
      tree       build the tagged execution tree, report valence/hooks
      sweep      run a detector under many derived seeds on a Domain
                 pool (the Afd_runner engine) and tally verdicts
+     check      run the catalog's online property monitors against the
+                offline trace checks (differential verdict table)
 
    Examples:
      afd_sim detector --fd omega -n 4 --crash 10:1 --crash 30:3
@@ -376,6 +378,75 @@ let sweep_cmd =
        ~doc:"Run a detector over many derived seeds in parallel and tally verdicts.")
     term
 
+(* --- check subcommand --- *)
+
+let check_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Seeded runs per subject.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"J" ~doc:"Domains to run on (default: all cores).")
+  in
+  let root_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "root-seed" ] ~docv:"SEED" ~doc:"Root of the per-cell seed derivation.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Also write the BENCH.json report (with per-clause verdicts and counterexample indices) to $(i,PATH).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "window" ] ~docv:"W" ~doc:"Counterexample witness-window size (events of context kept around a violation).")
+  in
+  let check_retention_arg =
+    Arg.(
+      value
+      & opt retention_conv (Scheduler.Window 64)
+      & info [ "retention" ] ~docv:"POLICY"
+          ~doc:
+            "Scheduler retention for the monitored runs (default $(b,window:64)): the \
+             monitors stream events, so nothing forces full retention.  Verdicts are \
+             identical under every policy.")
+  in
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"One seed per subject, sequential — the fast path wired into dune runtest.")
+  in
+  let run seeds jobs root json window retention smoke =
+    let seeds = if smoke then 1 else seeds in
+    let jobs =
+      if smoke then 1
+      else if jobs <= 0 then Domain.recommended_domain_count ()
+      else jobs
+    in
+    let entries = Afd_bench.Check.matrix ~window ~seeds ~retention () in
+    let r =
+      R.Engine.run { R.Engine.jobs; root_seed = root; seeds_override = None } entries
+    in
+    Format.printf "%a@." R.Engine.pp r;
+    (match json with Some path -> R.Report.write ~path r | None -> ());
+    if List.exists (fun e -> (R.Metrics.exp_counts e).R.Metrics.violated > 0) r.R.Engine.exps
+    then 1
+    else 0
+  in
+  let term =
+    Term.(
+      const run $ seeds_arg $ jobs_arg $ root_arg $ json_arg $ window_arg
+      $ check_retention_arg $ smoke_arg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the detector catalog's online property monitors against the offline \
+          trace checks and report the differential verdict table (exit 1 on any \
+          mismatch or unmet expectation).")
+    term
+
 (* --- trb subcommand --- *)
 
 let trb_cmd =
@@ -407,4 +478,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ detector_cmd; consensus_cmd; selfimpl_cmd; tree_cmd; kset_cmd; trb_cmd;
-            sweep_cmd ]))
+            sweep_cmd; check_cmd ]))

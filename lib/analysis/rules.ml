@@ -7,9 +7,11 @@ open Afd_ioa
 type packed = P : ('s, 'a) Automaton.t * ('s, 'a) Probe.t -> packed
 
 let packed = function
-  | Registry.Automaton (a, p) -> P (a, p)
+  | Registry.Automaton (a, p) -> Some (P (a, p))
   | Registry.Composition (c, p) ->
-    P (Composition.as_automaton c, { p with Probe.equal_state = Composition.equal_state })
+    Some
+      (P (Composition.as_automaton c, { p with Probe.equal_state = Composition.equal_state }))
+  | Registry.Spec _ -> None
 
 let mkf ~rule ~severity ~origin ~name ?component ?task ?state message =
   { Report.rule;
@@ -44,13 +46,13 @@ let probe_coverage =
     check =
       (fun ~origin entry ->
         match packed entry with
-        | P (_, { Probe.actions = []; _ }) ->
+        | Some (P (_, { Probe.actions = []; _ })) ->
           [ mkf ~rule:"probe-coverage" ~severity:Report.Warning ~origin
               ~name:(Registry.entry_name entry)
               "empty action probe universe: the well-formedness of this subject was \
                not actually checked"
           ]
-        | P _ -> []);
+        | Some (P _) | None -> []);
   }
 
 let input_enabled =
@@ -61,7 +63,8 @@ let input_enabled =
     check =
       (fun ~origin entry ->
         match packed entry with
-        | P (a, p) ->
+        | None -> []
+        | Some (P (a, p)) ->
           let name = Registry.entry_name entry in
           let states = Explore.reachable a p in
           List.map
@@ -80,7 +83,8 @@ let task_determinism =
     check =
       (fun ~origin entry ->
         match packed entry with
-        | P (a, p) ->
+        | None -> []
+        | Some (P (a, p)) ->
           let name = Registry.entry_name entry in
           List.concat
             (List.mapi
@@ -114,7 +118,8 @@ let step_signature =
     check =
       (fun ~origin entry ->
         match packed entry with
-        | P (a, p) ->
+        | None -> []
+        | Some (P (a, p)) ->
           let name = Registry.entry_name entry in
           List.concat
             (List.mapi
@@ -143,7 +148,8 @@ let task_signature =
     check =
       (fun ~origin entry ->
         match packed entry with
-        | P (a, p) ->
+        | None -> []
+        | Some (P (a, p)) ->
           let name = Registry.entry_name entry in
           List.concat
             (List.mapi
@@ -176,7 +182,8 @@ let enabled_consistency =
     check =
       (fun ~origin entry ->
         match packed entry with
-        | P (a, p) ->
+        | None -> []
+        | Some (P (a, p)) ->
           let name = Registry.entry_name entry in
           List.concat
             (List.mapi
@@ -203,7 +210,7 @@ let dual_control =
     check =
       (fun ~origin entry ->
         match entry with
-        | Registry.Automaton _ -> []
+        | Registry.Automaton _ | Registry.Spec _ -> []
         | Registry.Composition (c, p) ->
           List.map
             (fun (act, owners) ->
@@ -223,7 +230,7 @@ let internal_leakage =
     check =
       (fun ~origin entry ->
         match entry with
-        | Registry.Automaton _ -> []
+        | Registry.Automaton _ | Registry.Spec _ -> []
         | Registry.Composition (c, p) ->
           List.map
             (fun (act, owner) ->
@@ -242,6 +249,7 @@ let dead_task =
     check =
       (fun ~origin entry ->
         match entry with
+        | Registry.Spec _ -> []
         | Registry.Composition _ ->
           (* the bounded sample of a whole composition is too sparse to
              call a component's task dead; components are expected to be
@@ -274,7 +282,8 @@ let unfair_task =
     check =
       (fun ~origin entry ->
         match packed entry with
-        | P (a, _) ->
+        | None -> []
+        | Some (P (a, _)) ->
           let name = Registry.entry_name entry in
           if contains_sub (String.lowercase_ascii name) "crash" then []
           else
@@ -304,7 +313,8 @@ let rename_roundtrip =
     check =
       (fun ~origin entry ->
         match packed entry with
-        | P (a, p) -> (
+        | None -> []
+        | Some (P (a, p)) -> (
           let name = Registry.entry_name entry in
           match p.Probe.rename_roundtrip with
           | None -> []
@@ -340,7 +350,8 @@ let hiding =
     check =
       (fun ~origin entry ->
         match packed entry with
-        | P (a, p) -> (
+        | None -> []
+        | Some (P (a, p)) -> (
           let name = Registry.entry_name entry in
           match p.Probe.base_kind with
           | None -> []
@@ -360,6 +371,31 @@ let hiding =
               p.Probe.actions));
   }
 
+let prop_based_spec =
+  { Rule.id = "prop-based-spec";
+    severity = Report.Error;
+    doc =
+      "detector specs must be compiled Afd_prop formulas, not raw trace scans \
+       (allowlist for deliberate legacy wrappers)";
+    paper = "3.2";
+    check =
+      (fun ~origin entry ->
+        match entry with
+        | Registry.Automaton _ | Registry.Composition _ -> []
+        | Registry.Spec { name; style; allow_raw } -> (
+          match style with
+          | Registry.Prop_compiled -> []
+          | Registry.Raw_scan ->
+            if allow_raw then []
+            else
+              [ mkf ~rule:"prop-based-spec" ~severity:Report.Error ~origin ~name
+                  "spec checks traces by scanning a raw Fd_event.t list instead of \
+                   an Afd_prop formula: it cannot be monitored online under \
+                   windowed retention (build it with Afd.of_prop, or allowlist a \
+                   deliberate legacy wrapper)"
+              ]));
+  }
+
 let all =
   [ probe_coverage;
     input_enabled;
@@ -373,6 +409,7 @@ let all =
     unfair_task;
     rename_roundtrip;
     hiding;
+    prop_based_spec;
   ]
 
 let ids = List.map (fun r -> r.Rule.id) all

@@ -13,6 +13,7 @@ open Afd_core
 open Afd_system
 module C = Afd_consensus
 module R = Afd_runner
+module Check = Check
 
 let verdict_str = function
   | Verdict.Sat -> "sat"

@@ -6,6 +6,10 @@
     every cell under each {!Afd_ioa.Scheduler.retention} policy and
     demands identical (timing-free) results. *)
 
+module Check = Check
+(** Online/offline differential checking of the detector catalog (the
+    [afd_sim check] subcommand's matrix). *)
+
 val verdict_str : Afd_core.Verdict.t -> string
 (** ["sat"], ["VIOLATED: ..."] or ["undecided: ..."]. *)
 

@@ -1,0 +1,181 @@
+(* Online/offline differential checking of the detector catalog.
+
+   Each subject pairs a detector automaton with a spec and runs the
+   same seeded schedule twice: once streaming events into the spec's
+   compiled monitor ([Afd_automata.run_monitored], no trace retained),
+   once materializing the full trace and replaying the legacy [check].
+   Since [Afd.of_prop] makes [check] the offline replay of the very
+   formula the monitor compiles, the two verdicts must agree
+   structurally on every subject, every seed, every retention policy —
+   that equality is the meta-verdict each matrix cell reports.
+
+   Two subjects are deliberate mismatches of detector and spec
+   ([expect_violated]): their cells additionally demand a [Violated]
+   verdict with a concrete counterexample prefix index. *)
+
+open Afd_ioa
+open Afd_core
+module R = Afd_runner
+module M = Afd_prop.Monitor
+
+type subject =
+  | S : {
+      id : string;
+      label : string;
+      n : int;
+      steps : int;
+      crash_at : (int * Loc.t) list;
+      detector : unit -> ('s, 'o Fd_event.t) Automaton.t;
+      spec : 'o Afd.spec;
+      expect_violated : bool;
+    }
+      -> subject
+
+let id (S s) = s.id
+let expect_violated (S s) = s.expect_violated
+
+type outcome = {
+  online : Verdict.t;
+  offline : Verdict.t;
+  clauses : (string * Verdict.t) list;
+  counterexample : int option;
+  events : int;
+}
+
+let verdict_equal a b =
+  match (a, b) with
+  | Verdict.Sat, Verdict.Sat -> true
+  | Verdict.Violated x, Verdict.Violated y | Verdict.Undecided x, Verdict.Undecided y
+    -> String.equal x y
+  | _ -> false
+
+let run_subject ?window ~retention ~seed (S s) =
+  let m =
+    match Afd.monitor ?window s.spec ~n:s.n with
+    | Some m -> m
+    | None -> invalid_arg ("Check.run_subject: raw spec " ^ s.spec.Afd.name)
+  in
+  let events = ref 0 in
+  let _outcome =
+    Afd_automata.run_monitored ~retention
+      ~observe:(fun e ->
+        incr events;
+        M.observe m e)
+      ~detector:(s.detector ()) ~n:s.n ~seed ~crash_at:s.crash_at ~steps:s.steps ()
+  in
+  let t =
+    Afd_automata.generate_trace_with ~retention:Scheduler.Trace_only
+      ~detector:(s.detector ()) ~n:s.n ~seed ~crash_at:s.crash_at ~steps:s.steps
+  in
+  { online = M.verdict m;
+    offline = Afd.check s.spec ~n:s.n t;
+    clauses = M.clause_verdicts m;
+    counterexample =
+      Option.map (fun c -> c.Afd_prop.Counterexample.index) (M.counterexample m);
+    events = !events;
+  }
+
+(* The truthful automata vs their own specs, plus two deliberate
+   mismatches.  [CHK.lying-p] latches a safety violation at a concrete
+   event (the noisy ◇P implementation suspects a live location, which
+   T_P forbids); [CHK.marabout] fails Marabout's exactness judgement
+   (FD-P's pre-crash outputs differ from the final faulty set). *)
+let subjects =
+  let noise01 = Afd_automata.noise_of_list [ (0, Loc.Set.singleton 1) ] in
+  [ S { id = "CHK.p"; label = "P: FD-P (truthful)"; n = 3; steps = 150;
+        crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_perfect ~n:3);
+        spec = Perfect.spec; expect_violated = false };
+    S { id = "CHK.evp"; label = "EvP: FD-P (noisy)"; n = 3; steps = 150;
+        crash_at = [ (11, 2) ];
+        detector = (fun () -> Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise01);
+        spec = Ev_perfect.spec; expect_violated = false };
+    S { id = "CHK.s"; label = "S: FD-P (truthful)"; n = 3; steps = 150;
+        crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_perfect ~n:3);
+        spec = Strong.spec; expect_violated = false };
+    S { id = "CHK.evs"; label = "EvS: FD-P (noisy)"; n = 3; steps = 150;
+        crash_at = [ (11, 2) ];
+        detector = (fun () -> Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise01);
+        spec = Ev_strong.spec; expect_violated = false };
+    S { id = "CHK.omega"; label = "Omega: FD-Omega"; n = 3; steps = 150;
+        crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_omega ~n:3);
+        spec = Omega.spec; expect_violated = false };
+    S { id = "CHK.antiomega"; label = "anti-Omega: FD-anti-Omega"; n = 3;
+        steps = 150; crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_anti_omega ~n:3);
+        spec = Anti_omega.spec; expect_violated = false };
+    S { id = "CHK.omega2"; label = "Omega_2: FD-Omega_k"; n = 3; steps = 150;
+        crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_omega_k ~n:3 ~k:2);
+        spec = Omega_k.spec ~k:2; expect_violated = false };
+    S { id = "CHK.psi2"; label = "Psi_2: FD-Psi_k"; n = 3; steps = 150;
+        crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_psi_k ~n:3 ~k:2);
+        spec = Psi_k.spec ~k:2; expect_violated = false };
+    S { id = "CHK.sigma"; label = "Sigma: FD-Sigma"; n = 3; steps = 150;
+        crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_sigma ~n:3);
+        spec = Sigma.spec; expect_violated = false };
+    S { id = "CHK.dk"; label = "D_2: FD-P (truthful)"; n = 3; steps = 150;
+        crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_perfect ~n:3);
+        spec = D_k.spec ~k:2; expect_violated = false };
+    S { id = "CHK.lying-p"; label = "P vs noisy EvP (broken)"; n = 3;
+        steps = 120; crash_at = [];
+        detector = (fun () -> Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise01);
+        spec = Perfect.spec; expect_violated = true };
+    S { id = "CHK.marabout"; label = "Marabout vs FD-P (broken)"; n = 3;
+        steps = 150; crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_perfect ~n:3);
+        spec = Marabout.spec; expect_violated = true };
+  ]
+
+let vstr = function
+  | Verdict.Sat -> "sat"
+  | Verdict.Violated m -> "VIOLATED: " ^ m
+  | Verdict.Undecided m -> "undecided: " ^ m
+
+let section = "CHECK  Online property monitors vs offline trace checks"
+
+let cell ?window ~retention subj ~seed =
+  let (S s) = subj in
+  let r = run_subject ?window ~retention ~seed subj in
+  let agree = verdict_equal r.online r.offline in
+  let expected =
+    if s.expect_violated then Verdict.is_violated r.online
+    else Verdict.is_sat r.online
+  in
+  let cx =
+    match r.counterexample with
+    | Some i -> Printf.sprintf "  counterexample@%d" i
+    | None -> ""
+  in
+  let detail = Printf.sprintf "online %s%s" (vstr r.online) cx in
+  let verdict =
+    if not agree then
+      Verdict.Violated
+        (Printf.sprintf "online/offline mismatch: online %s, offline %s"
+           (vstr r.online) (vstr r.offline))
+    else if not expected then
+      Verdict.Violated
+        (Printf.sprintf "expected %s, got %s"
+           (if s.expect_violated then "violated" else "sat")
+           (vstr r.online))
+    else Verdict.Sat
+  in
+  R.Metrics.outcome ~steps:r.events ~detail ?counterexample:r.counterexample
+    ~clauses:r.clauses verdict
+
+let entry ?window ?(seeds = 3) ~retention subj =
+  let (S s) = subj in
+  let label =
+    if s.expect_violated then s.label ^ " [expect violated]" else s.label
+  in
+  R.Matrix.entry ~id:s.id ~section ~label ~seeds ~faults:[ s.crash_at ]
+    ~show:(R.Matrix.show_detail ~label)
+    (fun ~seed ~faults:_ -> cell ?window ~retention subj ~seed)
+
+let matrix ?window ?seeds ?(retention = Scheduler.Window 64) () =
+  List.map (entry ?window ?seeds ~retention) subjects

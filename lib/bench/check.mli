@@ -1,0 +1,74 @@
+(** Online/offline differential checking of the detector catalog.
+
+    Every subject runs the same seeded schedule twice — streaming
+    events into the spec's compiled monitor (nothing retained beyond
+    the monitor's window) and replaying the materialized trace through
+    the legacy offline [check] — and each matrix cell's verdict is the
+    {e meta}-verdict: [Sat] iff the two verdicts agree structurally
+    {e and} the subject's expectation (sat for truthful pairings,
+    violated for the deliberately broken ones) is met.  The raw online
+    verdict, per-clause verdicts and the counterexample prefix index
+    are recorded in the cell outcome and surface in verdict tables and
+    BENCH.json. *)
+
+open Afd_ioa
+open Afd_core
+
+type subject =
+  | S : {
+      id : string;  (** stable matrix id, e.g. ["CHK.p"] *)
+      label : string;
+      n : int;
+      steps : int;
+      crash_at : (int * Loc.t) list;
+      detector : unit -> ('s, 'o Fd_event.t) Automaton.t;
+      spec : 'o Afd.spec;
+      expect_violated : bool;
+          (** deliberate detector/spec mismatch: the cell demands a
+              [Violated] verdict (with its counterexample index)
+              instead of [Sat] *)
+    }
+      -> subject
+
+val id : subject -> string
+val expect_violated : subject -> bool
+
+val subjects : subject list
+(** The 11 catalog specs run against their truthful automata, plus two
+    deliberate mismatches ([CHK.lying-p], [CHK.marabout]). *)
+
+type outcome = {
+  online : Verdict.t;  (** the streaming monitor's verdict *)
+  offline : Verdict.t;  (** legacy full-trace [Afd.check] *)
+  clauses : (string * Verdict.t) list;
+  counterexample : int option;
+      (** minimal violating prefix index, when violated *)
+  events : int;  (** FD events the run produced *)
+}
+
+val verdict_equal : Verdict.t -> Verdict.t -> bool
+(** Structural equality, reasons included. *)
+
+val run_subject :
+  ?window:int -> retention:Scheduler.retention -> seed:int -> subject -> outcome
+(** Run one subject under one seed: online under [retention] (with
+    [record_fired:false] — no trace is materialized on that run), then
+    offline on the regenerated trace.  Raises [Invalid_argument] on a
+    raw (non-prop) spec; the shipped {!subjects} are all compiled. *)
+
+val section : string
+
+val entry :
+  ?window:int -> ?seeds:int -> retention:Scheduler.retention -> subject ->
+  Afd_runner.Matrix.entry
+(** A matrix row for one subject; [seeds] defaults to 3. *)
+
+val matrix :
+  ?window:int ->
+  ?seeds:int ->
+  ?retention:Scheduler.retention ->
+  unit ->
+  Afd_runner.Matrix.entry list
+(** One row per {!subjects} entry.  [retention] defaults to
+    [Scheduler.Window 64]: the monitors' verdicts must not depend on
+    what the scheduler retains. *)

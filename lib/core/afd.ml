@@ -3,9 +3,27 @@ type 'o spec = {
   pp_out : 'o Fmt.t;
   equal_out : 'o -> 'o -> bool;
   check : n:int -> 'o Fd_event.t list -> Verdict.t;
+  prop : (n:int -> 'o Afd_prop.Prop.t) option;
 }
 
+let raw ~name ~pp_out ~equal_out check = { name; pp_out; equal_out; check; prop = None }
+
+let of_prop ~name ~pp_out ~equal_out prop =
+  { name;
+    pp_out;
+    equal_out;
+    check = (fun ~n t -> Afd_prop.Monitor.replay ~n (prop ~n) t);
+    prop = Some prop;
+  }
+
 let check spec ~n t = spec.check ~n t
+
+type style = Prop_compiled | Raw_scan
+
+let style spec = if Option.is_some spec.prop then Prop_compiled else Raw_scan
+
+let monitor ?window spec ~n =
+  Option.map (fun prop -> Afd_prop.Monitor.create ?window ~n (prop ~n)) spec.prop
 
 type closure_failure = {
   original : string;

@@ -23,9 +23,41 @@ type 'o spec = {
   check : n:int -> 'o Fd_event.t list -> Verdict.t;
       (** membership of the (finite, limit-extended) trace in [T_D];
           must include the validity check. *)
+  prop : (n:int -> 'o Afd_prop.Prop.t) option;
+      (** the temporal formula the spec compiles to, when built with
+          {!of_prop}; [check] is then its offline replay wrapper, so
+          online and offline verdicts coincide definitionally. *)
 }
 
+val of_prop :
+  name:string ->
+  pp_out:'o Fmt.t ->
+  equal_out:('o -> 'o -> bool) ->
+  (n:int -> 'o Afd_prop.Prop.t) ->
+  'o spec
+(** Build a spec from a temporal formula; [check] becomes
+    [Afd_prop.Monitor.replay] of the formula.  The formula must
+    include the validity clauses (use {!Afd_prop.Prop.validity}). *)
+
+val raw :
+  name:string ->
+  pp_out:'o Fmt.t ->
+  equal_out:('o -> 'o -> bool) ->
+  (n:int -> 'o Fd_event.t list -> Verdict.t) ->
+  'o spec
+(** Build a spec from a bare full-trace scan ([prop = None]); only for
+    predicates genuinely outside the DSL — the lint rule
+    [prop-based-spec] flags raw detector specs. *)
+
 val check : 'o spec -> n:int -> 'o Fd_event.t list -> Verdict.t
+
+type style = Prop_compiled | Raw_scan
+
+val style : 'o spec -> style
+
+val monitor : ?window:int -> 'o spec -> n:int -> 'o Afd_prop.Monitor.t option
+(** A fresh online monitor for the spec's formula; [None] for
+    {!raw} specs.  [window] sizes the counterexample witness window. *)
 
 type closure_failure = {
   original : string;  (** formatted original trace *)

@@ -104,3 +104,22 @@ val generate_trace_with :
     retention-invariant by construction; the knob exists so the
     retention-equivalence regression suite can drive the whole
     experiment matrix under each policy. *)
+
+val run_monitored :
+  ?record_fired:bool ->
+  retention:Scheduler.retention ->
+  observe:('o Fd_event.t -> unit) ->
+  detector:('s, 'o Fd_event.t) Automaton.t ->
+  n:int ->
+  seed:int ->
+  crash_at:(int * Loc.t) list ->
+  steps:int ->
+  unit ->
+  'o Fd_event.t Scheduler.outcome
+(** The same composed system and schedule as {!generate_trace_with},
+    but streaming: [observe] is called with each FD event as it fires
+    (e.g. [Afd_prop.Monitor.observe m]), in exactly the order
+    {!generate_trace_with} would list it — online monitor verdicts
+    therefore coincide with offline replay of the generated trace.
+    [record_fired] defaults to [false], so with a windowed retention
+    the run keeps O(window) live memory regardless of [steps]. *)

@@ -1,23 +1,22 @@
 open Afd_ioa
+module P = Afd_prop.Prop
 
 type out = Loc.t
 
-let check ~n t =
-  let v =
-    match Spec_util.last_outputs_of_live ~n t with
-    | Error u -> u
-    | Ok (last, live) ->
-      if Loc.Set.is_empty live then Verdict.Sat
-      else
-        let named =
-          Loc.Map.fold (fun _ l acc -> Loc.Set.add l acc) last Loc.Set.empty
-        in
-        let spared = Loc.Set.diff live named in
-        if Loc.Set.is_empty spared then
-          Verdict.Undecided "every live location is still being output"
-        else Verdict.Sat
-  in
-  Spec_util.with_validity ~n t v
+let spared =
+  P.eventually_stable ~name:"spared-location" (fun st ->
+      match P.last_outputs st with
+      | Error u -> P.J_undecided u
+      | Ok (last, live) ->
+        if Loc.Set.is_empty live then P.J_sat
+        else
+          let named =
+            Loc.Map.fold (fun _ l acc -> Loc.Set.add l acc) last Loc.Set.empty
+          in
+          let spared = Loc.Set.diff live named in
+          if Loc.Set.is_empty spared then
+            P.J_undecided "every live location is still being output"
+          else P.J_sat)
 
-let spec =
-  { Afd.name = "anti-Omega"; pp_out = Loc.pp; equal_out = Loc.equal; check }
+let prop ~n:_ = P.conj [ P.validity (); spared ]
+let spec = Afd.of_prop ~name:"anti-Omega" ~pp_out:Loc.pp ~equal_out:Loc.equal prop

@@ -1,53 +1,46 @@
 open Afd_ioa
+module P = Afd_prop.Prop
 
 type out = Loc.Set.t
 
-let accuracy_after_k ~k t =
-  let crashed = ref Loc.Set.empty in
-  let verdict = ref Verdict.Sat in
-  List.iteri
-    (fun pos e ->
+(* Accuracy indexed by event position: the pre-state's [len] is the
+   0-based index of the event being checked, our stand-in for the
+   detector's "real time". *)
+let accuracy_after_k ~k =
+  P.always ~name:"accuracy-after-k" (fun st e ->
       match e with
-      | Fd_event.Crash i -> crashed := Loc.Set.add i !crashed
-      | Fd_event.Output (i, s) ->
-        if pos >= k && not (Loc.Set.subset s !crashed) then
-          verdict :=
-            Verdict.(
-              !verdict
-              &&& Violated
-                    (Fmt.str
-                       "output %a at %a at position %d (after \"time\" %d) suspects \
-                        not-yet-crashed %a"
-                       Loc.pp_set s Loc.pp i pos k
-                       Loc.pp_set (Loc.Set.diff s !crashed))))
-    t;
-  !verdict
+      | Fd_event.Output (i, s)
+        when st.P.len >= k && not (Loc.Set.subset s st.P.crashed) ->
+        Error
+          (Fmt.str
+             "output %a at %a at position %d (after \"time\" %d) suspects \
+              not-yet-crashed %a"
+             Loc.pp_set s Loc.pp i st.P.len k
+             Loc.pp_set (Loc.Set.diff s st.P.crashed))
+      | Fd_event.Output _ | Fd_event.Crash _ -> Ok ())
 
-let completeness ~n t =
-  match Spec_util.last_outputs_of_live ~n t with
-  | Error u -> u
-  | Ok (last, _) ->
-    let faulty = Fd_event.faulty t in
-    Loc.Map.fold
-      (fun i s acc ->
-        if Loc.Set.subset faulty s then acc
-        else
-          Verdict.(
-            acc
-            &&& Undecided
-                  (Fmt.str "last output at %a misses faulty %a" Loc.pp i
-                     Loc.pp_set (Loc.Set.diff faulty s))))
-      last Verdict.Sat
+let completeness =
+  P.eventually_stable ~name:"completeness" (fun st ->
+      match P.last_outputs st with
+      | Error u -> P.J_undecided u
+      | Ok (last, _live) ->
+        let faulty = st.P.crashed in
+        Loc.Map.fold
+          (fun i s acc ->
+            if Loc.Set.subset faulty s then acc
+            else
+              P.j_and acc
+                (P.J_undecided
+                   (Fmt.str "last output at %a misses faulty %a" Loc.pp i
+                      Loc.pp_set (Loc.Set.diff faulty s))))
+          last P.J_sat)
 
-let check ~k ~n t =
-  Spec_util.with_validity ~n t Verdict.(accuracy_after_k ~k t &&& completeness ~n t)
+let prop ~k ~n:_ = P.conj [ P.validity (); accuracy_after_k ~k; completeness ]
 
 let spec ~k =
-  { Afd.name = Printf.sprintf "D_%d" k;
-    pp_out = Loc.pp_set;
-    equal_out = Loc.Set.equal;
-    check = (fun ~n t -> check ~k ~n t);
-  }
+  Afd.of_prop
+    ~name:(Printf.sprintf "D_%d" k)
+    ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal (prop ~k)
 
 (* Witness for non-closure under constrained reordering, n = 2, no
    crashes.  Original trace ([k-1] padding outputs at p0, then):

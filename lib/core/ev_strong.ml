@@ -1,38 +1,34 @@
 open Afd_ioa
+module P = Afd_prop.Prop
 
 type out = Loc.Set.t
 
-let check ~n t =
-  let v =
-    match Spec_util.last_outputs_of_live ~n t with
-    | Error u -> u
-    | Ok (last, live) ->
-      if Loc.Set.is_empty live then Verdict.Sat
-      else
-        let faulty = Fd_event.faulty t in
-        let completeness =
-          Loc.Map.fold
-            (fun i s acc ->
-              if Loc.Set.subset faulty s then acc
-              else
-                Verdict.(
-                  acc
-                  &&& Undecided
-                        (Fmt.str "last output at %a misses faulty %a" Loc.pp i
-                           Loc.pp_set (Loc.Set.diff faulty s))))
-            last Verdict.Sat
-        in
-        let trusted =
-          Loc.Map.fold (fun _ s acc -> Loc.Set.diff acc s) last live
-        in
-        let accuracy =
-          if Loc.Set.is_empty trusted then
-            Verdict.Undecided "every live location is still suspected by someone"
-          else Verdict.Sat
-        in
-        Verdict.(completeness &&& accuracy)
-  in
-  Spec_util.with_validity ~n t v
+let convergence =
+  P.eventually_stable ~name:"convergence" (fun st ->
+      match P.last_outputs st with
+      | Error u -> P.J_undecided u
+      | Ok (last, live) ->
+        if Loc.Set.is_empty live then P.J_sat
+        else
+          let faulty = st.P.crashed in
+          let completeness =
+            Loc.Map.fold
+              (fun i s acc ->
+                if Loc.Set.subset faulty s then acc
+                else
+                  P.j_and acc
+                    (P.J_undecided
+                       (Fmt.str "last output at %a misses faulty %a" Loc.pp i
+                          Loc.pp_set (Loc.Set.diff faulty s))))
+              last P.J_sat
+          in
+          let trusted = Loc.Map.fold (fun _ s acc -> Loc.Set.diff acc s) last live in
+          let accuracy =
+            if Loc.Set.is_empty trusted then
+              P.J_undecided "every live location is still suspected by someone"
+            else P.J_sat
+          in
+          P.j_and completeness accuracy)
 
-let spec =
-  { Afd.name = "EvS"; pp_out = Loc.pp_set; equal_out = Loc.Set.equal; check }
+let prop ~n:_ = P.conj [ P.validity (); convergence ]
+let spec = Afd.of_prop ~name:"EvS" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop

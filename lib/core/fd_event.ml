@@ -1,45 +1,3 @@
-open Afd_ioa
-
-type 'o t = Crash of Loc.t | Output of Loc.t * 'o
-
-let loc = function Crash i -> i | Output (i, _) -> i
-let is_crash = function Crash _ -> true | Output _ -> false
-let is_output = function Output _ -> true | Crash _ -> false
-let output_payload = function Output (_, o) -> Some o | Crash _ -> None
-
-let equal eq_o a b =
-  match (a, b) with
-  | Crash i, Crash j -> Loc.equal i j
-  | Output (i, o), Output (j, p) -> Loc.equal i j && eq_o o p
-  | Crash _, Output _ | Output _, Crash _ -> false
-
-let pp pp_o fmt = function
-  | Crash i -> Format.fprintf fmt "crash_%a" Loc.pp i
-  | Output (i, o) -> Format.fprintf fmt "fd(%a)_%a" pp_o o Loc.pp i
-
-let pp_trace pp_o = Fmt.list ~sep:(Fmt.any "; ") (pp pp_o)
-
-let faulty t =
-  List.fold_left
-    (fun acc e -> match e with Crash i -> Loc.Set.add i acc | Output _ -> acc)
-    Loc.Set.empty t
-
-let live ~n t = Loc.Set.diff (Loc.set_of_universe ~n) (faulty t)
-
-let outputs_at i t =
-  List.filter_map
-    (function Output (j, o) when Loc.equal i j -> Some o | _ -> None)
-    t
-
-let last_output_at i t =
-  match List.rev (outputs_at i t) with [] -> None | o :: _ -> Some o
-
-let first_crash_index i t =
-  let rec go k = function
-    | [] -> None
-    | Crash j :: _ when Loc.equal i j -> Some k
-    | _ :: rest -> go (k + 1) rest
-  in
-  go 0 t
-
-let map f = function Crash i -> Crash i | Output (i, o) -> Output (i, f o)
+(* Re-export: FD trace events live in [Afd_prop] since the property
+   engine; kept here so [Afd_core.Fd_event] users are unaffected. *)
+include Afd_prop.Fd_event

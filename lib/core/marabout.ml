@@ -1,21 +1,37 @@
 open Afd_ioa
+module P = Afd_prop.Prop
 
 type out = Loc.Set.t
 
-let check ~n t =
-  let faulty = Fd_event.faulty t in
-  let exact =
-    Spec_util.for_all_outputs t (fun ~crashed:_ i s ->
-        if Loc.Set.equal s faulty then Ok ()
-        else
-          Error
-            (Fmt.str "output %a at %a differs from final faulty set %a" Loc.pp_set s
-               Loc.pp i Loc.pp_set faulty))
-  in
-  Spec_util.with_validity ~n t exact
+(* "Every output equals the final faulty set" cannot latch: an output
+   that looks wrong now may be proven right by later crashes (that is
+   precisely Marabout's prescience).  The fold keeps the distinct
+   payloads seen so far with the location of their first occurrence
+   (at most 2^n entries) and re-judges them against the current
+   crashed-so-far set, which at the end of the trace is the final
+   faulty set. *)
+let exactness =
+  P.folding ~name:"exactness" ~init:[]
+    ~step:(fun _st seen e ->
+      match e with
+      | Fd_event.Crash _ -> Ok seen
+      | Fd_event.Output (i, s) ->
+        if List.exists (fun (s', _) -> Loc.Set.equal s s') seen then Ok seen
+        else Ok (seen @ [ (s, i) ]))
+    ~judge:(fun st seen ->
+      let faulty = st.P.crashed in
+      List.fold_left
+        (fun acc (s, i) ->
+          if Loc.Set.equal s faulty then acc
+          else
+            P.j_and acc
+              (P.J_violated
+                 (Fmt.str "output %a at %a differs from final faulty set %a"
+                    Loc.pp_set s Loc.pp i Loc.pp_set faulty)))
+        P.J_sat seen)
 
-let spec =
-  { Afd.name = "Marabout"; pp_out = Loc.pp_set; equal_out = Loc.Set.equal; check }
+let prop ~n:_ = P.conj [ P.validity (); exactness ]
+let spec = Afd.of_prop ~name:"Marabout" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop
 
 type refutation = {
   pattern_a : Loc.Set.t;

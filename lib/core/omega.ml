@@ -1,28 +1,25 @@
 open Afd_ioa
+module P = Afd_prop.Prop
 
 type out = Loc.t
 
-let check ~n t =
-  let v =
-    match Spec_util.last_outputs_of_live ~n t with
-    | Error u -> u
-    | Ok (last, live) ->
-      if Loc.Set.is_empty live then Verdict.Sat
-      else
-        let leaders =
-          Loc.Map.fold (fun _ l acc -> Loc.Set.add l acc) last Loc.Set.empty
-        in
-        if Loc.Set.cardinal leaders <> 1 then
-          Verdict.Undecided
-            (Fmt.str "live locations disagree on the leader: %a" Loc.pp_set leaders)
+let stable_leader =
+  P.eventually_stable ~name:"stable-leader" (fun st ->
+      match P.last_outputs st with
+      | Error u -> P.J_undecided u
+      | Ok (last, live) ->
+        if Loc.Set.is_empty live then P.J_sat
         else
-          let l = Loc.Set.choose leaders in
-          if Loc.Set.mem l live then Verdict.Sat
+          let leaders =
+            Loc.Map.fold (fun _ l acc -> Loc.Set.add l acc) last Loc.Set.empty
+          in
+          if Loc.Set.cardinal leaders <> 1 then
+            P.J_undecided
+              (Fmt.str "live locations disagree on the leader: %a" Loc.pp_set leaders)
           else
-            Verdict.Undecided
-              (Fmt.str "stable leader %a is faulty" Loc.pp l)
-  in
-  Spec_util.with_validity ~n t v
+            let l = Loc.Set.choose leaders in
+            if Loc.Set.mem l live then P.J_sat
+            else P.J_undecided (Fmt.str "stable leader %a is faulty" Loc.pp l))
 
-let spec =
-  { Afd.name = "Omega"; pp_out = Loc.pp; equal_out = Loc.equal; check }
+let prop ~n:_ = P.conj [ P.validity (); stable_leader ]
+let spec = Afd.of_prop ~name:"Omega" ~pp_out:Loc.pp ~equal_out:Loc.equal prop

@@ -1,4 +1,5 @@
 open Afd_ioa
+module P = Afd_prop.Prop
 
 type out = Loc.Set.t
 
@@ -6,33 +7,31 @@ type out = Loc.Set.t
    t_pre and every i live in t_pre, no output event in t_pre suspects
    i.  Equivalently: every suspected location had crashed strictly
    before the output event. *)
-let accuracy t =
-  Spec_util.for_all_outputs t (fun ~crashed j s ->
-      if Loc.Set.subset s crashed then Ok ()
-      else
+let accuracy =
+  P.always ~name:"accuracy" (fun st e ->
+      match e with
+      | Fd_event.Output (j, s) when not (Loc.Set.subset s st.P.crashed) ->
         Error
           (Fmt.str "output %a at %a suspects not-yet-crashed location(s) %a"
              Loc.pp_set s Loc.pp j
-             Loc.pp_set (Loc.Set.diff s crashed)))
+             Loc.pp_set (Loc.Set.diff s st.P.crashed))
+      | Fd_event.Output _ | Fd_event.Crash _ -> Ok ())
 
-let completeness ~n t =
-  match Spec_util.last_outputs_of_live ~n t with
-  | Error u -> u
-  | Ok (last, _live) ->
-    let faulty = Fd_event.faulty t in
-    Loc.Map.fold
-      (fun i s acc ->
-        if Loc.Set.subset faulty s then acc
-        else
-          Verdict.(
-            acc
-            &&& Undecided
-                  (Fmt.str "last output at %a (%a) misses faulty %a" Loc.pp i
-                     Loc.pp_set s Loc.pp_set (Loc.Set.diff faulty s))))
-      last Verdict.Sat
+let completeness =
+  P.eventually_stable ~name:"completeness" (fun st ->
+      match P.last_outputs st with
+      | Error u -> P.J_undecided u
+      | Ok (last, _live) ->
+        let faulty = st.P.crashed in
+        Loc.Map.fold
+          (fun i s acc ->
+            if Loc.Set.subset faulty s then acc
+            else
+              P.j_and acc
+                (P.J_undecided
+                   (Fmt.str "last output at %a (%a) misses faulty %a" Loc.pp i
+                      Loc.pp_set s Loc.pp_set (Loc.Set.diff faulty s))))
+          last P.J_sat)
 
-let check ~n t =
-  Spec_util.with_validity ~n t Verdict.(accuracy t &&& completeness ~n t)
-
-let spec =
-  { Afd.name = "P"; pp_out = Loc.pp_set; equal_out = Loc.Set.equal; check }
+let prop ~n:_ = P.conj [ P.validity (); accuracy; completeness ]
+let spec = Afd.of_prop ~name:"P" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop

@@ -1,40 +1,41 @@
 open Afd_ioa
+module P = Afd_prop.Prop
 
 type out = Loc.Set.t
 
-let never_suspected ~n t =
-  let live = Fd_event.live ~n t in
-  List.fold_left
-    (fun acc e ->
+(* Perpetual weak accuracy is judged, not latched: the ever-suspected
+   union only grows, but the live set can shrink, so "every live
+   location has been suspected" may flip back to satisfied when the
+   last never-suspected live location crashes.  The fold carries the
+   union of all suspect sets seen so far. *)
+let weak_accuracy =
+  P.folding ~name:"weak-accuracy" ~init:Loc.Set.empty
+    ~step:(fun _st suspected e ->
       match e with
-      | Fd_event.Crash _ -> acc
-      | Fd_event.Output (_, s) -> Loc.Set.diff acc s)
-    live t
+      | Fd_event.Crash _ -> Ok suspected
+      | Fd_event.Output (_, s) -> Ok (Loc.Set.union suspected s))
+    ~judge:(fun st suspected ->
+      let live = P.live st in
+      if Loc.Set.is_empty live then P.J_sat
+      else if Loc.Set.is_empty (Loc.Set.diff live suspected) then
+        P.J_violated "every live location has been suspected at least once"
+      else P.J_sat)
 
-let weak_accuracy ~n t =
-  if Loc.Set.is_empty (Fd_event.live ~n t) then Verdict.Sat
-  else if Loc.Set.is_empty (never_suspected ~n t) then
-    Verdict.Violated "every live location has been suspected at least once"
-  else Verdict.Sat
+let completeness =
+  P.eventually_stable ~name:"completeness" (fun st ->
+      match P.last_outputs st with
+      | Error u -> P.J_undecided u
+      | Ok (last, _live) ->
+        let faulty = st.P.crashed in
+        Loc.Map.fold
+          (fun i s acc ->
+            if Loc.Set.subset faulty s then acc
+            else
+              P.j_and acc
+                (P.J_undecided
+                   (Fmt.str "last output at %a misses faulty %a" Loc.pp i
+                      Loc.pp_set (Loc.Set.diff faulty s))))
+          last P.J_sat)
 
-let completeness ~n t =
-  match Spec_util.last_outputs_of_live ~n t with
-  | Error u -> u
-  | Ok (last, _) ->
-    let faulty = Fd_event.faulty t in
-    Loc.Map.fold
-      (fun i s acc ->
-        if Loc.Set.subset faulty s then acc
-        else
-          Verdict.(
-            acc
-            &&& Undecided
-                  (Fmt.str "last output at %a misses faulty %a" Loc.pp i
-                     Loc.pp_set (Loc.Set.diff faulty s))))
-      last Verdict.Sat
-
-let check ~n t =
-  Spec_util.with_validity ~n t Verdict.(weak_accuracy ~n t &&& completeness ~n t)
-
-let spec =
-  { Afd.name = "S"; pp_out = Loc.pp_set; equal_out = Loc.Set.equal; check }
+let prop ~n:_ = P.conj [ P.validity (); weak_accuracy; completeness ]
+let spec = Afd.of_prop ~name:"S" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop

@@ -1,35 +1,7 @@
 open Afd_ioa
 
 let validity ~n ?(live_min = 1) t =
-  let crashed = ref Loc.Set.empty in
-  let safety =
-    List.fold_left
-      (fun acc e ->
-        match e with
-        | Fd_event.Crash i ->
-          crashed := Loc.Set.add i !crashed;
-          acc
-        | Fd_event.Output (i, _) ->
-          if Loc.Set.mem i !crashed then
-            Verdict.(acc &&& Violated (Printf.sprintf "output at %s after its crash" (Loc.to_string i)))
-          else acc)
-      Verdict.Sat t
-  in
-  let liveness =
-    let live = Fd_event.live ~n t in
-    Loc.Set.fold
-      (fun i acc ->
-        let c = List.length (Fd_event.outputs_at i t) in
-        if c >= live_min then acc
-        else
-          Verdict.(
-            acc
-            &&& Undecided
-                  (Printf.sprintf "live location %s has %d < %d outputs"
-                     (Loc.to_string i) c live_min)))
-      live Verdict.Sat
-  in
-  Verdict.(safety &&& liveness)
+  Afd_prop.Monitor.replay ~n (Afd_prop.Prop.validity ~live_min ()) t
 
 let is_sampling ~equal_out ~of_:t t' =
   let equal = Fd_event.equal equal_out in

@@ -1,18 +1,3 @@
-type t = Sat | Violated of string | Undecided of string
-
-let is_sat = function Sat -> true | Violated _ | Undecided _ -> false
-let is_violated = function Violated _ -> true | Sat | Undecided _ -> false
-
-let pp fmt = function
-  | Sat -> Format.pp_print_string fmt "sat"
-  | Violated r -> Format.fprintf fmt "violated (%s)" r
-  | Undecided r -> Format.fprintf fmt "undecided (%s)" r
-
-let ( &&& ) a b =
-  match (a, b) with
-  | (Violated _ as v), _ | _, (Violated _ as v) -> v
-  | (Undecided _ as u), _ | _, (Undecided _ as u) -> u
-  | Sat, Sat -> Sat
-
-let all vs = List.fold_left ( &&& ) Sat vs
-let of_bool ~error b = if b then Sat else Violated error
+(* Re-export: verdicts live in [Afd_prop] since the property engine;
+   kept here so [Afd_core.Verdict] users are unaffected. *)
+include Afd_prop.Verdict

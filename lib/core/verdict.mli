@@ -1,11 +1,9 @@
-(** Three-valued verdicts for trace-property monitors.
+(** Three-valued verdicts for trace-property monitors — an alias of
+    {!Afd_prop.Verdict}, where the type moved when specs became
+    compiled temporal formulas.  See that module for semantics,
+    including the reason-accumulating conjunction. *)
 
-    The paper's trace sets contain infinite sequences; our monitors
-    judge finite prefixes, so besides satisfaction and violation they
-    can report that the prefix is too short to decide (e.g. a liveness
-    clause has not stabilized yet). *)
-
-type t =
+type t = Afd_prop.Verdict.t =
   | Sat
   | Violated of string  (** with a human-readable reason *)
   | Undecided of string
@@ -17,8 +15,13 @@ val is_violated : t -> bool
 val pp : Format.formatter -> t -> unit
 
 val all : t list -> t
-(** Conjunction: [Violated] dominates, then [Undecided], else [Sat]. *)
+(** Conjunction via {!( &&& )}; [all [] = Sat]. *)
 
 val of_bool : error:string -> bool -> t
+
 val ( &&& ) : t -> t -> t
-(** Binary conjunction with the same priorities as {!all}. *)
+(** Binary conjunction: [Violated] dominates, then [Undecided], else
+    [Sat]; same-class reasons are accumulated (joined with ["; "]). *)
+
+val tag : string -> t -> t
+(** Prefix a non-[Sat] reason with ["name: "]. *)

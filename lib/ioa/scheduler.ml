@@ -158,7 +158,7 @@ let make_recorder retention start =
 
 let no_observer ~step:_ _ _ ~touched:_ _ = ()
 
-let run ?(retention = Full) ?(observer = no_observer) comp cfg =
+let run ?(retention = Full) ?(observer = no_observer) ?(record_fired = true) comp cfg =
   let tasks = Composition.tasks_array comp in
   let by_comp = Composition.comp_task_indices comp in
   let ntasks = Array.length tasks in
@@ -203,7 +203,7 @@ let run ?(retention = Full) ?(observer = no_observer) comp cfg =
       state := st';
       List.iter (fun ci -> Array.iter refresh_task by_comp.(ci)) touched;
       recorder.push act st';
-      fired := (tid, act) :: !fired;
+      if record_fired then fired := (tid, act) :: !fired;
       observer ~step:!step tid act ~touched st'
     | None -> invalid_arg "Scheduler.run: enabled action failed to step")
   in

@@ -109,7 +109,9 @@ type 'a observer =
 type 'a outcome = {
   execution : ('a Composition.state, 'a) Execution.t;
       (** Per the retention policy; the whole run under [Full]. *)
-  fired : (Composition.task_id * 'a) list;  (** in firing order *)
+  fired : (Composition.task_id * 'a) list;
+      (** in firing order; [[]] when the run was started with
+          [~record_fired:false] *)
   quiescent : bool;
       (** Stopped because no fair task was enabled
           ({!Composition.quiescent}). *)
@@ -127,12 +129,16 @@ type 'a outcome = {
 val run :
   ?retention:retention ->
   ?observer:'a observer ->
+  ?record_fired:bool ->
   'a Composition.t ->
   cfg ->
   'a outcome
 (** Run the scheduler.  [retention] defaults to [Full]; [observer]
     defaults to a no-op.  The fired sequence, final state and verdict
-    flags are identical across retention policies. *)
+    flags are identical across retention policies.  [record_fired]
+    (default [true]) controls whether the fired list is accumulated:
+    pass [false] for streaming runs whose only consumer is the
+    observer, making live memory independent of the run length. *)
 
 val run_custom :
   ?retention:retention ->

@@ -1,0 +1,43 @@
+type 'o t = {
+  index : int;
+  clause : string;
+  reason : string;
+  event : 'o Fd_event.t option;
+  window : 'o Fd_event.t list;
+  window_start : int;
+}
+
+let pp pp_out fmt c =
+  Format.fprintf fmt "@[<v>violation at index %d (clause %s): %s" c.index c.clause
+    c.reason;
+  (match c.event with
+  | Some e -> Format.fprintf fmt "@,offending event: %a" (Fd_event.pp pp_out) e
+  | None -> ());
+  if c.window <> [] then
+    Format.fprintf fmt "@,window [%d..%d]: %a" c.window_start
+      (c.window_start + List.length c.window - 1)
+      (Fd_event.pp_trace pp_out) c.window;
+  Format.fprintf fmt "@]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ~pp_out c =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let event_str = function Some e -> str (Fmt.str "%a" (Fd_event.pp pp_out) e) | None -> "null" in
+  Printf.sprintf
+    "{\"index\":%d,\"clause\":%s,\"reason\":%s,\"event\":%s,\"window_start\":%d,\"window\":[%s]}"
+    c.index (str c.clause) (str c.reason) (event_str c.event) c.window_start
+    (String.concat ","
+       (List.map (fun e -> str (Fmt.str "%a" (Fd_event.pp pp_out) e)) c.window))

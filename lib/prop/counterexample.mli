@@ -1,0 +1,24 @@
+(** Witnesses for violated monitors: the minimal violating prefix
+    index, the offending event, and a bounded window of recent
+    events for context. *)
+
+type 'o t = {
+  index : int;
+      (** 0-based index of the first violating event; for violations
+          detected only by a stable-suffix judgement (no single
+          offending event) this is the index of the last consumed
+          event. *)
+  clause : string;  (** name of the violated clause *)
+  reason : string;
+  event : 'o Fd_event.t option;
+      (** the offending event, when the violation latched at one *)
+  window : 'o Fd_event.t list;
+      (** the last [w] events up to and including [index] *)
+  window_start : int;  (** trace index of [List.hd window] *)
+}
+
+val pp : 'o Fmt.t -> Format.formatter -> 'o t -> unit
+
+val to_json : pp_out:'o Fmt.t -> 'o t -> string
+(** One JSON object: index, clause, reason, rendered event (or null),
+    window_start and rendered window events. *)

@@ -1,10 +1,13 @@
-(** Events of failure-detector traces — an alias of
-    {!Afd_prop.Fd_event}, where the type moved when specs became
-    compiled temporal formulas (Section 3.2). *)
+(** Events of failure-detector traces: sequences over [Î ∪ O_D]
+    (Section 3.2).
+
+    An AFD's only inputs are the crash actions (crash exclusivity), so
+    a trace of an AFD [D] is a sequence of crash events and output
+    events, the latter carrying a detector-specific payload ['o]. *)
 
 open Afd_ioa
 
-type 'o t = 'o Afd_prop.Fd_event.t =
+type 'o t =
   | Crash of Loc.t
   | Output of Loc.t * 'o  (** an event of [O_{D,i}] at location [i] *)
 

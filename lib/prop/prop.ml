@@ -1,0 +1,131 @@
+open Afd_ioa
+
+(* --- incremental trace summary (the "crashed-so-far context") --- *)
+
+type 'o state = {
+  n : int;
+  len : int;
+  crashed : Loc.Set.t;
+  last_output : 'o Loc.Map.t;
+  output_counts : int Loc.Map.t;
+}
+
+let init ~n =
+  { n;
+    len = 0;
+    crashed = Loc.Set.empty;
+    last_output = Loc.Map.empty;
+    output_counts = Loc.Map.empty;
+  }
+
+let update st e =
+  match e with
+  | Fd_event.Crash i -> { st with len = st.len + 1; crashed = Loc.Set.add i st.crashed }
+  | Fd_event.Output (i, o) ->
+    let c = match Loc.Map.find_opt i st.output_counts with Some c -> c | None -> 0 in
+    { st with
+      len = st.len + 1;
+      last_output = Loc.Map.add i o st.last_output;
+      output_counts = Loc.Map.add i (c + 1) st.output_counts;
+    }
+
+let live st = Loc.Set.diff (Loc.set_of_universe ~n:st.n) st.crashed
+
+let output_count st i =
+  match Loc.Map.find_opt i st.output_counts with Some c -> c | None -> 0
+
+let last_outputs st =
+  let live = live st in
+  let missing = ref None in
+  let map =
+    Loc.Set.fold
+      (fun i acc ->
+        match Loc.Map.find_opt i st.last_output with
+        | Some o -> Loc.Map.add i o acc
+        | None ->
+          if !missing = None then missing := Some i;
+          acc)
+      live Loc.Map.empty
+  in
+  match !missing with
+  | Some i ->
+    Error (Printf.sprintf "live location %s has no output yet" (Loc.to_string i))
+  | None -> Ok (map, live)
+
+(* --- stable-suffix judgements --- *)
+
+type judgement = J_sat | J_violated of string | J_undecided of string
+
+let j_and a b =
+  match (a, b) with
+  | J_violated r1, J_violated r2 -> J_violated (r1 ^ "; " ^ r2)
+  | (J_violated _ as v), _ | _, (J_violated _ as v) -> v
+  | J_undecided r1, J_undecided r2 -> J_undecided (r1 ^ "; " ^ r2)
+  | (J_undecided _ as u), _ | _, (J_undecided _ as u) -> u
+  | J_sat, J_sat -> J_sat
+
+let j_all js = List.fold_left j_and J_sat js
+let j_of_bool ~undecided b = if b then J_sat else J_undecided undecided
+
+let to_verdict = function
+  | J_sat -> Verdict.Sat
+  | J_violated r -> Verdict.Violated r
+  | J_undecided r -> Verdict.Undecided r
+
+let for_locs locs f = Loc.Set.fold (fun i acc -> j_and acc (f i)) locs J_sat
+let for_live st f = for_locs (live st) f
+
+(* --- formulas --- *)
+
+type 'o event_check = 'o state -> 'o Fd_event.t -> (unit, string) result
+type 'o state_judge = 'o state -> judgement
+
+type 'o clause =
+  | Always of 'o event_check
+  | Until of ('o state -> bool) * 'o event_check
+  | Stable of 'o state_judge
+  | Fold : ('o, 'acc) fold -> 'o clause
+
+and ('o, 'acc) fold = {
+  finit : 'acc;
+  fstep : 'o state -> 'acc -> 'o Fd_event.t -> ('acc, string) result;
+  fjudge : 'o state -> 'acc -> judgement;
+}
+
+type 'o t = Clause of string * 'o clause | Conj of 'o t list
+
+let always ~name check = Clause (name, Always check)
+let until ~name ~release check = Clause (name, Until (release, check))
+let eventually_stable ~name judge = Clause (name, Stable judge)
+
+let folding ~name ~init ~step ~judge =
+  Clause (name, Fold { finit = init; fstep = step; fjudge = judge })
+
+let conj ts = Conj ts
+let ( &&& ) a b = Conj [ a; b ]
+
+let implies ~name ~premise check =
+  always ~name (fun st e -> if premise st e then check st e else Ok ())
+
+let rec clauses = function
+  | Clause (name, c) -> [ (name, c) ]
+  | Conj ts -> List.concat_map clauses ts
+
+(* --- the canned validity formula (Section 3.2) --- *)
+
+let validity ?(live_min = 1) () =
+  conj
+    [ always ~name:"validity.safety" (fun st e ->
+          match e with
+          | Fd_event.Output (i, _) when Loc.Set.mem i st.crashed ->
+            Error (Printf.sprintf "output at %s after its crash" (Loc.to_string i))
+          | Fd_event.Output _ | Fd_event.Crash _ -> Ok ());
+      eventually_stable ~name:"validity.liveness" (fun st ->
+          for_live st (fun i ->
+              let c = output_count st i in
+              j_of_bool
+                ~undecided:
+                  (Printf.sprintf "live location %s has %d < %d outputs"
+                     (Loc.to_string i) c live_min)
+                (c >= live_min)));
+    ]

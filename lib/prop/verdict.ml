@@ -1,0 +1,25 @@
+type t = Sat | Violated of string | Undecided of string
+
+let is_sat = function Sat -> true | Violated _ | Undecided _ -> false
+let is_violated = function Violated _ -> true | Sat | Undecided _ -> false
+
+let pp fmt = function
+  | Sat -> Format.pp_print_string fmt "sat"
+  | Violated r -> Format.fprintf fmt "violated (%s)" r
+  | Undecided r -> Format.fprintf fmt "undecided (%s)" r
+
+let ( &&& ) a b =
+  match (a, b) with
+  | Violated r1, Violated r2 -> Violated (r1 ^ "; " ^ r2)
+  | (Violated _ as v), _ | _, (Violated _ as v) -> v
+  | Undecided r1, Undecided r2 -> Undecided (r1 ^ "; " ^ r2)
+  | (Undecided _ as u), _ | _, (Undecided _ as u) -> u
+  | Sat, Sat -> Sat
+
+let all vs = List.fold_left ( &&& ) Sat vs
+let of_bool ~error b = if b then Sat else Violated error
+
+let tag name = function
+  | Sat -> Sat
+  | Violated r -> Violated (name ^ ": " ^ r)
+  | Undecided r -> Undecided (name ^ ": " ^ r)

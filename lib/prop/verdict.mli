@@ -1,0 +1,34 @@
+(** Three-valued verdicts for trace-property monitors.
+
+    The paper's trace sets contain infinite sequences; our monitors
+    judge finite prefixes, so besides satisfaction and violation they
+    can report that the prefix is too short to decide (e.g. a liveness
+    clause has not stabilized yet). *)
+
+type t =
+  | Sat
+  | Violated of string  (** with a human-readable reason *)
+  | Undecided of string
+      (** the finite prefix neither satisfies nor violates;
+          reason explains what is still missing *)
+
+val is_sat : t -> bool
+val is_violated : t -> bool
+val pp : Format.formatter -> t -> unit
+
+val all : t list -> t
+(** Conjunction of a whole list via {!( &&& )}; [all [] = Sat]. *)
+
+val of_bool : error:string -> bool -> t
+
+val ( &&& ) : t -> t -> t
+(** Binary conjunction: [Violated] dominates, then [Undecided], else
+    [Sat].  When both sides carry a reason of the {e same} class the
+    reasons are accumulated (joined with ["; "]) rather than dropped,
+    so a conjunction of many clauses reports every offending clause;
+    the dominating class is unchanged from the old first-wins
+    behaviour. *)
+
+val tag : string -> t -> t
+(** [tag name v] prefixes the reason of a non-[Sat] verdict with
+    ["name: "], used to attribute reasons to named formula clauses. *)

@@ -5,10 +5,13 @@ type outcome = {
   steps_fired : int;
   quiescent : bool;
   detail : string;
+  counterexample : int option;
+  clauses : (string * Verdict.t) list;
 }
 
-let outcome ?(steps = 0) ?(quiescent = false) ?(detail = "") verdict =
-  { verdict; steps_fired = steps; quiescent; detail }
+let outcome ?(steps = 0) ?(quiescent = false) ?(detail = "") ?counterexample
+    ?(clauses = []) verdict =
+  { verdict; steps_fired = steps; quiescent; detail; counterexample; clauses }
 
 let of_result ?steps ?detail = function
   | Ok () -> outcome ?steps ?detail Verdict.Sat

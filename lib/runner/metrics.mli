@@ -17,9 +17,22 @@ type outcome = {
   quiescent : bool;
   detail : string;
       (** free-form row fragment for custom renderers; [""] if unused *)
+  counterexample : int option;
+      (** minimal violating prefix index reported by an online property
+          monitor, when the run was property-checked and violated *)
+  clauses : (string * Verdict.t) list;
+      (** per-clause verdicts from an online property monitor, in
+          formula order; [[]] when the run was not property-checked *)
 }
 
-val outcome : ?steps:int -> ?quiescent:bool -> ?detail:string -> Verdict.t -> outcome
+val outcome :
+  ?steps:int ->
+  ?quiescent:bool ->
+  ?detail:string ->
+  ?counterexample:int ->
+  ?clauses:(string * Verdict.t) list ->
+  Verdict.t ->
+  outcome
 
 val of_result : ?steps:int -> ?detail:string -> (unit, string) result -> outcome
 (** [Ok () -> Sat], [Error e -> Violated e]. *)

@@ -36,14 +36,28 @@ let verdict_fields v =
   | Verdict.Undecided m -> (json_str "undecided", json_str m)
   | Verdict.Violated m -> (json_str "violated", json_str m)
 
+let clause_to_json (name, v) =
+  let status, reason = verdict_fields v in
+  Printf.sprintf "{\"clause\":%s,\"verdict\":%s,\"reason\":%s}" (json_str name)
+    status reason
+
 let cell_to_json ~timings (c : Metrics.cell) =
   let status, reason = verdict_fields c.Metrics.outcome.Metrics.verdict in
   let base =
     Printf.sprintf
-      "{\"seed_index\":%d,\"fault_index\":%d,\"scheduler_seed\":%d,\"verdict\":%s,\"reason\":%s,\"steps\":%d,\"quiescent\":%b"
+      "{\"seed_index\":%d,\"fault_index\":%d,\"scheduler_seed\":%d,\"verdict\":%s,\"reason\":%s,\"steps\":%d,\"quiescent\":%b,\"counterexample\":%s"
       c.Metrics.seed_index c.Metrics.fault_index c.Metrics.scheduler_seed status
       reason c.Metrics.outcome.Metrics.steps_fired
       c.Metrics.outcome.Metrics.quiescent
+      (json_opt_int c.Metrics.outcome.Metrics.counterexample)
+  in
+  let base =
+    match c.Metrics.outcome.Metrics.clauses with
+    | [] -> base
+    | cs ->
+      base
+      ^ Printf.sprintf ",\"clauses\":[%s]"
+          (String.concat "," (List.map clause_to_json cs))
   in
   if timings then base ^ Printf.sprintf ",\"seconds\":%s}" (json_float c.Metrics.seconds)
   else base ^ "}"

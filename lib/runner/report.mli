@@ -18,6 +18,11 @@
                       "scheduler_seed": int, "verdict": str,
                       "reason": str|null, "steps": int,
                       "quiescent": bool,
+                      "counterexample": int|null,    -- minimal violating
+                                                     -- prefix index
+                      "clauses": [ { "clause": str,  -- property-checked
+                                     "verdict": str, -- runs only
+                                     "reason": str|null } ],
                       "seconds": float } ],          -- timings only
           "wall_clock_s": float,                      -- timings only
           "transitions_per_sec": float } ] }          -- timings only

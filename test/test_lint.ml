@@ -66,7 +66,23 @@ let test_catalog_breadth () =
   let report = Engine.run (Catalog.items ()) in
   Alcotest.(check bool) "at least 15 registered subjects" true
     (report.Report.subjects_checked >= 15);
-  Alcotest.(check bool) "at least 8 rules" true (report.Report.rules_run >= 8)
+  Alcotest.(check bool) "at least 8 rules" true (report.Report.rules_run >= 8);
+  let specs =
+    List.filter
+      (fun it -> match it.Registry.entry with Registry.Spec _ -> true | _ -> false)
+      (Catalog.items ())
+  in
+  Alcotest.(check bool) "all 11 detector specs are registered" true
+    (List.length specs >= 11)
+
+let test_allowlisted_raw_spec_is_silent () =
+  (* the legacy-wrapper allowlist must suppress prop-based-spec — and
+     nothing else fires on a spec entry *)
+  let report =
+    Engine.run_entry ~origin:"fixture" Fixtures.allowlisted_raw_spec
+  in
+  Alcotest.(check (list string)) "no findings on the allowlisted raw spec" []
+    (rule_ids report)
 
 let test_rule_selection () =
   (* running only input-enabled over the task-nondeterminism fixture
@@ -150,6 +166,8 @@ let suite =
       test_malformed_fixtures_error;
     Alcotest.test_case "catalog clean bill of health" `Quick test_catalog_clean;
     Alcotest.test_case "catalog breadth" `Quick test_catalog_breadth;
+    Alcotest.test_case "allowlisted raw spec stays silent" `Quick
+      test_allowlisted_raw_spec_is_silent;
     Alcotest.test_case "rule selection restricts the run" `Quick test_rule_selection;
     Alcotest.test_case "report locations and json" `Quick test_report_shape;
     Alcotest.test_case "check_input_enabled rejects empty probes" `Quick

@@ -1,0 +1,229 @@
+(* The streaming temporal-property engine: verdict algebra, DSL and
+   monitor units, counterexample witnesses, and the online/offline
+   differential over the detector catalog.
+
+   The load-bearing property is the last one: for every catalog
+   subject, every seed and every witness-window size, the verdict of
+   the incremental monitor fed event-by-event from the scheduler
+   (window retention, no trace materialized) is structurally equal —
+   reasons included — to the legacy full-trace [Afd.check] replay. *)
+
+open Afd_ioa
+open Afd_core
+module P = Afd_prop.Prop
+module M = Afd_prop.Monitor
+module Cx = Afd_prop.Counterexample
+module Check = Afd_bench.Check
+
+let verdict = Alcotest.testable Verdict.pp Check.verdict_equal
+
+(* ------------------------------------------------------------------ *)
+(* Verdict accumulation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_verdict_accumulation () =
+  let open Verdict in
+  Alcotest.check verdict "violated reasons accumulate" (Violated "a; b")
+    (Violated "a" &&& Violated "b");
+  Alcotest.check verdict "undecided reasons accumulate" (Undecided "a; b")
+    (Undecided "a" &&& Undecided "b");
+  Alcotest.check verdict "sat is the unit" (Violated "x") (Sat &&& Violated "x");
+  Alcotest.check verdict "violated dominates undecided" (Violated "v")
+    (Undecided "u" &&& Violated "v");
+  Alcotest.check verdict "all accumulates within the dominating class"
+    (Violated "a; b")
+    (all [ Violated "a"; Undecided "u"; Sat; Violated "b" ]);
+  Alcotest.check verdict "tag prefixes the clause name" (Violated "acc: x")
+    (tag "acc" (Violated "x"));
+  Alcotest.check verdict "tag leaves sat alone" Sat (tag "acc" Sat)
+
+(* ------------------------------------------------------------------ *)
+(* DSL and monitor units (tiny hand-built formulas, payload = unit)    *)
+(* ------------------------------------------------------------------ *)
+
+let silent_p0 =
+  P.always ~name:"silent-p0" (fun _st e ->
+      match e with
+      | Fd_event.Output (i, ()) when Loc.equal i 0 -> Error "p0 spoke"
+      | Fd_event.Output _ | Fd_event.Crash _ -> Ok ())
+
+let out i = Fd_event.Output (i, ())
+
+let test_always_latches_first_violation () =
+  let m = M.create ~n:2 silent_p0 in
+  M.observe m (out 1);
+  Alcotest.check verdict "clean so far" Verdict.Sat (M.verdict m);
+  M.observe m (out 0);
+  M.observe m (out 0);
+  Alcotest.check verdict "latched, tagged with the clause name"
+    (Verdict.Violated "silent-p0: p0 spoke") (M.verdict m);
+  match M.counterexample m with
+  | None -> Alcotest.fail "violated monitor must produce a counterexample"
+  | Some cx ->
+    Alcotest.(check int) "minimal violating prefix index" 1 cx.Cx.index;
+    Alcotest.(check string) "clause" "silent-p0" cx.Cx.clause;
+    (match cx.Cx.event with
+    | Some (Fd_event.Output (i, ())) ->
+      Alcotest.(check int) "offending event location" 0 i
+    | _ -> Alcotest.fail "offending event must be the latched output")
+
+let test_until_releases () =
+  (* p0 must stay silent until p1 has crashed. *)
+  let prop =
+    P.until ~name:"quiet-until-crash"
+      ~release:(fun st -> Loc.Set.mem 1 st.P.crashed)
+      (fun _st e ->
+        match e with
+        | Fd_event.Output (i, ()) when Loc.equal i 0 -> Error "p0 spoke too early"
+        | Fd_event.Output _ | Fd_event.Crash _ -> Ok ())
+  in
+  let m = M.create ~n:2 prop in
+  M.observe m (out 1);
+  M.observe m (Fd_event.Crash 1);
+  M.observe m (out 0);
+  Alcotest.check verdict "released before the output" Verdict.Sat (M.verdict m);
+  let m' = M.create ~n:2 prop in
+  M.observe m' (out 0);
+  Alcotest.check verdict "violates while unreleased"
+    (Verdict.Violated "quiet-until-crash: p0 spoke too early") (M.verdict m')
+
+let test_stable_is_rejudged () =
+  let prop =
+    P.eventually_stable ~name:"chatty-p0" (fun st ->
+        P.j_of_bool ~undecided:"p0 has spoken < 2 times"
+          (P.output_count st 0 >= 2))
+  in
+  let m = M.create ~n:1 prop in
+  M.observe m (out 0);
+  Alcotest.check verdict "undecided on a short prefix"
+    (Verdict.Undecided "chatty-p0: p0 has spoken < 2 times") (M.verdict m);
+  M.observe m (out 0);
+  Alcotest.check verdict "flips to sat as the prefix grows" Verdict.Sat
+    (M.verdict m)
+
+let test_clause_verdicts_and_names () =
+  let prop = P.conj [ P.validity (); silent_p0 ] in
+  Alcotest.(check (list string))
+    "clause names in formula order"
+    [ "validity.safety"; "validity.liveness"; "silent-p0" ]
+    (List.map fst (P.clauses prop));
+  let m = M.create ~n:2 prop in
+  M.observe m (out 1);
+  M.observe m (out 0);
+  Alcotest.(check (list (pair string verdict)))
+    "per-clause verdicts, reasons untagged"
+    [ ("validity.safety", Verdict.Sat);
+      ("validity.liveness", Verdict.Sat);
+      ("silent-p0", Verdict.Violated "p0 spoke");
+    ]
+    (M.clause_verdicts m)
+
+let test_counterexample_window_and_json () =
+  let m = M.create ~window:2 ~n:3 silent_p0 in
+  M.observe m (out 2);
+  M.observe m (out 1);
+  M.observe m (out 0);
+  match M.counterexample m with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some cx ->
+    Alcotest.(check int) "index" 2 cx.Cx.index;
+    Alcotest.(check int) "window start" 1 cx.Cx.window_start;
+    Alcotest.(check (list int))
+      "window holds the last w events up to the violation" [ 1; 0 ]
+      (List.filter_map
+         (function Fd_event.Output (i, ()) -> Some i | Fd_event.Crash _ -> None)
+         cx.Cx.window);
+    let json = Cx.to_json ~pp_out:(Fmt.any "()") cx in
+    List.iter
+      (fun needle ->
+        if not (Scheduler.contains ~needle json) then
+          Alcotest.failf "JSON witness %s lacks %s" json needle)
+      [ "\"index\":2"; "\"clause\":\"silent-p0\""; "\"window_start\":1" ]
+
+let test_replay_equals_offline_check () =
+  let t =
+    [ Fd_event.Output (0, Loc.Set.empty);
+      Fd_event.Output (1, Loc.Set.empty);
+      Fd_event.Crash 1;
+      Fd_event.Output (0, Loc.Set.singleton 1);
+    ]
+  in
+  let prop =
+    match Perfect.spec.Afd.prop with
+    | Some p -> p
+    | None -> Alcotest.fail "Perfect.spec must be prop-compiled"
+  in
+  Alcotest.check verdict "replay is the spec's check" (Afd.check Perfect.spec ~n:2 t)
+    (M.replay ~n:2 (prop ~n:2) t)
+
+(* ------------------------------------------------------------------ *)
+(* Online == offline over the catalog                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_subject ~window ~retention ~seed subj =
+  let r = Check.run_subject ~window ~retention ~seed subj in
+  if not (Check.verdict_equal r.Check.online r.Check.offline) then
+    Alcotest.failf "%s seed %d window %d: online %a <> offline %a"
+      (Check.id subj) seed window Verdict.pp r.Check.online Verdict.pp
+      r.Check.offline;
+  if Check.expect_violated subj then begin
+    if not (Verdict.is_violated r.Check.online) then
+      Alcotest.failf "%s seed %d: expected violated, got %a" (Check.id subj) seed
+        Verdict.pp r.Check.online;
+    match r.Check.counterexample with
+    | Some i when i >= 0 && i < r.Check.events -> ()
+    | Some i -> Alcotest.failf "%s: counterexample index %d out of range" (Check.id subj) i
+    | None -> Alcotest.failf "%s: violated without a counterexample index" (Check.id subj)
+  end
+  else if not (Verdict.is_sat r.Check.online) then
+    Alcotest.failf "%s seed %d: expected sat, got %a" (Check.id subj) seed
+      Verdict.pp r.Check.online
+
+let prop_online_equals_offline =
+  QCheck2.Test.make ~name:"online monitor == offline check (catalog, all subjects)"
+    ~count:20
+    QCheck2.Gen.(pair (int_bound 10_000) (oneofl [ 1; 8; 64 ]))
+    (fun (seed, window) ->
+      List.iter
+        (fun subj ->
+          List.iter
+            (fun retention -> check_subject ~window ~retention ~seed subj)
+            [ Scheduler.Trace_only; Scheduler.Window 16 ])
+        Check.subjects;
+      true)
+
+let test_matrix_smoke () =
+  let entries = Check.matrix ~seeds:2 () in
+  let r =
+    Afd_runner.Engine.run
+      { Afd_runner.Engine.jobs = 2; root_seed = 1; seeds_override = None }
+      entries
+  in
+  List.iter
+    (fun e ->
+      let c = Afd_runner.Metrics.exp_counts e in
+      if c.Afd_runner.Metrics.violated > 0 || c.Afd_runner.Metrics.undecided > 0
+      then
+        Alcotest.failf "matrix row %s is not clean: %s" e.Afd_runner.Metrics.id
+          e.Afd_runner.Metrics.rendered)
+    r.Afd_runner.Engine.exps
+
+let suite =
+  [ Alcotest.test_case "verdict reasons accumulate across &&&/all" `Quick
+      test_verdict_accumulation;
+    Alcotest.test_case "always latches the first violation" `Quick
+      test_always_latches_first_violation;
+    Alcotest.test_case "until stops checking once released" `Quick
+      test_until_releases;
+    Alcotest.test_case "stable clauses are re-judged, never latched" `Quick
+      test_stable_is_rejudged;
+    Alcotest.test_case "clause verdicts carry formula-order names" `Quick
+      test_clause_verdicts_and_names;
+    Alcotest.test_case "counterexample window and JSON witness" `Quick
+      test_counterexample_window_and_json;
+    Alcotest.test_case "replay is definitionally the offline check" `Quick
+      test_replay_equals_offline_check;
+    QCheck_alcotest.to_alcotest prop_online_equals_offline;
+    Alcotest.test_case "check matrix smoke: every meta-verdict is sat" `Quick
+      test_matrix_smoke;
+  ]

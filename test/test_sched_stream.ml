@@ -518,6 +518,46 @@ let test_window_zero_keeps_final_state () =
        (Execution.start o.Scheduler.execution)
        o.Scheduler.final_state)
 
+(* A property-checked streaming run must live in O(window) memory: the
+   scheduler retains a bounded window, [record_fired:false] drops the
+   fired-trace accumulator, and the monitor keeps only its summary,
+   witness ring and fold accumulators.  A million-step run therefore
+   may not grow the live heap by anything near what the materialized
+   trace would cost (>= 5M words); the bound below leaves an order of
+   magnitude of slack while still catching any O(steps) retention. *)
+let test_monitored_run_bounded_memory () =
+  let live_words () =
+    Gc.full_major ();
+    (Gc.stat ()).Gc.live_words
+  in
+  let m =
+    match Afd.monitor ~window:32 Perfect.spec ~n:3 with
+    | Some m -> m
+    | None -> Alcotest.fail "Perfect.spec must be prop-compiled"
+  in
+  let events = ref 0 in
+  let before = live_words () in
+  let o =
+    Afd_automata.run_monitored
+      ~retention:(Scheduler.Window 32)
+      ~observe:(fun e ->
+        incr events;
+        Afd_prop.Monitor.observe m e)
+      ~detector:(Afd_automata.fd_perfect ~n:3)
+      ~n:3 ~seed:11
+      ~crash_at:[ (10, 1) ]
+      ~steps:1_000_000 ()
+  in
+  let after = live_words () in
+  Alcotest.(check int) "ran the full budget" 1_000_000 o.Scheduler.steps_taken;
+  Alcotest.(check int) "no fired trace accumulated" 0 (List.length o.Scheduler.fired);
+  Alcotest.(check int) "monitor saw every fired event" o.Scheduler.steps_taken !events;
+  Alcotest.(check bool) "online verdict on the full run" true
+    (Verdict.is_sat (Afd_prop.Monitor.verdict m));
+  let grown = after - before in
+  if grown > 1_000_000 then
+    Alcotest.failf "monitored run retained %d live words (O(window) violated)" grown
+
 (* ------------------------------------------------------------------ *)
 (* Stall semantics: quiescent vs stopped-idle                          *)
 (* ------------------------------------------------------------------ *)
@@ -577,6 +617,8 @@ let suite =
         test_window_bounds_memory;
       Alcotest.test_case "Window 0 tracks only the final state" `Quick
         test_window_zero_keeps_final_state;
+      Alcotest.test_case "monitored 10^6-step run stays in O(window) memory" `Quick
+        test_monitored_run_bounded_memory;
       Alcotest.test_case "quiescent vs stopped-idle stall flags" `Quick
         test_stopped_idle_flags;
     ]

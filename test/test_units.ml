@@ -15,7 +15,16 @@ let test_verdict_algebra () =
   Alcotest.(check bool) "undecided dominates sat" false (is_sat (Sat &&& Undecided "u"));
   Alcotest.(check bool) "all empty is sat" true (is_sat (all []));
   Alcotest.(check bool) "of_bool false" true (is_violated (of_bool ~error:"e" false));
-  Alcotest.(check string) "pp violated" "violated (boom)" (Fmt.str "%a" pp (Violated "boom"))
+  Alcotest.(check string) "pp violated" "violated (boom)" (Fmt.str "%a" pp (Violated "boom"));
+  (match Violated "a" &&& Violated "b" with
+  | Violated r -> Alcotest.(check string) "violated reasons accumulate" "a; b" r
+  | _ -> Alcotest.fail "violated &&& violated must stay violated");
+  (match all [ Undecided "u1"; Sat; Undecided "u2" ] with
+  | Undecided r -> Alcotest.(check string) "undecided reasons accumulate" "u1; u2" r
+  | _ -> Alcotest.fail "all over undecided must stay undecided");
+  (match tag "clause" (Undecided "u") with
+  | Undecided r -> Alcotest.(check string) "tag prefixes the reason" "clause: u" r
+  | _ -> Alcotest.fail "tag must preserve the class")
 
 (* --- Msg.vset --- *)
 
