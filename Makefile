@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench bench-json bench-smoke perf clean
+.PHONY: all build test lint mc check bench bench-json bench-smoke perf clean
 
 all: build
 
@@ -14,6 +14,12 @@ test:
 # the static well-formedness analysis over the automaton catalog
 lint:
 	dune exec bin/afd_lint.exe
+
+# exhaustive mode: graph lint rules over every reachable state, plus
+# the safety model checker proving the catalog specs on the closed
+# detector+crash product (a smoke pass also runs in `dune runtest`)
+mc:
+	dune exec bin/afd_lint.exe -- --mc $(if $(MAX_STATES),--max-states $(MAX_STATES),)
 
 # online property monitors vs offline trace checks over the detector
 # catalog, streaming under windowed retention (smoke mode also runs as

@@ -486,8 +486,45 @@ let f1 () =
     (verdict_str (C.Spec.check ~n ~f:1 r.Net.trace))
 
 (* ------------------------------------------------------------------ *)
-(* P1-P4: performance benches (Bechamel)                               *)
+(* P1-P5: performance benches                                          *)
 (* ------------------------------------------------------------------ *)
+
+(* P5: the hashed seen-set against the legacy O(n^2) list scan on the
+   largest catalog subject, single timed runs (the list scan is too
+   slow for Bechamel's quota at this cap).  Also printed under the
+   perf gate, so `make perf` tracks exploration throughput. *)
+let p5_explore () =
+  let module A = Afd_analysis in
+  let comp =
+    (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2))
+      .Net.composition
+  in
+  let a = Composition.as_automaton comp in
+  let probe =
+    A.Probe.make ~equal_action:Act.equal ~pp_action:Act.pp
+      ~equal_state:Composition.equal_state ~hash_state:Composition.hash_state
+      ~max_states:6_000
+      [ Act.Crash 0;
+        Act.Crash 2;
+        Act.Send { src = 0; dst = 1; msg = Msg.Ping 0 };
+        Act.Receive { src = 1; dst = 0; msg = Msg.Ping 0 };
+        Act.Fd { at = 0; detector = Heartbeat.detector_name; payload = Act.Pset Loc.Set.empty };
+      ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sp, t_hash = time (fun () -> A.Space.explore ~por:false a probe) in
+  let listed, t_list = time (fun () -> A.Explore.list_based a probe) in
+  row
+    "  P5 explore heartbeat-net (%d states, %d transitions): hashed %.3fs vs \
+     list-scan %.3fs = %.1fx speedup@."
+    (Array.length sp.A.Space.states)
+    sp.A.Space.stats.A.Space.transitions t_hash t_list
+    (if t_hash > 0. then t_list /. t_hash else 0.);
+  assert (List.length listed = Array.length sp.A.Space.states)
 
 let perf () =
   section "P1-P4  Performance (Bechamel, monotonic clock)";
@@ -535,7 +572,8 @@ let perf () =
           | Some [ t ] -> row "  %-45s %12.1f ns/run@." name t
           | _ -> row "  %-45s (no estimate)@." name)
         results)
-    tests
+    tests;
+  p5_explore ()
 
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
@@ -644,6 +682,7 @@ let () =
       let ratio = if base > 0. then current /. base else infinity in
       Format.printf "@.perf gate: %.0f transitions/s vs baseline %.0f (%s) = %.2fx@."
         current base path ratio;
+      p5_explore ();
       if ratio < 0.7 then begin
         Printf.eprintf
           "perf: aggregate throughput regressed more than 30%% vs %s (%.2fx)\n" path

@@ -1,11 +1,18 @@
 (* afd_lint: run the static well-formedness analysis over the full
    automaton catalog (see lib/analysis).  Exits nonzero when any
    error-severity finding survives; `dune runtest` runs this binary, so
-   a malformed automaton fails tier-1. *)
+   a malformed automaton fails tier-1.
+
+   With --mc the graph rules (Rules.mc) join the run and every bench
+   CHK subject is model-checked exhaustively: detector composed with
+   the crash automaton, safety clauses verified on every reachable
+   state (Afd_analysis.Mc).  The exit gate then also demands that all
+   truthful subjects are proved and both deliberately broken ones
+   yield confirmed shortest-path counterexamples. *)
 
 let usage =
   "afd_lint [--json] [--strict] [--rule ID]... [--fixture ID] [--list-rules] \
-   [--catalog]"
+   [--catalog] [--mc] [--max-states N] [--por on|off]"
 
 let () =
   let json = ref false in
@@ -14,6 +21,9 @@ let () =
   let list_catalog = ref false in
   let selected = ref [] in
   let fixture = ref None in
+  let mc = ref false in
+  let max_states = ref None in
+  let por = ref false in
   let spec =
     [ ("--json", Arg.Set json, "emit the report as JSON on stdout");
       ("--strict", Arg.Set strict, "exit nonzero on warnings as well as errors");
@@ -26,17 +36,33 @@ let () =
          (demonstrates a nonzero exit; IDs are rule ids)" );
       ("--list-rules", Arg.Set list_rules, "print the rule set and exit");
       ("--catalog", Arg.Set list_catalog, "print the registered subjects and exit");
+      ( "--mc",
+        Arg.Set mc,
+        "also run the graph rules and exhaustively model-check the bench \
+         subjects' safety clauses" );
+      ( "--max-states",
+        Arg.Int (fun n -> max_states := Some n),
+        "N override every exploration's state budget" );
+      ( "--por",
+        Arg.String
+          (function
+            | "on" -> por := true
+            | "off" -> por := false
+            | s -> raise (Arg.Bad ("--por expects on|off, got " ^ s))),
+        "on|off sleep-set partial-order reduction for the explorations \
+         (default off: shortest counterexamples)" );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let open Afd_analysis in
+  let rule_universe = Rules.all @ Rules.mc in
   if !list_rules then begin
     List.iter
       (fun r ->
-        Fmt.pr "%-20s %-7s §%-8s %s@." r.Rule.id
+        Fmt.pr "%-24s %-7s §%-8s %s@." r.Rule.id
           (Fmt.str "%a" Report.pp_severity r.Rule.severity)
           r.Rule.paper r.Rule.doc)
-      Rules.all;
+      rule_universe;
     exit 0
   end;
   let items =
@@ -58,21 +84,71 @@ let () =
   end;
   let rules =
     match !selected with
-    | [] -> Rules.all
+    | [] -> if !mc then rule_universe else Rules.all
     | ids ->
       List.map
         (fun id ->
-          match Rule.find Rules.all id with
+          match Rule.find rule_universe id with
           | Some r -> r
           | None ->
             Fmt.epr "afd_lint: unknown rule %s (try --list-rules)@." id;
             exit 2)
         (List.rev ids)
   in
-  let report = Engine.run ~rules items in
-  if !json then print_endline (Report.to_json report)
-  else Fmt.pr "%a@." Report.pp report;
+  let report = Engine.run ~rules ?max_states:!max_states ~por:!por items in
+  let mc_results =
+    if !mc && !fixture = None then
+      Afd_bench.Check.mc_all ?max_states:!max_states ~por:!por ()
+    else []
+  in
+  if !json then begin
+    if not !mc then print_endline (Report.to_json report)
+    else begin
+      let rows =
+        List.map
+          (fun r ->
+            Printf.sprintf
+              "{\"subject\": \"%s\", \"expect_violated\": %b, \"ok\": %b, \
+               \"outcome\": %s}"
+              (String.escaped r.Afd_bench.Check.mc_id)
+              r.Afd_bench.Check.mc_expect_violated r.Afd_bench.Check.mc_ok
+              r.Afd_bench.Check.mc_json)
+          mc_results
+      in
+      Printf.printf "{\"lint\": %s, \"mc\": [%s]}\n" (Report.to_json report)
+        (String.concat ", " rows)
+    end
+  end
+  else begin
+    Fmt.pr "%a@." Report.pp report;
+    if mc_results <> [] then begin
+      Fmt.pr "@.MC  exhaustive safety check (detector + crash automaton)@.";
+      List.iter
+        (fun r ->
+          let open Afd_bench.Check in
+          let status =
+            if not r.mc_ok then "FAIL"
+            else if r.mc_expect_violated then "violated (expected)"
+            else "proved"
+          in
+          Fmt.pr "  %-14s %-28s %-20s %5d states %6d transitions  %s@." r.mc_id
+            r.mc_label r.mc_verdict r.mc_states r.mc_transitions status;
+          List.iter
+            (fun v ->
+              Fmt.pr "    %s %s depth %d index %d%s: %s@." v.vkind v.clause
+                v.depth v.index
+                (if v.confirmed then " (replay-confirmed)" else " (UNCONFIRMED)")
+                v.reason;
+              if v.window <> [] then
+                Fmt.pr "      window: %s@." (String.concat "; " v.window))
+            r.mc_violations)
+        mc_results
+    end
+  end;
+  let mc_fail = List.exists (fun r -> not r.Afd_bench.Check.mc_ok) mc_results in
   let fail =
-    Report.has_errors report || (!strict && Report.warnings report <> [])
+    Report.has_errors report
+    || (!strict && Report.warnings report <> [])
+    || mc_fail
   in
   exit (if fail then 1 else 0)

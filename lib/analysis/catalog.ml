@@ -17,11 +17,11 @@ let leader_acts =
     Fd_event.Output (2, 2);
   ]
 
-let leader_probe ?equal_state ?max_states () =
+let leader_probe ?equal_state ?hash_state ?max_states () =
   Probe.make
     ~equal_action:(Fd_event.equal Loc.equal)
     ~pp_action:(Fd_event.pp Loc.pp)
-    ?equal_state ?max_states leader_acts
+    ?equal_state ?hash_state ?max_states leader_acts
 
 let set_acts =
   [ Fd_event.Crash 0;
@@ -33,36 +33,48 @@ let set_acts =
     Fd_event.Output (2, Loc.set_of_universe ~n);
   ]
 
-let set_probe ?equal_state ?max_states () =
+let set_probe ?equal_state ?hash_state ?max_states () =
   Probe.make
     ~equal_action:(Fd_event.equal Loc.Set.equal)
     ~pp_action:(Fd_event.pp Loc.pp_set)
-    ?equal_state ?max_states set_acts
+    ?equal_state ?hash_state ?max_states set_acts
+
+(* Hashes congruent with the custom state equalities above: AVL sets
+   that are [Loc.Set.equal] can differ in tree shape, so hash the sorted
+   element lists, never the trees. *)
+let hash_set s = Hashtbl.hash (Loc.Set.elements s)
+
+let hash_leader_noisy (c, q) = Hashtbl.hash (Loc.Set.elements c, Loc.Map.bindings q)
+
+let hash_set_noisy (c, q) =
+  Hashtbl.hash
+    ( Loc.Set.elements c,
+      List.map (fun (k, v) -> (k, List.map Loc.Set.elements v)) (Loc.Map.bindings q) )
 
 let register_core () =
   let reg e = Registry.register ~origin:"core" e in
   let crashable = Loc.set_of_universe ~n in
   reg
     (Registry.Automaton
-       (Afd_automata.crash_automaton ~n ~crashable, set_probe ~equal_state:Loc.Set.equal ()));
+       (Afd_automata.crash_automaton ~n ~crashable, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
   reg
     (Registry.Automaton
-       (Afd_automata.fd_omega ~n, leader_probe ~equal_state:Loc.Set.equal ()));
+       (Afd_automata.fd_omega ~n, leader_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
   reg
     (Registry.Automaton
-       (Afd_automata.fd_anti_omega ~n, leader_probe ~equal_state:Loc.Set.equal ()));
+       (Afd_automata.fd_anti_omega ~n, leader_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
   reg
     (Registry.Automaton
-       (Afd_automata.fd_perfect ~n, set_probe ~equal_state:Loc.Set.equal ()));
+       (Afd_automata.fd_perfect ~n, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
   reg
     (Registry.Automaton
-       (Afd_automata.fd_sigma ~n, set_probe ~equal_state:Loc.Set.equal ()));
+       (Afd_automata.fd_sigma ~n, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
   reg
     (Registry.Automaton
-       (Afd_automata.fd_omega_k ~n ~k:2, set_probe ~equal_state:Loc.Set.equal ()));
+       (Afd_automata.fd_omega_k ~n ~k:2, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
   reg
     (Registry.Automaton
-       (Afd_automata.fd_psi_k ~n ~k:2, set_probe ~equal_state:Loc.Set.equal ()));
+       (Afd_automata.fd_psi_k ~n ~k:2, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
   let eq_leader_noisy (c1, q1) (c2, q2) =
     Loc.Set.equal c1 c2 && Loc.Map.equal (List.equal Loc.equal) q1 q2
   in
@@ -70,7 +82,7 @@ let register_core () =
     (Registry.Automaton
        ( Afd_automata.fd_omega_noisy ~n
            ~noise:(Afd_automata.noise_of_list [ (0, 2); (1, 2) ]),
-         leader_probe ~equal_state:eq_leader_noisy () ));
+         leader_probe ~equal_state:eq_leader_noisy ~hash_state:hash_leader_noisy () ));
   let eq_set_noisy (c1, q1) (c2, q2) =
     Loc.Set.equal c1 c2 && Loc.Map.equal (List.equal Loc.Set.equal) q1 q2
   in
@@ -78,7 +90,7 @@ let register_core () =
     (Registry.Automaton
        ( Afd_automata.fd_ev_perfect_noisy ~n
            ~noise:(Afd_automata.noise_of_list [ (0, Loc.Set.singleton 1) ]),
-         set_probe ~equal_state:eq_set_noisy () ));
+         set_probe ~equal_state:eq_set_noisy ~hash_state:hash_set_noisy () ));
   (* Algorithm 1 composed with the crash automaton: the closed system
      whose fair traces Theorem "sampled containment" tests consume. *)
   reg

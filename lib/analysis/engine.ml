@@ -1,11 +1,19 @@
-let run ?(rules = Rules.all) items =
-  let findings =
-    List.concat_map
-      (fun { Registry.origin; entry } ->
-        List.concat_map (fun r -> r.Rule.check ~origin entry) rules)
+let run ?(rules = Rules.all) ?max_states ?por items =
+  let subjects =
+    List.map
+      (fun { Registry.origin; entry } -> Subject.make ?por ?max_states ~origin entry)
       items
   in
+  let findings =
+    List.concat_map
+      (fun subj -> List.concat_map (fun r -> r.Rule.check subj) rules)
+      subjects
+  in
+  (* collected after the rules ran, so only explorations some rule
+     actually forced are reported *)
+  let explorations = List.filter_map Subject.exploration subjects in
   Report.make ~rules_run:(List.length rules) ~subjects_checked:(List.length items)
-    findings
+    ~explorations findings
 
-let run_entry ?rules ~origin entry = run ?rules [ { Registry.origin; entry } ]
+let run_entry ?rules ?max_states ?por ~origin entry =
+  run ?rules ?max_states ?por [ { Registry.origin; entry } ]

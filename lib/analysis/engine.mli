@@ -1,7 +1,21 @@
-(** The lint engine: run a rule set over registry items. *)
+(** The lint engine: run a rule set over registry items.
 
-val run : ?rules:Rule.t list -> Registry.item list -> Report.t
-(** Defaults to {!Rules.all}. *)
+    Each item is wrapped in a {!Subject.t}, so all rules on one subject
+    share a single memoized state-space exploration; the explorations
+    (with completeness verdicts) land in the report's
+    [Report.explorations]. *)
 
-val run_entry : ?rules:Rule.t list -> origin:string -> Registry.entry -> Report.t
+val run :
+  ?rules:Rule.t list -> ?max_states:int -> ?por:bool -> Registry.item list -> Report.t
+(** Defaults to {!Rules.all}.  [max_states] overrides every subject's
+    exploration cap; [por] turns on the sleep-set reduction (see
+    {!Subject.make}). *)
+
+val run_entry :
+  ?rules:Rule.t list ->
+  ?max_states:int ->
+  ?por:bool ->
+  origin:string ->
+  Registry.entry ->
+  Report.t
 (** Lint a single subject (used by the fixture tests). *)

@@ -1,6 +1,10 @@
 open Afd_ioa
 
-let reachable aut probe =
+(* Historical list-based seen-set: O(n) membership scan per push, kept
+   as the reference implementation for the Space differential tests and
+   the hashed-vs-list bench row.  Semantics (visit order included) are
+   what [Space.explore ~por:false] reproduces. *)
+let list_based aut probe =
   let seen = ref [] and count = ref 0 in
   let mem s = List.exists (probe.Probe.equal_state s) !seen in
   let queue = Queue.create () in
@@ -25,3 +29,9 @@ let reachable aut probe =
     step_all (Automaton.enabled_actions aut s)
   done;
   List.rev !seen
+
+let reachable_v aut probe =
+  let space = Space.explore ~por:false aut probe in
+  (Space.reachable space, space.Space.verdict)
+
+let reachable aut probe = fst (reachable_v aut probe)

@@ -1,12 +1,30 @@
 (** Bounded reachable-state sampling.
 
-    From the start state (plus the probe universe's seed states), apply
-    every probed action and every task-enabled action, breadth-first,
-    deduplicating with the probe's state equality, until the probe's
-    [max_states] cap.  The sample is sound (every state is reachable
-    via probed/enabled actions) but deliberately not complete — the
-    rules that consume it are lint rules, not proofs. *)
+    From the start state (plus the probe universe's deduplicated seed
+    states), apply every probed action and every task-enabled action,
+    breadth-first, deduplicating with the probe's state equality, until
+    the probe's [max_states] cap.  The sample is sound (every state is
+    reachable via probed/enabled actions); whether it is {e complete}
+    is exactly what the {!Space.verdict} says — rules that claim "on
+    every reachable state" must check it.
 
-val reachable :
-  ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> 's list
-(** In discovery (BFS) order; the start state is first. *)
+    This module is a thin shim over {!Space.explore}, which replaced
+    the original O(n²) list-scan seen-set with a hashed one; the visit
+    order is unchanged. *)
+
+val reachable : ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> 's list
+(** In discovery (BFS) order; the start state is first.  Historical
+    signature — truncation by [max_states] is silent here; prefer
+    {!reachable_v} (or {!Space.explore} directly) where the distinction
+    matters. *)
+
+val reachable_v :
+  ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> 's list * Space.verdict
+(** Like {!reachable} but also says whether the enumeration was
+    exhaustive or cut by the [max_states] budget. *)
+
+val list_based : ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> 's list
+(** The pre-{!Space} implementation with a list seen-set (O(n²) total
+    membership cost).  Retained as the differential-test and bench
+    reference; produces the same states in the same order as
+    {!reachable}. *)

@@ -184,5 +184,62 @@ let all =
     ("prop-based-spec", raw_scan_spec);
   ]
 
+(* --- fixtures for the graph rules (the --mc set) --- *)
+
+let stuck_counter =
+  (* the task still claims Tick 4 at the cap, and nothing else can move:
+     the state is non-quiescent yet the step relation rejects every
+     enabled action *)
+  let c = counter ~name:"stuck" ~limit:3 in
+  let task =
+    { Automaton.task_name = "tick";
+      fair = true;
+      enabled = (fun s -> if s < 4 then Some (Tick (s + 1)) else None);
+    }
+  in
+  Registry.Automaton ({ c with Automaton.tasks = [ task ] }, probe ())
+
+let jump_counter =
+  (* two concurrently enabled tasks whose moves visibly race:
+     increment-then-double lands elsewhere than double-then-increment *)
+  let kind = function
+    | Tick _ -> Some Automaton.Output
+    | Reset -> Some Automaton.Input
+    | Noise -> None
+  in
+  let step s = function
+    | Tick 1 when s + 1 <= 5 -> Some (s + 1)
+    | Tick 2 when s * 2 <= 5 -> Some (s * 2)
+    | Tick _ | Noise -> None
+    | Reset -> Some 0
+  in
+  let tasks =
+    [ { Automaton.task_name = "inc";
+        fair = true;
+        enabled = (fun s -> if s + 1 <= 5 then Some (Tick 1) else None);
+      };
+      { Automaton.task_name = "dbl";
+        fair = true;
+        enabled = (fun s -> if s * 2 <= 5 then Some (Tick 2) else None);
+      };
+    ]
+  in
+  Registry.Automaton
+    ({ Automaton.name = "jumpy"; kind; start = 0; step; tasks },
+     probe ~actions:[ Tick 1; Tick 2; Reset ] ())
+
+let short_counter =
+  (* limit 2, but the probe universe still carries Tick 3: the action is
+     in the signature yet labels no edge of the exhausted graph *)
+  Registry.Automaton (counter ~name:"short" ~limit:2, probe ())
+
+let mc =
+  [ ("reachable-input-enabled", not_input_enabled);
+    ("deadlock", stuck_counter);
+    ("race-pair", jump_counter);
+    ("dead-transition", short_counter);
+  ]
+
 let find id =
-  Option.map snd (List.find_opt (fun (id', _) -> String.equal id id') all)
+  Option.map snd
+    (List.find_opt (fun (id', _) -> String.equal id id') (all @ mc))

@@ -30,4 +30,11 @@ val all : (string * Registry.entry) list
 (** [(rule_id, fixture)] pairs: linting the fixture yields at least one
     finding of rule [rule_id]. *)
 
+val mc : (string * Registry.entry) list
+(** Fixtures for the graph rules ({!Rules.mc}), same convention as
+    {!all}: a non-quiescent stuck state for [deadlock], a visibly racing
+    task pair for [race-pair], a never-firing in-signature action for
+    [dead-transition]. *)
+
 val find : string -> Registry.entry option
+(** Searches {!all} and {!mc}. *)

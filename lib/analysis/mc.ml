@@ -1,0 +1,322 @@
+open Afd_ioa
+module P = Afd_prop.Prop
+module Counterexample = Afd_prop.Counterexample
+module Monitor = Afd_prop.Monitor
+module Verdict = Afd_prop.Verdict
+
+type 'o violation = {
+  clause : string;
+  reason : string;
+  kind : [ `Edge | `Judgement ];
+  depth : int;
+  counterexample : 'o Counterexample.t;
+  confirmed : bool;
+}
+
+type 'o outcome = {
+  verdict : Space.verdict;
+  states : int;
+  transitions : int;
+  safety_clauses : string list;
+  liveness_skipped : string list;
+  violations : 'o violation list;
+  proved : bool;
+  por : bool;
+  stats : Space.stats;
+}
+
+let default_max_states = 20_000
+
+(* Per-clause runtime carried in each product state.  [Fold]
+   accumulators are existential (each clause brings its own ['acc]);
+   packing the accumulator with its fold keeps the types aligned, the
+   same trick [Component.inst] uses for component states. *)
+type 'o rt =
+  | C_always of 'o P.event_check
+  | C_until of {
+      release : 'o P.state -> bool;
+      check : 'o P.event_check;
+      released : bool;
+    }
+  | C_fold : { fold : ('o, 'acc) P.fold; acc : 'acc } -> 'o rt
+
+(* Structural comparison across an existential boundary — exact for the
+   first-order accumulators the catalog uses (sets, lists, pairs);
+   values that defeat [compare] (closures) compare unequal, which only
+   splits states, never merges wrongly. *)
+let obj_equal a b =
+  try Stdlib.compare (Obj.repr a) (Obj.repr b) = 0 with Invalid_argument _ -> false
+
+let rt_equal a b =
+  match (a, b) with
+  | C_always _, C_always _ -> true
+  | C_until u, C_until v -> u.released = v.released
+  | C_fold f, C_fold g -> obj_equal f.acc g.acc
+  | _ -> false
+
+type ('s, 'o) pstate =
+  | Running of { sys : 's; summary : 'o P.state; rts : 'o rt array }
+  | Latched of { clause : string; reason : string }
+
+exception Latch of string * string
+
+let check ?(max_states = default_max_states) ?(por = false) ?(len_cap = 8)
+    ~equal_state ~hash_state ~n prop sys =
+  let safety, liveness_skipped =
+    List.partition_map
+      (fun (nm, c) ->
+        match c with P.Stable _ -> Either.Right nm | _ -> Either.Left (nm, c))
+      (P.clauses prop)
+  in
+  let names = Array.of_list (List.map fst safety) in
+  let init_rts =
+    Array.of_list
+      (List.map
+         (fun (_, c) ->
+           match c with
+           | P.Always chk -> C_always chk
+           | P.Until (release, check) -> C_until { release; check; released = false }
+           | P.Fold f -> C_fold { fold = f; acc = f.P.finit }
+           | P.Stable _ -> assert false)
+         safety)
+  in
+  let step_rt summary act = function
+    | C_always chk as c -> (
+      match chk summary act with Ok () -> c | Error r -> raise (Latch ("", r)))
+    | C_until u as c ->
+      if u.released then c
+      else if u.release summary then C_until { u with released = true }
+      else (
+        match u.check summary act with Ok () -> c | Error r -> raise (Latch ("", r)))
+    | C_fold { fold; acc } -> (
+      match fold.P.fstep summary acc act with
+      | Ok acc' -> C_fold { fold; acc = acc' }
+      | Error r -> raise (Latch ("", r)))
+  in
+  let pstep st act =
+    match st with
+    | Latched _ -> None
+    | Running r -> (
+      match sys.Automaton.step r.sys act with
+      | None -> None
+      | Some sys' -> (
+        match
+          Array.mapi
+            (fun i c ->
+              try step_rt r.summary act c
+              with Latch (_, reason) -> raise (Latch (names.(i), reason)))
+            r.rts
+        with
+        | rts ->
+          Some (Running { sys = sys'; summary = P.update r.summary act; rts })
+        | exception Latch (clause, reason) -> Some (Latched { clause; reason })))
+  in
+  let product =
+    { Automaton.name = sys.Automaton.name ^ "(x)prop";
+      kind = sys.Automaton.kind;
+      start = Running { sys = sys.Automaton.start; summary = P.init ~n; rts = init_rts };
+      step = pstep;
+      tasks =
+        List.map
+          (fun tk ->
+            { Automaton.task_name = tk.Automaton.task_name;
+              fair = tk.Automaton.fair;
+              enabled =
+                (function
+                | Latched _ -> None | Running r -> tk.Automaton.enabled r.sys);
+            })
+          sys.Automaton.tasks;
+    }
+  in
+  (* Product identity: exactly the fields a safety clause may read (see
+     the interface).  The trace summary is compared through the capped
+     length and the crashed set; the stored representative is the one
+     discovered first. *)
+  let pequal a b =
+    match (a, b) with
+    | Latched a, Latched b -> String.equal a.clause b.clause && String.equal a.reason b.reason
+    | Running a, Running b ->
+      equal_state a.sys b.sys
+      && min a.summary.P.len len_cap = min b.summary.P.len len_cap
+      && Loc.Set.equal a.summary.P.crashed b.summary.P.crashed
+      && Array.for_all2 rt_equal a.rts b.rts
+    | Latched _, Running _ | Running _, Latched _ -> false
+  in
+  let mix h v = (h * 131) + v in
+  let phash = function
+    | Latched { clause; reason } -> Hashtbl.hash (clause, reason)
+    | Running r ->
+      let h = mix (hash_state r.sys) (min r.summary.P.len len_cap) in
+      let h = mix h (Hashtbl.hash (Loc.Set.elements r.summary.P.crashed)) in
+      (* Fold accumulators are skipped (no congruent hash across the
+         existential); Until flags are cheap and discriminating. *)
+      Array.fold_left
+        (fun h c -> match c with C_until u -> mix h (Bool.to_int u.released) | _ -> h)
+        h r.rts
+  in
+  let probe = Probe.make ~equal_state:pequal ~hash_state:phash ~max_states [] in
+  let space = Space.explore ~por product probe in
+  let nstates = Array.length space.Space.states in
+  (* Fold-judge evaluation per reachable Running state. *)
+  let judge_violation = function
+    | Latched _ -> None
+    | Running r ->
+      let res = ref None in
+      Array.iteri
+        (fun i c ->
+          if Option.is_none !res then
+            match c with
+            | C_fold { fold; acc } -> (
+              match fold.P.fjudge r.summary acc with
+              | P.J_violated reason -> res := Some (names.(i), reason)
+              | P.J_sat | P.J_undecided _ -> ())
+            | C_always _ | C_until _ -> ())
+        r.rts;
+      !res
+  in
+  let judged = Array.map judge_violation space.Space.states in
+  (* A judged violation counts only if inescapable: no path from it
+     reaches a non-violated Running state.  Reverse reachability from
+     the good states over the explored edges — sound as a claim about
+     the system only under an [Exhausted] verdict. *)
+  let escapes = Array.make nstates false in
+  let inescapable_at =
+    if space.Space.verdict <> Space.Exhausted then fun _ -> false
+    else begin
+      let radj = Array.make nstates [] in
+      Array.iter
+        (fun e -> radj.(e.Space.dst) <- e.Space.src :: radj.(e.Space.dst))
+        space.Space.edges;
+      let q = Queue.create () in
+      Array.iteri
+        (fun i st ->
+          match st with
+          | Running _ when Option.is_none judged.(i) ->
+            escapes.(i) <- true;
+            Queue.add i q
+          | Running _ | Latched _ -> ())
+        space.Space.states;
+      while not (Queue.is_empty q) do
+        let j = Queue.pop q in
+        List.iter
+          (fun p ->
+            if not escapes.(p) then begin
+              escapes.(p) <- true;
+              Queue.add p q
+            end)
+          radj.(j)
+      done;
+      fun i -> Option.is_some judged.(i) && not escapes.(i)
+    end
+  in
+  (* Candidate violations in discovery order (= nondecreasing depth, no
+     seed states here), one per clause: the first is the shallowest. *)
+  let candidates = ref [] in
+  let seen_clause = Hashtbl.create 8 in
+  for i = 0 to nstates - 1 do
+    let record kind clause reason =
+      if not (Hashtbl.mem seen_clause clause) then begin
+        Hashtbl.add seen_clause clause ();
+        candidates := (i, kind, clause, reason) :: !candidates
+      end
+    in
+    (match space.Space.states.(i) with
+    | Latched { clause; reason } -> record `Edge clause reason
+    | Running _ -> ());
+    if inescapable_at i then
+      match judged.(i) with
+      | Some (clause, reason) -> record `Judgement clause reason
+      | None -> ()
+  done;
+  let violations =
+    List.rev_map
+      (fun (i, kind, clause, reason) ->
+        let path = Space.path_actions space i in
+        let counterexample = Counterexample.of_path ~clause ~reason path in
+        let confirmed = Verdict.is_violated (Monitor.replay ~n prop path) in
+        { clause; reason; kind; depth = space.Space.depth.(i); counterexample; confirmed })
+      !candidates
+    |> List.sort (fun a b -> compare a.depth b.depth)
+  in
+  { verdict = space.Space.verdict;
+    states = nstates;
+    transitions = space.Space.stats.Space.transitions;
+    safety_clauses = Array.to_list names;
+    liveness_skipped;
+    violations;
+    proved = space.Space.verdict = Space.Exhausted && violations = [];
+    por;
+    stats = space.Space.stats;
+  }
+
+let check_spec ?max_states ?por ?len_cap ?crashable ~n spec ~detector =
+  match spec.Afd_core.Afd.prop with
+  | None ->
+    Error
+      (Printf.sprintf "spec %s is raw (no compiled formula to model-check)"
+         spec.Afd_core.Afd.name)
+  | Some prop ->
+    let crashable = Option.value ~default:(Loc.set_of_universe ~n) crashable in
+    let comp =
+      Composition.make
+        ~name:(detector.Automaton.name ^ "+crash")
+        [ Component.C detector;
+          Component.C (Afd_core.Afd_automata.crash_automaton ~n ~crashable);
+        ]
+    in
+    Ok
+      (check ?max_states ?por ?len_cap ~equal_state:Composition.equal_state
+         ~hash_state:Composition.hash_state ~n (prop ~n)
+         (Composition.as_automaton comp))
+
+let pp_outcome ~pp_out fmt o =
+  Format.fprintf fmt "@[<v>%s: %d states, %d transitions (%a%s)"
+    (if o.proved then "proved" else if o.violations = [] then "no violation found" else "VIOLATED")
+    o.states o.transitions Space.pp_verdict o.verdict
+    (if o.por then Printf.sprintf ", por slept %d" o.stats.Space.slept else "");
+  Format.fprintf fmt "@,safety clauses: %s" (String.concat ", " o.safety_clauses);
+  if o.liveness_skipped <> [] then
+    Format.fprintf fmt "@,liveness (not model-checked): %s"
+      (String.concat ", " o.liveness_skipped);
+  List.iter
+    (fun v ->
+      Format.fprintf fmt "@,[%s] depth %d%s: %a"
+        (match v.kind with `Edge -> "edge" | `Judgement -> "judgement")
+        v.depth
+        (if v.confirmed then ", replay-confirmed" else ", NOT confirmed by replay")
+        (Counterexample.pp pp_out) v.counterexample)
+    o.violations;
+  Format.fprintf fmt "@]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let outcome_to_json ~pp_out o =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let strs l = "[" ^ String.concat "," (List.map str l) ^ "]" in
+  let violation v =
+    Printf.sprintf
+      "{\"clause\":%s,\"kind\":%s,\"depth\":%d,\"reason\":%s,\"confirmed\":%b,\"counterexample\":%s}"
+      (str v.clause)
+      (str (match v.kind with `Edge -> "edge" | `Judgement -> "judgement"))
+      v.depth (str v.reason) v.confirmed
+      (Counterexample.to_json ~pp_out v.counterexample)
+  in
+  Printf.sprintf
+    "{\"verdict\":%s,\"proved\":%b,\"states\":%d,\"transitions\":%d,\"por\":%b,\"slept\":%d,\"cut\":%d,\"safety_clauses\":%s,\"liveness_skipped\":%s,\"violations\":[%s]}"
+    (str (Space.verdict_string o.verdict))
+    o.proved o.states o.transitions o.por o.stats.Space.slept o.stats.Space.cut
+    (strs o.safety_clauses) (strs o.liveness_skipped)
+    (String.concat "," (List.map violation o.violations))

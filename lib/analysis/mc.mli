@@ -1,0 +1,107 @@
+(** Exhaustive safety checking of AFD specs on small closed systems.
+
+    The paper's theorems quantify over {e all} fair executions; the
+    bench matrix and [afd_sim check] only sample randomly scheduled
+    prefixes.  On small instances this module closes the gap: it builds
+    the product of a closed system automaton (detector composed with
+    the crash automaton — every action is an ['o Fd_event.t]) with the
+    runtime of the spec's {!Afd_prop.Prop} {e safety} clauses, explores
+    it exhaustively with {!Space}, and reports each violation as a
+    shortest-path {!Afd_prop.Counterexample}.  When the explorer says
+    [Exhausted] and no violation exists, the safety clauses hold in
+    {e every} reachable state — a proof over all schedules and all
+    fault patterns in the crashable set, not a sample.
+
+    {b What is checked.}  [Always] and [Until] clauses are checked on
+    every edge of the product graph; an [Error] latches the edge's
+    destination as a violating sink, so its BFS depth is the minimal
+    violating prefix.  [Fold] clauses are stepped along every edge
+    (latching on step errors) and their judges are evaluated in every
+    reachable product state; a [J_violated] judgement is reported only
+    when it is {e inescapable} — no path leads back to a non-violated
+    state — which under an [Exhausted] verdict means every infinite
+    extension stays violated.  [Stable] clauses are liveness under the
+    limit-extension reading and are out of scope here; their names are
+    listed in [liveness_skipped].
+
+    {b Product state identity.}  Two product states are merged when
+    their system states, crashed-so-far sets, trace lengths capped at
+    [len_cap] (default 8), [Until] release flags and [Fold]
+    accumulators agree.  That covers exactly what the catalog's safety
+    clauses may read; a clause reading [last_output]/[output_counts],
+    or comparing [len] against a bound above [len_cap], would need a
+    richer identity — raise [len_cap] in that case. *)
+
+open Afd_ioa
+open Afd_prop
+
+type 'o violation = {
+  clause : string;
+  reason : string;
+  kind : [ `Edge | `Judgement ];
+      (** [`Edge]: a clause latched on a transition.  [`Judgement]: an
+          inescapable [Fold]-judge violation (claimed only under an
+          [Exhausted] verdict). *)
+  depth : int;  (** length of the violating event prefix — minimal, by BFS *)
+  counterexample : 'o Counterexample.t;  (** built from the shortest path *)
+  confirmed : bool;
+      (** the path was replayed through {!Monitor.replay} and the
+          monitor's verdict is [Violated] — an end-to-end cross-check
+          that the explorer and the monitor agree *)
+}
+
+type 'o outcome = {
+  verdict : Space.verdict;  (** completeness of the product exploration *)
+  states : int;  (** product states discovered *)
+  transitions : int;
+  safety_clauses : string list;  (** clauses actually model-checked *)
+  liveness_skipped : string list;  (** [Stable] clauses, out of scope *)
+  violations : 'o violation list;
+      (** at most one per clause (the shallowest), ascending depth *)
+  proved : bool;
+      (** [verdict = Exhausted] and no violation: the safety clauses
+          hold in every reachable state of the system *)
+  por : bool;
+  stats : Space.stats;
+}
+
+val default_max_states : int
+(** 20_000 — comfortably above every catalog subject's product size. *)
+
+val check :
+  ?max_states:int ->
+  ?por:bool ->
+  ?len_cap:int ->
+  equal_state:('s -> 's -> bool) ->
+  hash_state:('s -> int) ->
+  n:int ->
+  'o Prop.t ->
+  ('s, 'o Fd_event.t) Automaton.t ->
+  'o outcome
+(** Model-check a formula against a closed system automaton whose
+    actions are the FD events themselves (so walking an edge {e is}
+    observing an event).  [equal_state]/[hash_state] identify system
+    states — pass {!Composition.equal_state}/{!Composition.hash_state}
+    for composed systems.  [por] (default [false]) enables the
+    sleep-set reduction; leave it off when shortest counterexamples
+    matter.  *)
+
+val check_spec :
+  ?max_states:int ->
+  ?por:bool ->
+  ?len_cap:int ->
+  ?crashable:Loc.Set.t ->
+  n:int ->
+  'o Afd_core.Afd.spec ->
+  detector:('s, 'o Fd_event.t) Automaton.t ->
+  ('o outcome, string) result
+(** Compose [detector] with the crash automaton over [crashable]
+    (default: the full universe, i.e. {e all} fault patterns) and
+    {!check} the spec's compiled formula against it.  [Error] when the
+    spec is raw (no formula to check). *)
+
+val pp_outcome : pp_out:'o Fmt.t -> Format.formatter -> 'o outcome -> unit
+
+val outcome_to_json : pp_out:'o Fmt.t -> 'o outcome -> string
+(** One JSON object: verdict, proved, state/transition counts, clause
+    lists, POR stats and the violations with their counterexamples. *)

@@ -3,6 +3,7 @@ type ('s, 'a) t = {
   seed_states : 's list;
   equal_action : 'a -> 'a -> bool;
   equal_state : 's -> 's -> bool;
+  hash_state : ('s -> int) option;
   pp_action : 'a Fmt.t;
   max_states : int;
   rename_roundtrip : ('a -> 'a option) option;
@@ -14,13 +15,26 @@ type ('s, 'a) t = {
    reachable-state sample larger, never wrong. *)
 let structural a b = try Stdlib.compare a b = 0 with Invalid_argument _ -> false
 
-let make ?(seed_states = []) ?(equal_action = structural) ?(equal_state = structural)
+let make ?(seed_states = []) ?(equal_action = structural) ?equal_state ?hash_state
     ?(pp_action = Fmt.any "<action>") ?(max_states = 96) ?rename_roundtrip ?base_kind
     actions =
+  (* A hash is only safe when it is a congruence for the state equality:
+     with the default structural equality, [Hashtbl.hash] qualifies; a
+     caller-supplied equality (e.g. [Loc.Set.equal], blind to tree
+     shape) needs a matching caller-supplied hash, otherwise the
+     explorer falls back to a single bucket (exact, just slower). *)
+  let hash_state =
+    match (hash_state, equal_state) with
+    | (Some _ as h), _ -> h
+    | None, None -> Some Hashtbl.hash
+    | None, Some _ -> None
+  in
+  let equal_state = Option.value ~default:structural equal_state in
   { actions;
     seed_states;
     equal_action;
     equal_state;
+    hash_state;
     pp_action;
     max_states;
     rename_roundtrip;

@@ -16,6 +16,11 @@ type ('s, 'a) t = {
   seed_states : 's list;  (** extra exploration seeds besides the start state *)
   equal_action : 'a -> 'a -> bool;
   equal_state : 's -> 's -> bool;
+  hash_state : ('s -> int) option;
+      (** A hash consistent with [equal_state] (equal states must hash
+          alike); drives the {!Space} explorer's hashed seen-set.
+          [None] means no congruent hash is known and the explorer
+          degrades to a single bucket (exact, quadratic). *)
   pp_action : 'a Fmt.t;
   max_states : int;  (** cap on the bounded state exploration *)
   rename_roundtrip : ('a -> 'a option) option;
@@ -33,6 +38,7 @@ val make :
   ?seed_states:'s list ->
   ?equal_action:('a -> 'a -> bool) ->
   ?equal_state:('s -> 's -> bool) ->
+  ?hash_state:('s -> int) ->
   ?pp_action:'a Fmt.t ->
   ?max_states:int ->
   ?rename_roundtrip:('a -> 'a option) ->
@@ -42,4 +48,10 @@ val make :
 (** Defaults: no seed states, structural equality (total — comparison
     failures on abstract values compare unequal, which only makes the
     exploration more conservative), a ["<action>"] printer, and a
-    96-state exploration cap. *)
+    96-state exploration cap.
+
+    [hash_state] defaults to [Hashtbl.hash] when [equal_state] is left
+    structural (the two are congruent), and to [None] when a custom
+    [equal_state] is supplied without a matching hash — supply both to
+    keep the hashed seen-set fast on semantic equalities such as
+    [Loc.Set.equal]. *)

@@ -25,7 +25,23 @@ type finding = {
   message : string;
 }
 
-type t = { findings : finding list; rules_run : int; subjects_checked : int }
+type exploration = {
+  explored : string;
+  exp_origin : string;
+  states : int;
+  transitions : int;
+  verdict : string;
+  exhaustive : bool;
+  por : bool;
+  slept : int;
+}
+
+type t = {
+  findings : finding list;
+  rules_run : int;
+  subjects_checked : int;
+  explorations : exploration list;
+}
 
 let compare_finding f1 f2 =
   match compare (severity_rank f2.severity) (severity_rank f1.severity) with
@@ -35,8 +51,12 @@ let compare_finding f1 f2 =
     | c -> c)
   | c -> c
 
-let make ~rules_run ~subjects_checked findings =
-  { findings = List.stable_sort compare_finding findings; rules_run; subjects_checked }
+let make ?(explorations = []) ~rules_run ~subjects_checked findings =
+  { findings = List.stable_sort compare_finding findings;
+    rules_run;
+    subjects_checked;
+    explorations;
+  }
 
 let errors t = List.filter (fun f -> f.severity = Error) t.findings
 let warnings t = List.filter (fun f -> f.severity = Warning) t.findings
@@ -56,7 +76,22 @@ let pp fmt t =
     t.subjects_checked t.rules_run
     (List.length (errors t))
     (List.length (warnings t));
+  (match
+     List.partition (fun e -> e.exhaustive) t.explorations
+   with
+  | [], [] -> ()
+  | ex, tr ->
+    Fmt.pf fmt "; explored %d subject(s): %d exhausted, %d truncated"
+      (List.length t.explorations) (List.length ex) (List.length tr));
   List.iter (fun f -> Fmt.pf fmt "@\n  %a" pp_finding f) t.findings
+
+let pp_explorations fmt t =
+  List.iter
+    (fun e ->
+      Fmt.pf fmt "%s(%s): %d states, %d transitions, %s%s@\n" e.explored e.exp_origin
+        e.states e.transitions e.verdict
+        (if e.por then Printf.sprintf " (por, slept %d)" e.slept else ""))
+    t.explorations
 
 (* --- JSON (hand-rolled; the repo deliberately has no JSON dependency) --- *)
 
@@ -91,10 +126,19 @@ let finding_to_json f =
     (json_opt_int f.where.state)
     (json_str f.message)
 
+let exploration_to_json e =
+  Printf.sprintf
+    "{\"subject\":%s,\"origin\":%s,\"states\":%d,\"transitions\":%d,\"verdict\":%s,\"exhaustive\":%b,\"por\":%b,\"slept\":%d}"
+    (json_str e.explored) (json_str e.exp_origin) e.states e.transitions
+    (json_str e.verdict) e.exhaustive e.por e.slept
+
 let to_json t =
   Printf.sprintf
-    "{\"summary\":{\"subjects\":%d,\"rules\":%d,\"errors\":%d,\"warnings\":%d},\"findings\":[%s]}"
+    "{\"summary\":{\"subjects\":%d,\"rules\":%d,\"errors\":%d,\"warnings\":%d,\"explored\":%d,\"exhausted\":%d},\"explorations\":[%s],\"findings\":[%s]}"
     t.subjects_checked t.rules_run
     (List.length (errors t))
     (List.length (warnings t))
+    (List.length t.explorations)
+    (List.length (List.filter (fun e -> e.exhaustive) t.explorations))
+    (String.concat "," (List.map exploration_to_json t.explorations))
     (String.concat "," (List.map finding_to_json t.findings))

@@ -32,13 +32,35 @@ type finding = {
   message : string;
 }
 
+(** Summary of one subject's state-space exploration, so the report
+    says {e how much} of each subject the exploring rules actually saw
+    — a truncated exploration means every "on all reachable states"
+    claim is only sampled (see {!Space.verdict}). *)
+type exploration = {
+  explored : string;  (** subject name *)
+  exp_origin : string;
+  states : int;
+  transitions : int;
+  verdict : string;  (** {!Space.verdict_string} of the exploration *)
+  exhaustive : bool;
+  por : bool;
+  slept : int;  (** transitions pruned by partial-order reduction *)
+}
+
 type t = {
   findings : finding list;  (** sorted: errors first, then by subject *)
   rules_run : int;
   subjects_checked : int;
+  explorations : exploration list;
+      (** one per subject whose state space a rule actually explored *)
 }
 
-val make : rules_run:int -> subjects_checked:int -> finding list -> t
+val make :
+  ?explorations:exploration list ->
+  rules_run:int ->
+  subjects_checked:int ->
+  finding list ->
+  t
 (** Sorts the findings by descending severity, then subject name. *)
 
 val errors : t -> finding list
@@ -47,8 +69,14 @@ val has_errors : t -> bool
 
 val pp_finding : finding Fmt.t
 val pp : t Fmt.t
-(** Summary header plus one line per finding. *)
+(** Summary header (including exhausted/truncated exploration counts)
+    plus one line per finding. *)
+
+val pp_explorations : t Fmt.t
+(** One line per exploration: states, transitions, verdict. *)
 
 val to_json : t -> string
 (** The whole report as a JSON object (hand-rolled, no dependency):
-    [{"summary": {...}, "findings": [...]}]. *)
+    [{"summary": {...}, "explorations": [...], "findings": [...]}].
+    The summary carries [explored]/[exhausted] counts so tooling can
+    gate on completeness. *)

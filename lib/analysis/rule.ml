@@ -3,7 +3,7 @@ type t = {
   severity : Report.severity;
   doc : string;
   paper : string;
-  check : origin:string -> Registry.entry -> Report.finding list;
+  check : Subject.t -> Report.finding list;
 }
 
 let find rules id = List.find_opt (fun r -> String.equal r.id id) rules

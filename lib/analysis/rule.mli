@@ -1,12 +1,16 @@
 (** A lint rule: one mechanically checkable well-formedness side
-    condition, tied to the paper section that imposes it. *)
+    condition, tied to the paper section that imposes it.
+
+    Rules check a {!Subject.t}, so all rules on one subject share the
+    same memoized state-space exploration (and its completeness
+    verdict) instead of re-exploring per rule. *)
 
 type t = {
   id : string;  (** stable kebab-case identifier, e.g. ["input-enabled"] *)
   severity : Report.severity;
   doc : string;  (** one-line description for [--list-rules] and docs *)
   paper : string;  (** paper section whose side condition this enforces *)
-  check : origin:string -> Registry.entry -> Report.finding list;
+  check : Subject.t -> Report.finding list;
 }
 
 val find : t list -> string -> t option

@@ -1,18 +1,5 @@
 open Afd_ioa
 
-(* Uniform automaton view of an entry: compositions are flattened with
-   {!Composition.as_automaton}, and their state equality replaced by
-   the componentwise structural one (composition states hold closures,
-   on which the probe's default structural equality would bail out). *)
-type packed = P : ('s, 'a) Automaton.t * ('s, 'a) Probe.t -> packed
-
-let packed = function
-  | Registry.Automaton (a, p) -> Some (P (a, p))
-  | Registry.Composition (c, p) ->
-    Some
-      (P (Composition.as_automaton c, { p with Probe.equal_state = Composition.equal_state }))
-  | Registry.Spec _ -> None
-
 let mkf ~rule ~severity ~origin ~name ?component ?task ?state message =
   { Report.rule;
     severity;
@@ -36,6 +23,17 @@ let enabled_by_task a s =
     (fun t -> Option.map (fun act -> (t.Automaton.task_name, act)) (t.Automaton.enabled s))
     a.Automaton.tasks
 
+(* How complete was the sample a "for all reachable states" claim rests
+   on?  Suffixed to rule messages so truncation is never silent. *)
+let verdict_note space =
+  match space.Space.verdict with
+  | Space.Exhausted -> "exploration exhausted: this covers every reachable state"
+  | Space.Truncated cap ->
+    Printf.sprintf
+      "exploration truncated at the %d-state budget: reachable states beyond it were \
+       not checked"
+      cap
+
 (* --- the rules --- *)
 
 let probe_coverage =
@@ -44,15 +42,15 @@ let probe_coverage =
     doc = "a registered subject has an empty action probe universe: nothing was checked";
     paper = "2.3";
     check =
-      (fun ~origin entry ->
-        match packed entry with
-        | Some (P (_, { Probe.actions = []; _ })) ->
-          [ mkf ~rule:"probe-coverage" ~severity:Report.Warning ~origin
-              ~name:(Registry.entry_name entry)
+      (fun subj ->
+        match subj.Subject.packed with
+        | Some (Subject.P (_, { Probe.actions = []; _ }, _)) ->
+          [ mkf ~rule:"probe-coverage" ~severity:Report.Warning ~origin:subj.Subject.origin
+              ~name:subj.Subject.name
               "empty action probe universe: the well-formedness of this subject was \
                not actually checked"
           ]
-        | Some (P _) | None -> []);
+        | Some (Subject.P _) | None -> []);
   }
 
 let input_enabled =
@@ -61,15 +59,15 @@ let input_enabled =
     doc = "every input action must be enabled in every reachable state";
     paper = "2.1";
     check =
-      (fun ~origin entry ->
-        match packed entry with
+      (fun subj ->
+        match subj.Subject.packed with
         | None -> []
-        | Some (P (a, p)) ->
-          let name = Registry.entry_name entry in
-          let states = Explore.reachable a p in
+        | Some (Subject.P (a, p, sp)) ->
+          let states = Space.reachable (Lazy.force sp) in
           List.map
             (fun (si, act) ->
-              mkf ~rule:"input-enabled" ~severity:Report.Error ~origin ~name ~state:si
+              mkf ~rule:"input-enabled" ~severity:Report.Error ~origin:subj.Subject.origin
+                ~name:subj.Subject.name ~state:si
                 (Fmt.str "input action %a is disabled" p.Probe.pp_action act))
             (Automaton.input_enabledness_counterexamples a ~states
                ~probes:p.Probe.actions));
@@ -81,11 +79,10 @@ let task_determinism =
     doc = "no two tasks may enable the same action in one state";
     paper = "2.5";
     check =
-      (fun ~origin entry ->
-        match packed entry with
+      (fun subj ->
+        match subj.Subject.packed with
         | None -> []
-        | Some (P (a, p)) ->
-          let name = Registry.entry_name entry in
+        | Some (Subject.P (a, p, sp)) ->
           List.concat
             (List.mapi
                (fun si s ->
@@ -96,8 +93,9 @@ let task_determinism =
                        List.fold_left
                          (fun acc (t2, a2) ->
                            if p.Probe.equal_action a1 a2 then
-                             mkf ~rule:"task-determinism" ~severity:Report.Error ~origin
-                               ~name ~task:t1 ~state:si
+                             mkf ~rule:"task-determinism" ~severity:Report.Error
+                               ~origin:subj.Subject.origin ~name:subj.Subject.name
+                               ~task:t1 ~state:si
                                (Fmt.str "tasks %s and %s both enable %a" t1 t2
                                   p.Probe.pp_action a1)
                              :: acc
@@ -107,7 +105,7 @@ let task_determinism =
                      pairs acc rest
                  in
                  pairs [] (enabled_by_task a s))
-               (Explore.reachable a p)));
+               (Space.reachable (Lazy.force sp))));
   }
 
 let step_signature =
@@ -116,11 +114,10 @@ let step_signature =
     doc = "the step relation must reject actions outside the signature";
     paper = "2.1";
     check =
-      (fun ~origin entry ->
-        match packed entry with
+      (fun subj ->
+        match subj.Subject.packed with
         | None -> []
-        | Some (P (a, p)) ->
-          let name = Registry.entry_name entry in
+        | Some (Subject.P (a, p, sp)) ->
           List.concat
             (List.mapi
                (fun si s ->
@@ -129,15 +126,16 @@ let step_signature =
                      if Automaton.kind_of a act = None && a.Automaton.step s act <> None
                      then
                        Some
-                         (mkf ~rule:"step-signature" ~severity:Report.Error ~origin
-                            ~name ~state:si
+                         (mkf ~rule:"step-signature" ~severity:Report.Error
+                            ~origin:subj.Subject.origin ~name:subj.Subject.name
+                            ~state:si
                             (Fmt.str
                                "action %a is outside the signature but the step \
                                 relation accepts it"
                                p.Probe.pp_action act))
                      else None)
                    p.Probe.actions)
-               (Explore.reachable a p)));
+               (Space.reachable (Lazy.force sp))));
   }
 
 let task_signature =
@@ -146,11 +144,10 @@ let task_signature =
     doc = "tasks may only enable locally controlled (output/internal) actions";
     paper = "2.5";
     check =
-      (fun ~origin entry ->
-        match packed entry with
+      (fun subj ->
+        match subj.Subject.packed with
         | None -> []
-        | Some (P (a, p)) ->
-          let name = Registry.entry_name entry in
+        | Some (Subject.P (a, p, sp)) ->
           List.concat
             (List.mapi
                (fun si s ->
@@ -160,18 +157,20 @@ let task_signature =
                      | Some Automaton.Output | Some Automaton.Internal -> None
                      | Some Automaton.Input ->
                        Some
-                         (mkf ~rule:"task-signature" ~severity:Report.Error ~origin
-                            ~name ~task:tname ~state:si
+                         (mkf ~rule:"task-signature" ~severity:Report.Error
+                            ~origin:subj.Subject.origin ~name:subj.Subject.name
+                            ~task:tname ~state:si
                             (Fmt.str "task enables the input action %a"
                                p.Probe.pp_action act))
                      | None ->
                        Some
-                         (mkf ~rule:"task-signature" ~severity:Report.Error ~origin
-                            ~name ~task:tname ~state:si
+                         (mkf ~rule:"task-signature" ~severity:Report.Error
+                            ~origin:subj.Subject.origin ~name:subj.Subject.name
+                            ~task:tname ~state:si
                             (Fmt.str "task enables %a, which is not in the signature"
                                p.Probe.pp_action act)))
                    (enabled_by_task a s))
-               (Explore.reachable a p)));
+               (Space.reachable (Lazy.force sp))));
   }
 
 let enabled_consistency =
@@ -180,11 +179,10 @@ let enabled_consistency =
     doc = "an action a task enables must be accepted by the step relation";
     paper = "2.5";
     check =
-      (fun ~origin entry ->
-        match packed entry with
+      (fun subj ->
+        match subj.Subject.packed with
         | None -> []
-        | Some (P (a, p)) ->
-          let name = Registry.entry_name entry in
+        | Some (Subject.P (a, p, sp)) ->
           List.concat
             (List.mapi
                (fun si s ->
@@ -195,11 +193,12 @@ let enabled_consistency =
                      | None ->
                        Some
                          (mkf ~rule:"enabled-consistency" ~severity:Report.Error
-                            ~origin ~name ~task:tname ~state:si
+                            ~origin:subj.Subject.origin ~name:subj.Subject.name
+                            ~task:tname ~state:si
                             (Fmt.str "task enables %a but the step relation rejects it"
                                p.Probe.pp_action act)))
                    (enabled_by_task a s))
-               (Explore.reachable a p)));
+               (Space.reachable (Lazy.force sp))));
   }
 
 let dual_control =
@@ -208,14 +207,14 @@ let dual_control =
     doc = "no action of a composition may be controlled by two components";
     paper = "2.3";
     check =
-      (fun ~origin entry ->
-        match entry with
+      (fun subj ->
+        match subj.Subject.entry with
         | Registry.Automaton _ | Registry.Spec _ -> []
         | Registry.Composition (c, p) ->
           List.map
             (fun (act, owners) ->
-              mkf ~rule:"dual-control" ~severity:Report.Error ~origin
-                ~name:(Composition.name c)
+              mkf ~rule:"dual-control" ~severity:Report.Error
+                ~origin:subj.Subject.origin ~name:(Composition.name c)
                 ~component:(String.concat "+" owners)
                 (Fmt.str "action %a is controlled by %d components" p.Probe.pp_action
                    act (List.length owners)))
@@ -228,14 +227,14 @@ let internal_leakage =
     doc = "internal actions of one component must be private to it";
     paper = "2.3";
     check =
-      (fun ~origin entry ->
-        match entry with
+      (fun subj ->
+        match subj.Subject.entry with
         | Registry.Automaton _ | Registry.Spec _ -> []
         | Registry.Composition (c, p) ->
           List.map
             (fun (act, owner) ->
-              mkf ~rule:"internal-leakage" ~severity:Report.Error ~origin
-                ~name:(Composition.name c) ~component:owner
+              mkf ~rule:"internal-leakage" ~severity:Report.Error
+                ~origin:subj.Subject.origin ~name:(Composition.name c) ~component:owner
                 (Fmt.str "internal action %a of %s is in another component's signature"
                    p.Probe.pp_action act owner))
             (Composition.shared_internal c ~probes:p.Probe.actions));
@@ -247,16 +246,16 @@ let dead_task =
     doc = "a fair task never enabled on any explored reachable state";
     paper = "2.4";
     check =
-      (fun ~origin entry ->
-        match entry with
-        | Registry.Spec _ -> []
-        | Registry.Composition _ ->
+      (fun subj ->
+        match (subj.Subject.entry, subj.Subject.packed) with
+        | (Registry.Spec _ | Registry.Composition _), _ | _, None ->
           (* the bounded sample of a whole composition is too sparse to
              call a component's task dead; components are expected to be
              registered (and checked) individually *)
           []
-        | Registry.Automaton (a, p) ->
-          let states = Explore.reachable a p in
+        | Registry.Automaton _, Some (Subject.P (a, _, sp)) ->
+          let sp = Lazy.force sp in
+          let states = Space.reachable sp in
           List.filter_map
             (fun t ->
               if
@@ -264,12 +263,13 @@ let dead_task =
                 && List.for_all (fun s -> t.Automaton.enabled s = None) states
               then
                 Some
-                  (mkf ~rule:"dead-task" ~severity:Report.Warning ~origin
-                     ~name:a.Automaton.name ~task:t.Automaton.task_name
+                  (mkf ~rule:"dead-task" ~severity:Report.Warning
+                     ~origin:subj.Subject.origin ~name:a.Automaton.name
+                     ~task:t.Automaton.task_name
                      (Fmt.str
                         "fair task is never enabled on any of the %d explored states \
-                         (dead task, or probe universe too small)"
-                        (List.length states)))
+                         (%s)"
+                        (List.length states) (verdict_note sp)))
               else None)
             a.Automaton.tasks);
   }
@@ -280,11 +280,11 @@ let unfair_task =
     doc = "only the crash automaton's tasks may carry no fairness obligation";
     paper = "4.4";
     check =
-      (fun ~origin entry ->
-        match packed entry with
+      (fun subj ->
+        match subj.Subject.packed with
         | None -> []
-        | Some (P (a, _)) ->
-          let name = Registry.entry_name entry in
+        | Some (Subject.P (a, _, _)) ->
+          let name = subj.Subject.name in
           if contains_sub (String.lowercase_ascii name) "crash" then []
           else
             List.filter_map
@@ -297,8 +297,8 @@ let unfair_task =
                           "crash")
                 then
                   Some
-                    (mkf ~rule:"unfair-task" ~severity:Report.Warning ~origin ~name
-                       ~task:t.Automaton.task_name
+                    (mkf ~rule:"unfair-task" ~severity:Report.Warning
+                       ~origin:subj.Subject.origin ~name ~task:t.Automaton.task_name
                        "task carries no fairness obligation outside the crash \
                         automaton (Section 4.4 reserves that for crash tasks)")
                 else None)
@@ -311,11 +311,11 @@ let rename_roundtrip =
     doc = "action renamings must round-trip (to_ after of_ is the identity)";
     paper = "2.3/5.3";
     check =
-      (fun ~origin entry ->
-        match packed entry with
+      (fun subj ->
+        match subj.Subject.packed with
         | None -> []
-        | Some (P (a, p)) -> (
-          let name = Registry.entry_name entry in
+        | Some (Subject.P (a, p, _)) -> (
+          let name = subj.Subject.name in
           match p.Probe.rename_roundtrip with
           | None -> []
           | Some rt ->
@@ -327,14 +327,14 @@ let rename_roundtrip =
                   | Some act' when p.Probe.equal_action act act' -> None
                   | Some act' ->
                     Some
-                      (mkf ~rule:"rename-roundtrip" ~severity:Report.Error ~origin
-                         ~name
+                      (mkf ~rule:"rename-roundtrip" ~severity:Report.Error
+                         ~origin:subj.Subject.origin ~name
                          (Fmt.str "renaming round-trips %a to the different action %a"
                             p.Probe.pp_action act p.Probe.pp_action act'))
                   | None ->
                     Some
-                      (mkf ~rule:"rename-roundtrip" ~severity:Report.Error ~origin
-                         ~name
+                      (mkf ~rule:"rename-roundtrip" ~severity:Report.Error
+                         ~origin:subj.Subject.origin ~name
                          (Fmt.str
                             "renaming round-trip is undefined on the in-signature \
                              action %a"
@@ -348,11 +348,11 @@ let hiding =
     doc = "hiding may only reclassify output actions as internal";
     paper = "2.3";
     check =
-      (fun ~origin entry ->
-        match packed entry with
+      (fun subj ->
+        match subj.Subject.packed with
         | None -> []
-        | Some (P (a, p)) -> (
-          let name = Registry.entry_name entry in
+        | Some (Subject.P (a, p, _)) -> (
+          let name = subj.Subject.name in
           match p.Probe.base_kind with
           | None -> []
           | Some base ->
@@ -363,7 +363,8 @@ let hiding =
                 | before, after when before = after -> None
                 | before, after ->
                   Some
-                    (mkf ~rule:"hiding" ~severity:Report.Error ~origin ~name
+                    (mkf ~rule:"hiding" ~severity:Report.Error
+                       ~origin:subj.Subject.origin ~name
                        (Fmt.str
                           "hiding changed %a from %a to %a (only output to internal \
                            is allowed)"
@@ -379,8 +380,8 @@ let prop_based_spec =
        (allowlist for deliberate legacy wrappers)";
     paper = "3.2";
     check =
-      (fun ~origin entry ->
-        match entry with
+      (fun subj ->
+        match subj.Subject.entry with
         | Registry.Automaton _ | Registry.Composition _ -> []
         | Registry.Spec { name; style; allow_raw } -> (
           match style with
@@ -388,7 +389,8 @@ let prop_based_spec =
           | Registry.Raw_scan ->
             if allow_raw then []
             else
-              [ mkf ~rule:"prop-based-spec" ~severity:Report.Error ~origin ~name
+              [ mkf ~rule:"prop-based-spec" ~severity:Report.Error
+                  ~origin:subj.Subject.origin ~name
                   "spec checks traces by scanning a raw Fd_event.t list instead of \
                    an Afd_prop formula: it cannot be monitored online under \
                    windowed retention (build it with Afd.of_prop, or allowlist a \
@@ -413,3 +415,166 @@ let all =
   ]
 
 let ids = List.map (fun r -> r.Rule.id) all
+
+(* --- graph rules over the explored state space (the --mc set) --- *)
+
+let reachable_input_enabled =
+  { Rule.id = "reachable-input-enabled";
+    severity = Report.Error;
+    doc =
+      "an input action refused in a reachable state, with the exploration's \
+       completeness verdict (a proof when exhausted)";
+    paper = "2.1";
+    check =
+      (fun subj ->
+        match subj.Subject.packed with
+        | None -> []
+        | Some (Subject.P (a, p, sp)) ->
+          let sp = Lazy.force sp in
+          let states = Space.reachable sp in
+          List.map
+            (fun (si, act) ->
+              mkf ~rule:"reachable-input-enabled" ~severity:Report.Error
+                ~origin:subj.Subject.origin ~name:subj.Subject.name ~state:si
+                (Fmt.str "input action %a is refused in reachable state #%d (%s)"
+                   p.Probe.pp_action act si (verdict_note sp)))
+            (Automaton.input_enabledness_counterexamples a ~states
+               ~probes:p.Probe.actions));
+  }
+
+let deadlock =
+  { Rule.id = "deadlock";
+    severity = Report.Error;
+    doc =
+      "a non-quiescent reachable state (some fair task claims an enabled action) \
+       from which no task move is actually possible";
+    paper = "2.4";
+    check =
+      (fun subj ->
+        match subj.Subject.packed with
+        | None -> []
+        | Some (Subject.P (a, _, sp)) ->
+          let fair_names =
+            List.filter_map
+              (fun t -> if t.Automaton.fair then Some t.Automaton.task_name else None)
+              a.Automaton.tasks
+          in
+          List.concat
+            (List.mapi
+               (fun si s ->
+                 let moves = enabled_by_task a s in
+                 let fair_enabled =
+                   List.exists (fun (tn, _) -> List.mem tn fair_names) moves
+                 in
+                 if
+                   fair_enabled
+                   && List.for_all
+                        (fun (_, act) -> a.Automaton.step s act = None)
+                        moves
+                 then
+                   [ mkf ~rule:"deadlock" ~severity:Report.Error
+                       ~origin:subj.Subject.origin ~name:subj.Subject.name ~state:si
+                       (Fmt.str
+                          "state #%d is not quiescent (%d task(s) claim enabled \
+                           actions) but the step relation rejects every one of them: \
+                           the scheduler would stall here forever"
+                          si (List.length moves))
+                   ]
+                 else [])
+               (Space.reachable (Lazy.force sp))));
+  }
+
+let race_pair =
+  { Rule.id = "race-pair";
+    severity = Report.Info;
+    doc =
+      "two concurrently enabled tasks whose moves do not commute (report-only: \
+       interleaving order is observable there)";
+    paper = "2.5";
+    check =
+      (fun subj ->
+        match subj.Subject.packed with
+        | None -> []
+        | Some (Subject.P (a, p, sp)) ->
+          let reported = Hashtbl.create 8 in
+          let findings = ref [] in
+          List.iteri
+            (fun si s ->
+              let moves =
+                List.filter_map
+                  (fun t ->
+                    Option.map (fun act -> (t, act)) (t.Automaton.enabled s))
+                  a.Automaton.tasks
+              in
+              let rec pairs = function
+                | [] -> ()
+                | ((t1, _) as m1) :: rest ->
+                  List.iter
+                    (fun ((t2, _) as m2) ->
+                      let key =
+                        (t1.Automaton.task_name, t2.Automaton.task_name)
+                      in
+                      if
+                        (not (Hashtbl.mem reported key))
+                        && not (Space.commute a p s m1 m2)
+                      then begin
+                        Hashtbl.add reported key ();
+                        findings :=
+                          mkf ~rule:"race-pair" ~severity:Report.Info
+                            ~origin:subj.Subject.origin ~name:subj.Subject.name
+                            ~task:t1.Automaton.task_name ~state:si
+                            (Fmt.str
+                               "tasks %s and %s are both enabled in state #%d but \
+                                their moves do not commute: the schedule order is \
+                                observable (first seen here; reported once per pair)"
+                               t1.Automaton.task_name t2.Automaton.task_name si)
+                          :: !findings
+                      end)
+                    rest;
+                  pairs rest
+              in
+              pairs moves)
+            (Space.reachable (Lazy.force sp));
+          List.rev !findings);
+  }
+
+let dead_transition =
+  { Rule.id = "dead-transition";
+    severity = Report.Info;
+    doc =
+      "a probed in-signature action that labels no edge of the exhaustively \
+       explored graph (dead transition, or a probe entry that can never fire)";
+    paper = "2.1";
+    check =
+      (fun subj ->
+        match subj.Subject.packed with
+        | None -> []
+        | Some (Subject.P (a, p, sp)) ->
+          let sp = Lazy.force sp in
+          (* Only an exhausted, unreduced exploration sees every edge:
+             under truncation or POR an untaken action proves nothing. *)
+          if sp.Space.verdict <> Space.Exhausted || sp.Space.por then []
+          else
+            List.filter_map
+              (fun act ->
+                if not (Automaton.in_signature a act) then None
+                else if
+                  Array.exists
+                    (fun e -> p.Probe.equal_action e.Space.act act)
+                    sp.Space.edges
+                then None
+                else
+                  Some
+                    (mkf ~rule:"dead-transition" ~severity:Report.Info
+                       ~origin:subj.Subject.origin ~name:subj.Subject.name
+                       (Fmt.str
+                          "in-signature action %a labels no edge of the %d-state \
+                           exhausted graph: it can never fire (dead transition, or \
+                           an unfireable probe entry)"
+                          p.Probe.pp_action act
+                          (Array.length sp.Space.states))))
+              p.Probe.actions);
+  }
+
+let mc = [ reachable_input_enabled; deadlock; race_pair; dead_transition ]
+let mc_ids = List.map (fun r -> r.Rule.id) mc

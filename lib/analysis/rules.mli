@@ -31,9 +31,38 @@
     - [rename-roundtrip] (error, §2.3/§5.3) — an action renaming whose
       [to_ ∘ of_] is not the identity on a probed in-signature action;
     - [hiding] (error, §2.3) — a hiding that changes the signature
-      other than reclassifying outputs as internal. *)
+      other than reclassifying outputs as internal;
+    - [prop-based-spec] (error, §3.2) — a detector spec that scans raw
+      traces instead of compiling an [Afd_prop] formula.
+
+    Rules whose message asserts something "for all reachable states"
+    ([dead-task], [reachable-input-enabled], [dead-transition]) carry
+    the exploration's {!Space.verdict} in their message, so a truncated
+    sample is never silently presented as a proof. *)
 
 val all : Rule.t list
 (** The full rule set, in documentation order. *)
 
 val ids : string list
+
+(** {1 Graph rules}
+
+    The [--mc] set: rules over the explored transition {e graph} (not
+    just the state list), run by [afd_lint --mc] alongside {!all}:
+
+    - [reachable-input-enabled] (error, §2.1) — an input action refused
+      in a reachable state, with the exploration verdict (an actual
+      proof of input-enabledness when [Exhausted]);
+    - [deadlock] (error, §2.4) — a non-quiescent reachable state (some
+      fair task claims an enabled action) in which the step relation
+      rejects every enabled action: the scheduler stalls there forever;
+    - [race-pair] (info, §2.5) — two concurrently enabled tasks whose
+      moves do not commute (per {!Space.commute}); report-only, since
+      observable interleaving is often intended;
+    - [dead-transition] (info, §2.1) — an in-signature probed action
+      labelling no edge of the graph; claimed only when the exploration
+      is [Exhausted] and unreduced (under truncation or POR an untaken
+      action proves nothing). *)
+
+val mc : Rule.t list
+val mc_ids : string list

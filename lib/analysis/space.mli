@@ -1,0 +1,103 @@
+(** Exhaustive state-space exploration.
+
+    Where {!Explore} samples, [Space] enumerates: a frontier BFS over
+    every probed action and every task-enabled action, deduplicating
+    through a hashed seen-set ({!Probe.t}[.hash_state]), recording the
+    full labelled edge relation and the BFS parent tree — so every
+    discovered state carries a shortest action path from the start
+    state — and saying {e honestly} whether the enumeration finished:
+    {!verdict} is [Exhausted] only when no transition was cut by the
+    [max_states] budget.  The model checker ({!Mc}) and the
+    graph-backed lint rules are built on top of this module.
+
+    {b Partial-order reduction.}  With [~por:true] the explorer runs a
+    sleep-set reduction (Godefroid): when two task transitions commute
+    at a state — both orders are defined and converge to the same state
+    while preserving each other's enabledness — only one interleaving
+    is expanded and the symmetric edge is {e slept}.  Sleep sets prune
+    transitions, never states: the reachable state set is provably the
+    same as the full search (a state reached again with a smaller sleep
+    set is re-expanded), which the differential tests assert
+    set-for-set.  Edge-complete analyses (shortest counterexamples,
+    dead-transition detection) should run with POR off. *)
+
+(** Did the exploration cover everything? [Truncated cap] means the
+    [max_states] budget cut at least one transition: any "for all
+    reachable states" claim downstream is only sampled. *)
+type verdict = Exhausted | Truncated of int
+
+val verdict_string : verdict -> string
+(** ["exhausted"] or ["truncated@<cap>"]. *)
+
+val pp_verdict : verdict Fmt.t
+
+type 'a edge = {
+  src : int;  (** index of the source state in {!type-t}[.states] *)
+  dst : int;
+  act : 'a;
+  task : string option;
+      (** name of the task that produced the edge; [None] for a probed
+          (environment) action *)
+}
+
+type stats = {
+  transitions : int;  (** edges recorded *)
+  slept : int;  (** task transitions pruned by the sleep-set reduction *)
+  cut : int;
+      (** transitions (or seed states) dropped by the [max_states]
+          budget — nonzero exactly when the verdict is [Truncated] *)
+  dup_seeds : int;  (** probe seed states equal to an earlier state *)
+}
+
+type ('s, 'a) t = {
+  states : 's array;  (** discovery (BFS) order; index 0 is the start *)
+  edges : 'a edge array;  (** exploration order *)
+  parent : (int * 'a) option array;
+      (** BFS tree: [parent.(i)] is the predecessor state and the
+          action that first discovered state [i]; [None] for the start
+          state and for probe seed states *)
+  depth : int array;
+      (** BFS depth = length of the shortest discovered action path
+          from the start ([max_int] on seed states unreached from the
+          start) *)
+  verdict : verdict;
+  por : bool;
+  stats : stats;
+}
+
+val explore : ?por:bool -> ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> ('s, 'a) t
+(** Enumerate reachable states breadth-first from the automaton's start
+    state (followed by the probe's deduplicated [seed_states]), taking
+    every probed action and every task-enabled action, up to the
+    probe's [max_states].  [por] (default [false]) switches the
+    sleep-set reduction on.  Visit order with POR off matches the
+    historical {!Explore.reachable} order exactly. *)
+
+val reachable : ('s, 'a) t -> 's list
+(** The states in discovery order (compatible with the old
+    [Explore.reachable] contract). *)
+
+val path_actions : ('s, 'a) t -> int -> 'a list
+(** Actions along the BFS-tree (shortest discovered) path from the
+    start state to state [i], in execution order.  Raises
+    [Invalid_argument] for a seed state not reached from the start. *)
+
+val find : ('s, 'a) t -> ('s -> bool) -> int option
+(** First state (in discovery order) satisfying the predicate. *)
+
+val out_degree : ('s, 'a) t -> int array
+(** Number of outgoing edges per state. *)
+
+val commute :
+  ('s, 'a) Afd_ioa.Automaton.t ->
+  ('s, 'a) Probe.t ->
+  's ->
+  ('s, 'a) Afd_ioa.Automaton.task * 'a ->
+  ('s, 'a) Afd_ioa.Automaton.task * 'a ->
+  bool
+(** [commute aut probe s (t, a_t) (u, a_u)]: do the two task moves
+    commute at [s]?  True when both are defined, each leaves the other
+    enabled with the same action, and the two execution orders converge
+    to probe-equal states (a computed diamond).  This is the
+    independence relation the sleep-set reduction prunes with, and the
+    [race-pair] lint rule reports the negation of. *)

@@ -1,0 +1,55 @@
+open Afd_ioa
+
+type packed =
+  | P : ('s, 'a) Automaton.t * ('s, 'a) Probe.t * ('s, 'a) Space.t Lazy.t -> packed
+
+type t = {
+  origin : string;
+  entry : Registry.entry;
+  name : string;
+  packed : packed option;
+}
+
+let make ?(por = false) ?max_states ~origin entry =
+  let with_cap p =
+    match max_states with None -> p | Some m -> { p with Probe.max_states = m }
+  in
+  let packed =
+    match entry with
+    | Registry.Automaton (a, p) ->
+      let p = with_cap p in
+      Some (P (a, p, lazy (Space.explore ~por a p)))
+    | Registry.Composition (c, p) ->
+      (* Composition states hold closures, on which the probe's default
+         structural equality would bail out: flatten with the
+         componentwise equality and its congruent hash. *)
+      let a = Composition.as_automaton c in
+      let p =
+        with_cap
+          { p with
+            Probe.equal_state = Composition.equal_state;
+            hash_state = Some Composition.hash_state;
+          }
+      in
+      Some (P (a, p, lazy (Space.explore ~por a p)))
+    | Registry.Spec _ -> None
+  in
+  { origin; entry; name = Registry.entry_name entry; packed }
+
+let exploration t =
+  match t.packed with
+  | None -> None
+  | Some (P (_, _, sp)) ->
+    if not (Lazy.is_val sp) then None
+    else
+      let sp = Lazy.force sp in
+      Some
+        { Report.explored = t.name;
+          exp_origin = t.origin;
+          states = Array.length sp.Space.states;
+          transitions = sp.Space.stats.Space.transitions;
+          verdict = Space.verdict_string sp.Space.verdict;
+          exhaustive = sp.Space.verdict = Space.Exhausted;
+          por = sp.Space.por;
+          slept = sp.Space.stats.Space.slept;
+        }

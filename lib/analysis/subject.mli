@@ -1,0 +1,35 @@
+(** A lint subject: a registry item packed with one shared (lazy)
+    state-space exploration.
+
+    Before this module, every exploring rule called [Explore.reachable]
+    itself — six redundant BFS passes per subject, and no way to tell
+    the report how complete any of them was.  A [Subject.t] flattens
+    compositions once ({!Composition.as_automaton}, with the
+    componentwise state equality {e and} its congruent hash) and
+    memoizes a single {!Space.explore} that all rules share; the
+    exploration (with its {!Space.verdict}) is surfaced in the report
+    only if some rule actually forced it. *)
+
+open Afd_ioa
+
+(** Uniform automaton view: the automaton, its probe, and the shared
+    lazy exploration. *)
+type packed =
+  | P : ('s, 'a) Automaton.t * ('s, 'a) Probe.t * ('s, 'a) Space.t Lazy.t -> packed
+
+type t = {
+  origin : string;
+  entry : Registry.entry;
+  name : string;
+  packed : packed option;  (** [None] for spec entries *)
+}
+
+val make : ?por:bool -> ?max_states:int -> origin:string -> Registry.entry -> t
+(** [max_states] overrides the probe's own exploration cap;
+    [por] (default [false]) turns on the sleep-set reduction for the
+    shared exploration (edge-granular rules then skip themselves — see
+    {!Rules.mc}). *)
+
+val exploration : t -> Report.exploration option
+(** The exploration summary, only if some rule forced it ([None] for
+    specs and for subjects no rule explored). *)

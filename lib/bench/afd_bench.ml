@@ -14,6 +14,7 @@ open Afd_system
 module C = Afd_consensus
 module R = Afd_runner
 module Check = Check
+module Explore_bench = Explore_bench
 
 let verdict_str = function
   | Verdict.Sat -> "sat"
@@ -264,3 +265,5 @@ let matrix ?(retention = Scheduler.Trace_only) () =
     e7_bounded_length ~retention;
     e7_extraction ~retention;
   ]
+  (* MX: exploration throughput (retention-independent by construction) *)
+  @ Explore_bench.entries ()

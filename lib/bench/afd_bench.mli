@@ -10,6 +10,9 @@ module Check = Check
 (** Online/offline differential checking of the detector catalog (the
     [afd_sim check] subcommand's matrix). *)
 
+module Explore_bench = Explore_bench
+(** Exploration-throughput rows (MX) appended to {!matrix}. *)
+
 val verdict_str : Afd_core.Verdict.t -> string
 (** ["sat"], ["VIOLATED: ..."] or ["undecided: ..."]. *)
 
@@ -20,6 +23,7 @@ val matrix :
   ?retention:Afd_ioa.Scheduler.retention ->
   unit ->
   Afd_runner.Matrix.entry list
-(** The 25 entries of E1-E7.  [retention] (default
+(** The 25 entries of E1-E7, plus the MX exploration-throughput rows
+    ({!Explore_bench}).  [retention] (default
     {!Afd_ioa.Scheduler.Trace_only}) is threaded into every
     scheduler-driven cell body; verdicts must not depend on it. *)

@@ -72,3 +72,48 @@ val matrix :
 (** One row per {!subjects} entry.  [retention] defaults to
     [Scheduler.Window 64]: the monitors' verdicts must not depend on
     what the scheduler retains. *)
+
+(** {1 Exhaustive model checking}
+
+    The same subjects, but instead of sampling seeded schedules each
+    detector is composed with the crash automaton and its spec's safety
+    clauses are model-checked over {e every} reachable state
+    ({!Afd_analysis.Mc}).  Where a matrix cell says "agreed on 3
+    seeds", an [mc_result] with [mc_proved = true] says "holds on all
+    schedules and fault patterns of this instance". *)
+
+type mc_violation = {
+  clause : string;
+  vkind : string;  (** ["edge"] or ["judgement"] *)
+  depth : int;  (** minimal violating prefix length (BFS-shortest) *)
+  index : int;  (** counterexample prefix index *)
+  window : string list;  (** rendered trailing events of the witness *)
+  reason : string;
+  confirmed : bool;  (** witness replayed through {!Afd_prop.Monitor.replay} *)
+}
+
+type mc_result = {
+  mc_id : string;
+  mc_label : string;
+  mc_expect_violated : bool;
+  mc_verdict : string;  (** {!Afd_analysis.Space.verdict_string} *)
+  mc_exhaustive : bool;
+  mc_states : int;
+  mc_transitions : int;
+  mc_proved : bool;
+  mc_safety : string list;  (** clauses model-checked *)
+  mc_liveness_skipped : string list;  (** [Stable] clauses, out of scope *)
+  mc_violations : mc_violation list;
+  mc_ok : bool;
+      (** the meta-verdict: exhaustive, and proved (truthful pairing)
+          or confirmed-violated (deliberately broken pairing) *)
+  mc_json : string;  (** the underlying {!Afd_analysis.Mc.outcome_to_json} *)
+}
+
+val mc_subject :
+  ?max_states:int -> ?por:bool -> subject -> (mc_result, string) result
+(** Model-check one subject; [Error] for raw specs. *)
+
+val mc_all : ?max_states:int -> ?por:bool -> unit -> mc_result list
+(** All {!subjects}; a raw spec yields a failing row ([mc_ok = false],
+    [mc_verdict = "error"]) instead of an exception. *)

@@ -7,6 +7,14 @@ type 'o t = {
   window_start : int;
 }
 
+let of_path ?(window = 8) ~clause ~reason path =
+  let len = List.length path in
+  let index = max 0 (len - 1) in
+  let event = if len = 0 then None else Some (List.nth path index) in
+  let dropped = max 0 (len - window) in
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+  { index; clause; reason; event; window = drop dropped path; window_start = dropped }
+
 let pp pp_out fmt c =
   Format.fprintf fmt "@[<v>violation at index %d (clause %s): %s" c.index c.clause
     c.reason;

@@ -17,6 +17,15 @@ type 'o t = {
   window_start : int;  (** trace index of [List.hd window] *)
 }
 
+val of_path :
+  ?window:int -> clause:string -> reason:string -> 'o Fd_event.t list -> 'o t
+(** Build a witness from an explicit event path (as produced by the
+    {!Space} explorer's shortest-path BFS, so [index = length - 1] is
+    minimal by construction): the last event of the path is the
+    offending one, and the window keeps the final [window] (default 8)
+    events.  An empty path yields [index = 0] and no offending event —
+    the start state itself violates. *)
+
 val pp : 'o Fmt.t -> Format.formatter -> 'o t -> unit
 
 val to_json : pp_out:'o Fmt.t -> 'o t -> string

@@ -23,6 +23,7 @@ let () =
       ("channel-variants", Test_channel_variants.suite);
       ("k-set", Test_kset.suite);
       ("lint", Test_lint.suite);
+      ("space", Test_space.suite);
       ("prop", Test_prop.suite);
       ("sched-fairness", Test_sched_fairness.suite);
       ("sched-stream", Test_sched_stream.suite);

@@ -126,6 +126,94 @@ let test_report_shape () =
     Alcotest.(check bool) "json has a summary" true
       (contains json "\"summary\":")
 
+(* --- the graph rules (exhaustive exploration, Rules.mc) --- *)
+
+let mc_universe = Rules.all @ Rules.mc
+
+let test_each_mc_rule_fires () =
+  List.iter
+    (fun (id, entry) ->
+      let report = Engine.run_entry ~rules:mc_universe ~origin:"fixture" entry in
+      Alcotest.(check bool)
+        (Printf.sprintf "graph rule %s fires on its fixture" id)
+        true
+        (List.mem id (rule_ids report)))
+    Fixtures.mc
+
+let test_mc_fixtures_cover_all_rules () =
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "graph rule %s has a fixture" id)
+        true
+        (Option.is_some (Fixtures.find id)))
+    Rules.mc_ids
+
+let test_mc_fixture_severities () =
+  (* reachable-input-enabled and deadlock are errors; race-pair and
+     dead-transition are info-only and must not fail the report *)
+  List.iter
+    (fun (id, entry) ->
+      let report = Engine.run_entry ~rules:mc_universe ~origin:"fixture" entry in
+      match Rule.find mc_universe id with
+      | None -> Alcotest.failf "fixture %s names no rule" id
+      | Some r ->
+        let expect_error = r.Rule.severity = Report.Error in
+        Alcotest.(check bool)
+          (Printf.sprintf "fixture %s yields error findings iff rule is error" id)
+          expect_error
+          (Report.has_errors report))
+    Fixtures.mc
+
+let test_catalog_clean_with_mc_rules () =
+  (* the full rule universe (--mc mode) still gives the catalog a clean
+     bill of health: no errors, no warnings; info findings are fine *)
+  let report = Engine.run ~rules:mc_universe (Catalog.items ()) in
+  Alcotest.(check int) "zero error findings with graph rules on" 0
+    (List.length (Report.errors report));
+  Alcotest.(check int) "zero warning findings with graph rules on" 0
+    (List.length (Report.warnings report))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+  in
+  go 0
+
+let test_verdict_surfaces_in_messages () =
+  (* satellite: rule messages must say whether the exploration was
+     exhaustive or hit the state budget *)
+  match Fixtures.find "dead-task" with
+  | None -> Alcotest.fail "missing dead-task fixture"
+  | Some entry ->
+    let report = Engine.run_entry ~origin:"fixture" entry in
+    let msgs =
+      List.filter_map
+        (fun f ->
+          if String.equal f.Report.rule "dead-task" then Some f.Report.message
+          else None)
+        report.Report.findings
+    in
+    Alcotest.(check bool) "dead-task fired" true (msgs <> []);
+    List.iter
+      (fun m ->
+        Alcotest.(check bool) "message carries the exploration verdict" true
+          (contains m "exploration exhausted" || contains m "exploration truncated"))
+      msgs
+
+let test_explorations_in_report () =
+  (* satellite: the JSON report carries per-subject exploration stats
+     with explicit exhausted/truncated verdicts *)
+  let report = Engine.run ~max_states:512 (Catalog.items ()) in
+  Alcotest.(check bool) "explorations recorded" true
+    (report.Report.explorations <> []);
+  let json = Report.to_json report in
+  Alcotest.(check bool) "json has an explorations array" true
+    (contains json "\"explorations\":");
+  Alcotest.(check bool) "json spells out the verdict" true
+    (contains json "\"verdict\":\"exhausted\"")
+
 (* --- the refactored library-side checks (satellite: shared kernels) --- *)
 
 let counter_probes = [ Fixtures.Tick 1; Fixtures.Tick 2; Fixtures.Reset ]
@@ -170,6 +258,18 @@ let suite =
       test_allowlisted_raw_spec_is_silent;
     Alcotest.test_case "rule selection restricts the run" `Quick test_rule_selection;
     Alcotest.test_case "report locations and json" `Quick test_report_shape;
+    Alcotest.test_case "each graph rule fires on its fixture" `Quick
+      test_each_mc_rule_fires;
+    Alcotest.test_case "every graph rule has a fixture" `Quick
+      test_mc_fixtures_cover_all_rules;
+    Alcotest.test_case "graph fixtures: error severity iff rule is error" `Quick
+      test_mc_fixture_severities;
+    Alcotest.test_case "catalog clean under the full rule universe" `Quick
+      test_catalog_clean_with_mc_rules;
+    Alcotest.test_case "rule messages surface the exploration verdict" `Quick
+      test_verdict_surfaces_in_messages;
+    Alcotest.test_case "report carries exploration stats" `Quick
+      test_explorations_in_report;
     Alcotest.test_case "check_input_enabled rejects empty probes" `Quick
       test_check_input_enabled_empty;
     Alcotest.test_case "check_compatible rejects empty probes" `Quick

@@ -1,0 +1,284 @@
+(* Tests for the hashed state-space explorer (lib/analysis/space.ml),
+   its POR reduction, and the exhaustive MC pass over the bench
+   subjects.
+
+   The load-bearing properties: the hashed seen-set visits exactly the
+   states the legacy list scan visited, in the same order, on every
+   catalog subject; truncation is an explicit verdict, never silent;
+   sleep-set POR preserves the reachable set (provably, on exhausted
+   explorations) while pruning interleavings; and the MC gate proves
+   every truthful CHK subject while refuting both broken ones with
+   confirmed shortest counterexamples.  A qcheck property ties the
+   explorer to the scheduler: no random execution ever leaves the
+   exhaustively computed reachable set. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_analysis
+
+let pp_act fmt = function
+  | Fixtures.Tick k -> Fmt.pf fmt "tick%d" k
+  | Fixtures.Reset -> Format.pp_print_string fmt "reset"
+  | Fixtures.Noise -> Format.pp_print_string fmt "noise"
+
+(* --- hashed explorer == legacy list scan, across the catalog --- *)
+
+let test_differential_vs_list () =
+  let checked = ref 0 in
+  List.iter
+    (fun { Registry.origin; entry } ->
+      let subj = Subject.make ~origin entry in
+      match subj.Subject.packed with
+      | None -> ()
+      | Some (Subject.P (a, p, _)) ->
+        incr checked;
+        let hashed = Explore.reachable a p in
+        let listed = Explore.list_based a p in
+        Alcotest.(check int)
+          (subj.Subject.name ^ ": same state count")
+          (List.length listed) (List.length hashed);
+        List.iter2
+          (fun x y ->
+            Alcotest.(check bool)
+              (subj.Subject.name ^ ": same visit order")
+              true (p.Probe.equal_state x y))
+          hashed listed)
+    (Catalog.items ());
+  Alcotest.(check bool) "covered a real spread of subjects" true (!checked >= 20)
+
+let test_hash_fallback_single_bucket () =
+  (* a custom equality with no hash degrades to one bucket but stays
+     correct: Loc.Set.equal identifies structurally distinct AVL trees *)
+  let a = Afd_automata.fd_perfect ~n:3 in
+  let mk ?hash_state () =
+    Probe.make
+      ~equal_action:(Fd_event.equal Loc.Set.equal)
+      ~pp_action:(Fd_event.pp Loc.pp_set)
+      ~equal_state:Loc.Set.equal ?hash_state
+      [ Fd_event.Crash 0; Fd_event.Crash 1; Fd_event.Crash 2 ]
+  in
+  let no_hash = mk () in
+  Alcotest.(check bool) "custom equality without hash -> None" true
+    (no_hash.Probe.hash_state = None);
+  let with_hash = mk ~hash_state:(fun s -> Hashtbl.hash (Loc.Set.elements s)) () in
+  let r1 = Explore.reachable a no_hash and r2 = Explore.reachable a with_hash in
+  Alcotest.(check int) "same count with and without hash" (List.length r1)
+    (List.length r2);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check bool) "same order with and without hash" true
+        (Loc.Set.equal x y))
+    r1 r2
+
+(* --- seed dedup, visit order, truncation verdicts --- *)
+
+let counter_probe ?max_states ?seed_states () =
+  Probe.make ~pp_action:pp_act ?max_states ?seed_states
+    [ Fixtures.Tick 1; Fixtures.Tick 2; Fixtures.Tick 3; Fixtures.Reset ]
+
+let test_seed_dedup_and_visit_order () =
+  let c = Fixtures.counter ~name:"c" ~limit:3 in
+  (* 0 duplicates the start state, the second 2 duplicates a seed *)
+  let p = counter_probe ~seed_states:[ 2; 0; 2; 1 ] () in
+  let sp = Space.explore c p in
+  Alcotest.(check int) "duplicate seeds counted" 2 sp.Space.stats.Space.dup_seeds;
+  Alcotest.(check (list int)) "pinned visit order: start, deduped seeds, BFS"
+    [ 0; 2; 1; 3 ] (Space.reachable sp);
+  Alcotest.(check string) "exhausted" "exhausted"
+    (Space.verdict_string sp.Space.verdict)
+
+let test_truncation_verdict () =
+  let c = Fixtures.counter ~name:"c" ~limit:3 in
+  let sp = Space.explore c (counter_probe ~max_states:2 ()) in
+  (match sp.Space.verdict with
+  | Space.Truncated cap -> Alcotest.(check int) "cap recorded" 2 cap
+  | Space.Exhausted -> Alcotest.fail "expected truncation at cap 2");
+  Alcotest.(check int) "exactly the budget" 2 (Array.length sp.Space.states);
+  let full = Space.explore c (counter_probe ~max_states:64 ()) in
+  Alcotest.(check bool) "full run exhausts" true
+    (full.Space.verdict = Space.Exhausted);
+  Alcotest.(check int) "4 counter states" 4 (Array.length full.Space.states)
+
+(* --- POR: same reachable set, fewer interleavings --- *)
+
+let independent_pair () =
+  (* two components with disjoint alphabets: every cross-component pair
+     of moves commutes, so POR may sleep one order of each diamond *)
+  let cnt ~name ~act =
+    let kind a = if a = act then Some Automaton.Output else None in
+    let step s a = if a = act && s < 3 then Some (s + 1) else None in
+    { Automaton.name;
+      kind;
+      start = 0;
+      step;
+      tasks =
+        [ { Automaton.task_name = "inc";
+            fair = true;
+            enabled = (fun s -> if s < 3 then Some act else None);
+          }
+        ];
+    }
+  in
+  Composition.make ~name:"pair"
+    [ Component.C (cnt ~name:"a" ~act:(Fixtures.Tick 1));
+      Component.C (cnt ~name:"b" ~act:(Fixtures.Tick 2));
+    ]
+
+let explore_pair ~por =
+  let a = Composition.as_automaton (independent_pair ()) in
+  let p =
+    Probe.make ~pp_action:pp_act ~equal_state:Composition.equal_state
+      ~hash_state:Composition.hash_state ~max_states:64 []
+  in
+  Space.explore ~por a p
+
+let test_por_preserves_reachable_set () =
+  let off = explore_pair ~por:false and on = explore_pair ~por:true in
+  Alcotest.(check bool) "both exhausted" true
+    (off.Space.verdict = Space.Exhausted && on.Space.verdict = Space.Exhausted);
+  Alcotest.(check int) "4x4 product states" 16 (Array.length off.Space.states);
+  Alcotest.(check int) "POR finds the same count" 16 (Array.length on.Space.states);
+  let mem states s = Array.exists (Composition.equal_state s) states in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "POR state in full set" true
+        (mem off.Space.states s))
+    on.Space.states;
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "full state in POR set" true (mem on.Space.states s))
+    off.Space.states;
+  Alcotest.(check bool) "POR actually slept interleavings" true
+    (on.Space.stats.Space.slept > 0);
+  Alcotest.(check bool) "POR explored fewer edges" true
+    (Array.length on.Space.edges < Array.length off.Space.edges)
+
+(* --- the MC pass over the bench subjects --- *)
+
+let test_mc_truthful_proved () =
+  match Mc.check_spec ~n:3 Perfect.spec ~detector:(Afd_automata.fd_perfect ~n:3) with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "exhausted" true (o.Mc.verdict = Space.Exhausted);
+    Alcotest.(check bool) "proved" true o.Mc.proved;
+    Alcotest.(check (list string)) "no violations" []
+      (List.map (fun v -> v.Mc.clause) o.Mc.violations);
+    Alcotest.(check bool) "some safety clauses were checked" true
+      (o.Mc.safety_clauses <> [])
+
+let find_mc id rs =
+  match List.find_opt (fun r -> String.equal r.Afd_bench.Check.mc_id id) rs with
+  | Some r -> r
+  | None -> Alcotest.failf "missing MC row %s" id
+
+let test_mc_all_subjects () =
+  let open Afd_bench.Check in
+  let rs = mc_all () in
+  Alcotest.(check int) "all 12 CHK subjects model-checked" 12 (List.length rs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.mc_id ^ " exhaustive") true r.mc_exhaustive;
+      Alcotest.(check bool) (r.mc_id ^ " meets its expectation") true r.mc_ok)
+    rs;
+  let lying = find_mc "CHK.lying-p" rs in
+  (match lying.mc_violations with
+  | [ v ] ->
+    Alcotest.(check string) "lying-p: edge violation" "edge" v.vkind;
+    Alcotest.(check int) "lying-p: shortest prefix has 1 event" 1 v.depth;
+    Alcotest.(check int) "lying-p: counterexample index" 0 v.index;
+    Alcotest.(check bool) "lying-p: replay-confirmed" true v.confirmed
+  | vs -> Alcotest.failf "lying-p: expected 1 violation, got %d" (List.length vs));
+  match (find_mc "CHK.marabout" rs).mc_violations with
+  | [ v ] ->
+    Alcotest.(check string) "marabout: judgement violation" "judgement" v.vkind;
+    Alcotest.(check int) "marabout: shortest prefix has 2 events" 2 v.depth;
+    Alcotest.(check int) "marabout: counterexample index" 1 v.index;
+    Alcotest.(check bool) "marabout: replay-confirmed" true v.confirmed
+  | vs -> Alcotest.failf "marabout: expected 1 violation, got %d" (List.length vs)
+
+(* --- qcheck: sampled executions stay inside the exhaustive set --- *)
+
+let containment_prop =
+  let n = 3 in
+  let crashable = Loc.set_of_universe ~n in
+  let comp () =
+    Composition.make ~name:"fd-system"
+      [ Component.C (Afd_automata.fd_perfect ~n);
+        Component.C (Afd_automata.crash_automaton ~n ~crashable);
+      ]
+  in
+  let space =
+    let p =
+      Probe.make
+        ~equal_action:(Fd_event.equal Loc.Set.equal)
+        ~pp_action:(Fd_event.pp Loc.pp_set)
+        ~equal_state:Composition.equal_state ~hash_state:Composition.hash_state
+        ~max_states:20_000 []
+    in
+    Space.explore (Composition.as_automaton (comp ())) p
+  in
+  assert (space.Space.verdict = Space.Exhausted);
+  let buckets = Hashtbl.create 64 in
+  Array.iter
+    (fun s -> Hashtbl.add buckets (Composition.hash_state s) s)
+    space.Space.states;
+  let mem s =
+    List.exists (Composition.equal_state s)
+      (Hashtbl.find_all buckets (Composition.hash_state s))
+  in
+  let gen =
+    QCheck2.Gen.(
+      triple (int_bound 10_000)
+        (list_size (int_bound 3)
+           (map2 (fun step loc -> (step, loc mod n)) (int_bound 40) (int_bound (n - 1))))
+        (int_bound 2))
+  in
+  QCheck2.Test.make
+    ~name:"every state of a random execution is in the exhaustive reachable set"
+    ~count:200 gen
+    (fun (seed, crash_at, retention_ix) ->
+      let retention =
+        match retention_ix with
+        | 0 -> Scheduler.Full
+        | 1 -> Scheduler.Trace_only
+        | _ -> Scheduler.Window 4
+      in
+      let forced =
+        List.map
+          (fun (at_step, i) ->
+            { Scheduler.at_step; task_pattern = "crash/crash_" ^ Loc.to_string i })
+          crash_at
+      in
+      let cfg =
+        { Scheduler.policy = Scheduler.Random seed;
+          max_steps = 60;
+          stop_when_quiescent = true;
+          forced;
+        }
+      in
+      let contained = ref true in
+      let outcome =
+        Scheduler.run ~retention ~record_fired:false
+          ~observer:(fun ~step:_ _ _ ~touched:_ st ->
+            if not (mem st) then contained := false)
+          (comp ()) cfg
+      in
+      !contained && mem outcome.Scheduler.final_state)
+
+let suite =
+  [ Alcotest.test_case "hashed explorer == list scan on the whole catalog" `Quick
+      test_differential_vs_list;
+    Alcotest.test_case "no congruent hash degrades to one exact bucket" `Quick
+      test_hash_fallback_single_bucket;
+    Alcotest.test_case "seed dedup and pinned visit order" `Quick
+      test_seed_dedup_and_visit_order;
+    Alcotest.test_case "truncation is an explicit verdict" `Quick
+      test_truncation_verdict;
+    Alcotest.test_case "POR preserves the reachable set, prunes interleavings"
+      `Quick test_por_preserves_reachable_set;
+    Alcotest.test_case "MC proves P's safety clauses on the closed system" `Quick
+      test_mc_truthful_proved;
+    Alcotest.test_case "MC: 10 proofs and 2 confirmed counterexamples" `Quick
+      test_mc_all_subjects;
+    QCheck_alcotest.to_alcotest containment_prop;
+  ]
