@@ -6,9 +6,16 @@
    With --mc the graph rules (Rules.mc) join the run and every bench
    CHK subject is model-checked exhaustively: detector composed with
    the crash automaton, safety clauses verified on every reachable
-   state (Afd_analysis.Mc).  The exit gate then also demands that all
-   truthful subjects are proved and both deliberately broken ones
-   yield confirmed shortest-path counterexamples. *)
+   state and Stable (liveness) clauses proved by fair-cycle search
+   over the product graph, or refuted with a replay-confirmed lasso
+   (Afd_analysis.Mc).  The exit gate then also demands that all
+   truthful subjects are proved — safety AND liveness — and every
+   deliberately broken one yields a confirmed counterexample or lasso.
+
+   Under --strict, any truncated exploration (lint or MC) fails the
+   exit gate with its own message: a "proved" verdict computed under a
+   state budget is about a sample, and CI must not mistake it for an
+   exhaustive one. *)
 
 let usage =
   "afd_lint [--json] [--strict] [--rule ID]... [--fixture ID] [--list-rules] \
@@ -26,7 +33,10 @@ let () =
   let por = ref false in
   let spec =
     [ ("--json", Arg.Set json, "emit the report as JSON on stdout");
-      ("--strict", Arg.Set strict, "exit nonzero on warnings as well as errors");
+      ( "--strict",
+        Arg.Set strict,
+        "exit nonzero on warnings and on truncated explorations as well as \
+         errors" );
       ( "--rule",
         Arg.String (fun id -> selected := id :: !selected),
         "ID run only the named rule (repeatable)" );
@@ -101,6 +111,16 @@ let () =
       Afd_bench.Check.mc_all ?max_states:!max_states ~por:!por ()
     else []
   in
+  (* Strict truncation gate: a budget-capped exploration turns every
+     "proved" / "no finding" claim about that subject into a statement
+     about a sample.  --strict refuses to bless those. *)
+  let truncated_lint = Report.truncated report in
+  let truncated_mc =
+    List.filter (fun r -> not r.Afd_bench.Check.mc_exhaustive) mc_results
+  in
+  let strict_truncated =
+    !strict && (truncated_lint <> [] || truncated_mc <> [])
+  in
   if !json then begin
     if not !mc then print_endline (Report.to_json report)
     else begin
@@ -115,14 +135,21 @@ let () =
               r.Afd_bench.Check.mc_json)
           mc_results
       in
-      Printf.printf "{\"lint\": %s, \"mc\": [%s]}\n" (Report.to_json report)
+      Printf.printf
+        "{\"lint\": %s, \"mc\": [%s], \"strict\": %b, \"strict_truncated\": \
+         %b, \"truncated_explorations\": %d}\n"
+        (Report.to_json report)
         (String.concat ", " rows)
+        !strict strict_truncated
+        (List.length truncated_lint + List.length truncated_mc)
     end
   end
   else begin
     Fmt.pr "%a@." Report.pp report;
     if mc_results <> [] then begin
-      Fmt.pr "@.MC  exhaustive safety check (detector + crash automaton)@.";
+      Fmt.pr
+        "@.MC  exhaustive safety + liveness check (detector + crash \
+         automaton)@.";
       List.iter
         (fun r ->
           let open Afd_bench.Check in
@@ -133,6 +160,12 @@ let () =
           in
           Fmt.pr "  %-14s %-28s %-20s %5d states %6d transitions  %s@." r.mc_id
             r.mc_label r.mc_verdict r.mc_states r.mc_transitions status;
+          if r.mc_liveness_proved <> [] then
+            Fmt.pr "    liveness proved: %s@."
+              (String.concat ", " r.mc_liveness_proved);
+          if r.mc_liveness_skipped <> [] then
+            Fmt.pr "    liveness SKIPPED: %s@."
+              (String.concat ", " r.mc_liveness_skipped);
           List.iter
             (fun v ->
               Fmt.pr "    %s %s depth %d index %d%s: %s@." v.vkind v.clause
@@ -141,14 +174,29 @@ let () =
                 v.reason;
               if v.window <> [] then
                 Fmt.pr "      window: %s@." (String.concat "; " v.window))
-            r.mc_violations)
+            r.mc_violations;
+          List.iter
+            (fun l ->
+              Fmt.pr "    lasso/%s %s depth %d stem %d cycle %d%s: %s@."
+                l.lkind l.lclause l.ldepth l.lstem l.lcycle
+                (if l.lconfirmed then " (replay-confirmed)"
+                 else " (UNCONFIRMED)")
+                l.lreason)
+            r.mc_lassos)
         mc_results
     end
   end;
+  if strict_truncated then
+    Fmt.epr
+      "afd_lint: strict: %d exploration(s) truncated at the state budget — \
+       every \"proved\" or absence verdict about them is sampled, not \
+       exhaustive@."
+      (List.length truncated_lint + List.length truncated_mc);
   let mc_fail = List.exists (fun r -> not r.Afd_bench.Check.mc_ok) mc_results in
   let fail =
     Report.has_errors report
     || (!strict && Report.warnings report <> [])
+    || strict_truncated
     || mc_fail
   in
   exit (if fail then 1 else 0)

@@ -41,10 +41,15 @@ let set_probe ?equal_state ?hash_state ?max_states () =
 
 (* Hashes congruent with the custom state equalities above: AVL sets
    that are [Loc.Set.equal] can differ in tree shape, so hash the sorted
-   element lists, never the trees. *)
+   element lists, never the trees.  Every probe with a custom
+   [equal_state] MUST pair it with one of these — otherwise the
+   explorer degrades to the exact single-bucket fallback (O(n²)); a
+   regression test asserts the catalog carries no such probe. *)
 let hash_set s = Hashtbl.hash (Loc.Set.elements s)
 
 let hash_leader_noisy (c, q) = Hashtbl.hash (Loc.Set.elements c, Loc.Map.bindings q)
+
+let hash_flip_flop (c, toggle) = Hashtbl.hash (Loc.Set.elements c, toggle)
 
 let hash_set_noisy (c, q) =
   Hashtbl.hash
@@ -75,6 +80,16 @@ let register_core () =
   reg
     (Registry.Automaton
        (Afd_automata.fd_psi_k ~n ~k:2, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
+  (* FD-FlipFlop is a well-formed automaton (its defect is a fair
+     cycle, not a malformed signature): lint it like the truthful ones.
+     FD-Silent stays out — its never-enabled fair tasks trip dead-task
+     by design, and the catalog is the clean-bill-of-health set; the
+     model checker covers it as CHK.silent instead. *)
+  let eq_flip_flop (c1, t1) (c2, t2) = Loc.Set.equal c1 c2 && Bool.equal t1 t2 in
+  reg
+    (Registry.Automaton
+       ( Afd_automata.fd_flip_flop ~n,
+         leader_probe ~equal_state:eq_flip_flop ~hash_state:hash_flip_flop () ));
   let eq_leader_noisy (c1, q1) (c2, q2) =
     Loc.Set.equal c1 c2 && Loc.Map.equal (List.equal Loc.equal) q1 q2
   in

@@ -233,11 +233,64 @@ let short_counter =
      in the signature yet labels no edge of the exhausted graph *)
   Registry.Automaton (counter ~name:"short" ~limit:2, probe ())
 
+(* A two-state spinner: one fair task alternates Tick 1 / Tick 2
+   forever, Reset restarts.  [kind] decides which liveness rule sees
+   it: with internal Ticks the fair cycle produces no output ever
+   (livelock); with output Ticks the same cycle is harmless. *)
+let spinner ~name ~tick_kind =
+  let kind = function
+    | Tick _ -> Some tick_kind
+    | Reset -> Some Automaton.Input
+    | Noise -> None
+  in
+  let step s = function
+    | Tick 1 when s = 0 -> Some 1
+    | Tick 2 when s = 1 -> Some 0
+    | Tick _ | Noise -> None
+    | Reset -> Some 0
+  in
+  let task =
+    { Automaton.task_name = "spin";
+      fair = true;
+      enabled = (fun s -> Some (Tick (s + 1)));
+    }
+  in
+  { Automaton.name; kind; start = 0; step; tasks = [ task ] }
+
+let spinner_probe () = probe ~actions:[ Tick 1; Tick 2; Reset ] ()
+
+let livelocked_spinner =
+  Registry.Automaton (spinner ~name:"livelocked" ~tick_kind:Automaton.Internal, spinner_probe ())
+
+let harmless_cycle =
+  (* same fair cycle, but the Ticks are outputs: visibly productive, so
+     the livelock rule must stay silent *)
+  Registry.Automaton (spinner ~name:"harmless" ~tick_kind:Automaton.Output, spinner_probe ())
+
+let pinned_spinner =
+  (* the spinner plus a second fair task that is enabled in every state
+     yet whose action the step relation never accepts: the sole
+     (terminal) SCC lets the scheduler neither satisfy the obligation
+     (the task never fires) nor halt fairly (spin is always enabled).
+     enabled-consistency flags the same root cause pointwise; the
+     unsatisfiable-fairness-obligation rule reports its global shape. *)
+  let s = spinner ~name:"pinned" ~tick_kind:Automaton.Output in
+  let pinned =
+    { Automaton.task_name = "pinned";
+      fair = true;
+      enabled = (fun _ -> Some (Tick 3));
+    }
+  in
+  Registry.Automaton
+    ({ s with Automaton.tasks = s.Automaton.tasks @ [ pinned ] }, spinner_probe ())
+
 let mc =
   [ ("reachable-input-enabled", not_input_enabled);
     ("deadlock", stuck_counter);
     ("race-pair", jump_counter);
     ("dead-transition", short_counter);
+    ("livelock", livelocked_spinner);
+    ("unsatisfiable-fairness-obligation", pinned_spinner);
   ]
 
 let find id =

@@ -34,7 +34,14 @@ val mc : (string * Registry.entry) list
 (** Fixtures for the graph rules ({!Rules.mc}), same convention as
     {!all}: a non-quiescent stuck state for [deadlock], a visibly racing
     task pair for [race-pair], a never-firing in-signature action for
-    [dead-transition]. *)
+    [dead-transition], a fair all-internal cycle for [livelock], and a
+    terminal SCC that admits no fair execution for
+    [unsatisfiable-fairness-obligation]. *)
+
+val harmless_cycle : Registry.entry
+(** The same fair two-state cycle as the [livelock] fixture but with
+    {e output} ticks: visibly productive, so the livelock rule (and
+    every other rule) must stay silent on it. *)
 
 val find : string -> Registry.entry option
 (** Searches {!all} and {!mc}. *)

@@ -1,0 +1,259 @@
+open Afd_ioa
+
+type scc = {
+  id : int;
+  members : int list;
+  internal : int list;
+  terminal : bool;
+  unmet : string list;
+  disabled_witness : (string * int) list;
+  fair_stops : int list;
+}
+
+type t = {
+  scc_of : int array;
+  sccs : scc array;
+  fair_tasks : string list;
+}
+
+(* Tarjan, iterative: an explicit call stack of (vertex, unvisited
+   successors) frames replaces the recursion, so product graphs in the
+   tens of thousands of states cannot blow the OCaml stack. *)
+let condense nstates adj =
+  let index = Array.make nstates (-1) in
+  let lowlink = Array.make nstates 0 in
+  let on_stack = Array.make nstates false in
+  let scc_of = Array.make nstates (-1) in
+  let tarjan_stack = ref [] in
+  let counter = ref 0 and scc_count = ref 0 in
+  let call = Stack.create () in
+  let push v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    tarjan_stack := v :: !tarjan_stack;
+    on_stack.(v) <- true;
+    Stack.push (v, ref adj.(v)) call
+  in
+  for root = 0 to nstates - 1 do
+    if index.(root) < 0 then begin
+      push root;
+      while not (Stack.is_empty call) do
+        let v, rest = Stack.top call in
+        match !rest with
+        | w :: tl ->
+          rest := tl;
+          if index.(w) < 0 then push w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          ignore (Stack.pop call);
+          (match Stack.top_opt call with
+          | Some (u, _) -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+          | None -> ());
+          if lowlink.(v) = index.(v) then begin
+            let id = !scc_count in
+            incr scc_count;
+            let rec pop () =
+              match !tarjan_stack with
+              | w :: tl ->
+                tarjan_stack := tl;
+                on_stack.(w) <- false;
+                scc_of.(w) <- id;
+                if w <> v then pop ()
+              | [] -> assert false
+            in
+            pop ()
+          end
+      done
+    end
+  done;
+  (scc_of, !scc_count)
+
+let analyze aut space =
+  let nstates = Array.length space.Space.states in
+  (* Successor lists over task-labelled edges only: probed environment
+     actions are not under the scheduler's control, so they neither
+     form autonomous cycles nor discharge fairness obligations. *)
+  let adj = Array.make nstates [] in
+  Array.iter
+    (fun e ->
+      match e.Space.task with
+      | Some _ -> adj.(e.Space.src) <- e.Space.dst :: adj.(e.Space.src)
+      | None -> ())
+    space.Space.edges;
+  let scc_of, scc_count = condense nstates adj in
+  let members = Array.make scc_count [] in
+  for i = nstates - 1 downto 0 do
+    members.(scc_of.(i)) <- i :: members.(scc_of.(i))
+  done;
+  let internal_rev = Array.make scc_count [] in
+  let has_exit = Array.make scc_count false in
+  Array.iteri
+    (fun ei e ->
+      match e.Space.task with
+      | None -> ()
+      | Some _ ->
+        let cs = scc_of.(e.Space.src) and cd = scc_of.(e.Space.dst) in
+        if cs = cd then internal_rev.(cs) <- ei :: internal_rev.(cs)
+        else has_exit.(cs) <- true)
+    space.Space.edges;
+  let fair = List.filter (fun tk -> tk.Automaton.fair) aut.Automaton.tasks in
+  let fair_tasks = List.map (fun tk -> tk.Automaton.task_name) fair in
+  (* Per fair task, enabledness on every stored state (the states are
+     the exploration's, so this is exact, not sampled). *)
+  let enabled =
+    List.map
+      (fun tk ->
+        ( tk.Automaton.task_name,
+          Array.map
+            (fun s -> Option.is_some (tk.Automaton.enabled s))
+            space.Space.states ))
+      fair
+  in
+  let sccs =
+    Array.init scc_count (fun c ->
+        let internal = List.rev internal_rev.(c) in
+        let fires =
+          List.sort_uniq String.compare
+            (List.filter_map (fun ei -> space.Space.edges.(ei).Space.task) internal)
+        in
+        let disabled_witness =
+          List.filter_map
+            (fun (name, en) ->
+              Option.map
+                (fun i -> (name, i))
+                (List.find_opt (fun i -> not en.(i)) members.(c)))
+            enabled
+        in
+        let unmet =
+          List.filter
+            (fun name ->
+              (not (List.mem name fires))
+              && not (List.mem_assoc name disabled_witness))
+            fair_tasks
+        in
+        let fair_stops =
+          List.filter
+            (fun i -> List.for_all (fun (_, en) -> not en.(i)) enabled)
+            members.(c)
+        in
+        { id = c;
+          members = members.(c);
+          internal;
+          terminal = not has_exit.(c);
+          unmet;
+          disabled_witness;
+          fair_stops;
+        })
+  in
+  { scc_of; sccs; fair_tasks }
+
+let fair_cycle_through t i =
+  let s = t.sccs.(t.scc_of.(i)) in
+  s.internal <> [] && s.unmet = []
+
+let fair_stop_at t i = List.mem i t.sccs.(t.scc_of.(i)).fair_stops
+
+(* Shortest intra-SCC edge path from [src] to [dst], as edge indices.
+   Total within an SCC by strong connectivity of the task subgraph. *)
+let bfs_path edges adj src dst =
+  if src = dst then []
+  else begin
+    let pred = Hashtbl.create 16 in
+    Hashtbl.replace pred src (-1);
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun ei ->
+          let w = edges.(ei).Space.dst in
+          if (not !found) && not (Hashtbl.mem pred w) then begin
+            Hashtbl.replace pred w ei;
+            if w = dst then found := true else Queue.add w q
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt adj v))
+    done;
+    if not !found then invalid_arg "Live.cycle_actions: SCC not strongly connected";
+    let rec walk w acc =
+      match Hashtbl.find pred w with
+      | -1 -> acc
+      | ei -> walk edges.(ei).Space.src (ei :: acc)
+    in
+    walk dst []
+  end
+
+let cycle_actions space t pivot =
+  if not (fair_cycle_through t pivot) then
+    invalid_arg "Live.cycle_actions: no fair cycle through this state";
+  let scc = t.sccs.(t.scc_of.(pivot)) in
+  let edges = space.Space.edges in
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun ei ->
+      let src = edges.(ei).Space.src in
+      Hashtbl.replace adj src
+        (Option.value ~default:[] (Hashtbl.find_opt adj src) @ [ ei ]))
+    scc.internal;
+  (* One witness waypoint per fair task: prefer an internal edge firing
+     the task (the closed walk then fires it every round); otherwise a
+     member where the task is disabled (weak fairness is vacuous there
+     every round).  [unmet = []] guarantees one of the two exists. *)
+  let waypoints =
+    List.filter_map
+      (fun name ->
+        match
+          List.find_opt (fun ei -> edges.(ei).Space.task = Some name) scc.internal
+        with
+        | Some ei -> Some (`Edge ei)
+        | None -> (
+          match List.assoc_opt name scc.disabled_witness with
+          | Some m -> if m = pivot then None else Some (`State m)
+          | None ->
+            (* the task is disabled on every member (no witness search
+               needed beyond the first), or it never appears: either
+               way the pivot itself discharges it *)
+            None))
+      t.fair_tasks
+  in
+  let stitch hops =
+    let cur = ref pivot and acc = ref [] in
+    List.iter
+      (fun hop ->
+        match hop with
+        | `Edge ei ->
+          acc := !acc @ bfs_path edges adj !cur edges.(ei).Space.src @ [ ei ];
+          cur := edges.(ei).Space.dst
+        | `State m ->
+          acc := !acc @ bfs_path edges adj !cur m;
+          cur := m)
+      hops;
+    !acc @ bfs_path edges adj !cur pivot
+  in
+  let cycle = stitch waypoints in
+  (* All obligations were met by disabled states at or near the pivot:
+     force at least one real edge so the walk is a cycle, not a point. *)
+  let cycle =
+    if cycle <> [] then cycle else stitch [ `Edge (List.hd scc.internal) ]
+  in
+  List.map (fun ei -> edges.(ei).Space.act) cycle
+
+let fired_actions space ~equal actions =
+  let acts = Array.of_list actions in
+  let seen = Array.make (Array.length acts) false in
+  let remaining = ref (Array.length acts) in
+  (try
+     Array.iter
+       (fun e ->
+         if !remaining = 0 then raise Exit;
+         Array.iteri
+           (fun i a ->
+             if (not seen.(i)) && equal a e.Space.act then begin
+               seen.(i) <- true;
+               decr remaining
+             end)
+           acts)
+       space.Space.edges
+   with Exit -> ());
+  seen

@@ -1,5 +1,6 @@
 open Afd_ioa
 module P = Afd_prop.Prop
+module Fd_event = Afd_prop.Fd_event
 module Counterexample = Afd_prop.Counterexample
 module Monitor = Afd_prop.Monitor
 module Verdict = Afd_prop.Verdict
@@ -13,13 +14,27 @@ type 'o violation = {
   confirmed : bool;
 }
 
+type 'o lasso = {
+  l_clause : string;
+  l_reason : string;
+  l_kind : [ `Cycle | `Stop ];
+  l_depth : int;
+  l_stem : 'o Fd_event.t list;
+  l_cycle : 'o Fd_event.t list;
+  l_confirmed : bool;
+}
+
 type 'o outcome = {
   verdict : Space.verdict;
   states : int;
   transitions : int;
   safety_clauses : string list;
+  liveness_clauses : string list;
+  liveness_proved : string list;
   liveness_skipped : string list;
   violations : 'o violation list;
+  lassos : 'o lasso list;
+  safety_proved : bool;
   proved : bool;
   por : bool;
   stats : Space.stats;
@@ -61,13 +76,22 @@ type ('s, 'o) pstate =
 exception Latch of string * string
 
 let check ?(max_states = default_max_states) ?(por = false) ?(len_cap = 8)
-    ~equal_state ~hash_state ~n prop sys =
-  let safety, liveness_skipped =
+    ?(count_cap = 1) ?(equal_out = Stdlib.( = )) ~equal_state ~hash_state ~n prop
+    sys =
+  let safety, stables =
     List.partition_map
       (fun (nm, c) ->
-        match c with P.Stable _ -> Either.Right nm | _ -> Either.Left (nm, c))
+        match c with
+        | P.Stable judge -> Either.Right (nm, judge)
+        | _ -> Either.Left (nm, c))
       (P.clauses prop)
   in
+  (* Stable judges read [last_output]/[output_counts], so when liveness
+     is in scope those fields join the product identity (counts capped
+     at [count_cap] — the catalog judges only test [>= live_min = 1]).
+     Under POR the sleep sets preserve states, not edges, so fair-cycle
+     search is off and the coarser safety identity suffices. *)
+  let track_live = stables <> [] && not por in
   let names = Array.of_list (List.map fst safety) in
   let init_rts =
     Array.of_list
@@ -140,6 +164,11 @@ let check ?(max_states = default_max_states) ?(por = false) ?(len_cap = 8)
       && min a.summary.P.len len_cap = min b.summary.P.len len_cap
       && Loc.Set.equal a.summary.P.crashed b.summary.P.crashed
       && Array.for_all2 rt_equal a.rts b.rts
+      && (not track_live
+         || Loc.Map.equal equal_out a.summary.P.last_output b.summary.P.last_output
+            && Loc.Map.equal
+                 (fun x y -> min x count_cap = min y count_cap)
+                 a.summary.P.output_counts b.summary.P.output_counts)
     | Latched _, Running _ | Running _, Latched _ -> false
   in
   let mix h v = (h * 131) + v in
@@ -150,9 +179,25 @@ let check ?(max_states = default_max_states) ?(por = false) ?(len_cap = 8)
       let h = mix h (Hashtbl.hash (Loc.Set.elements r.summary.P.crashed)) in
       (* Fold accumulators are skipped (no congruent hash across the
          existential); Until flags are cheap and discriminating. *)
-      Array.fold_left
-        (fun h c -> match c with C_until u -> mix h (Bool.to_int u.released) | _ -> h)
-        h r.rts
+      let h =
+        Array.fold_left
+          (fun h c -> match c with C_until u -> mix h (Bool.to_int u.released) | _ -> h)
+          h r.rts
+      in
+      if not track_live then h
+      else begin
+        (* Congruent with the enriched equality: [equal_out] may be
+           coarser than structural equality on payloads, so only the
+           [last_output] domain is hashed; capped counts are ints. *)
+        let h =
+          mix h (Hashtbl.hash (List.map fst (Loc.Map.bindings r.summary.P.last_output)))
+        in
+        mix h
+          (Hashtbl.hash
+             (List.map
+                (fun (l, c) -> (l, min c count_cap))
+                (Loc.Map.bindings r.summary.P.output_counts)))
+      end
   in
   let probe = Probe.make ~equal_state:pequal ~hash_state:phash ~max_states [] in
   let space = Space.explore ~por product probe in
@@ -238,18 +283,98 @@ let check ?(max_states = default_max_states) ?(por = false) ?(len_cap = 8)
       !candidates
     |> List.sort (fun a b -> compare a.depth b.depth)
   in
+  (* Liveness: a [Stable] clause is violated exactly when some reachable
+     [Running] state has a non-[Sat] judge and either a weakly fair
+     cycle runs through it (the judge stays non-[Sat] forever along the
+     loop — the enriched identity makes the judge a function of the
+     merged state) or it is a fair stop (a maximal fair execution ends
+     with the "eventually" still pending).  Both witnesses are positive
+     facts, so refutations are sound even on a truncated graph; the
+     {e absence} of a pivot proves the clause only under [Exhausted]. *)
+  let liveness_proved, liveness_skipped, lassos =
+    if stables = [] then ([], [], [])
+    else if por then ([], List.map fst stables, [])
+    else begin
+      let live = Live.analyze product space in
+      let proved = ref [] and skipped = ref [] and lassos = ref [] in
+      List.iter
+        (fun (cname, judge) ->
+          (* Discovery order is nondecreasing depth: the first pivot
+             found yields the shortest stem. *)
+          let pivot = ref None in
+          let i = ref 0 in
+          while !pivot = None && !i < nstates do
+            (match space.Space.states.(!i) with
+            | Latched _ -> ()
+            | Running r -> (
+              match judge r.summary with
+              | P.J_sat -> ()
+              | P.J_violated reason | P.J_undecided reason ->
+                if Live.fair_cycle_through live !i then
+                  pivot := Some (!i, reason, `Cycle)
+                else if Live.fair_stop_at live !i then
+                  pivot := Some (!i, reason, `Stop)));
+            incr i
+          done;
+          match !pivot with
+          | None ->
+            if space.Space.verdict = Space.Exhausted then proved := cname :: !proved
+            else skipped := cname :: !skipped
+          | Some (pv, reason, kind) ->
+            let stem = Space.path_actions space pv in
+            let cyc =
+              match kind with
+              | `Cycle -> Live.cycle_actions space live pv
+              | `Stop -> []
+            in
+            (* Replay through the online monitor: after the stem and
+               after every unrolling of the cycle, this clause's
+               verdict must still not be [Sat]. *)
+            let unrollings = if cyc = [] then [ 0 ] else [ 1; 2; 3 ] in
+            let confirmed =
+              List.for_all
+                (fun k ->
+                  let m = Monitor.create ~n prop in
+                  List.iter (Monitor.observe m) stem;
+                  for _ = 1 to k do
+                    List.iter (Monitor.observe m) cyc
+                  done;
+                  match List.assoc_opt cname (Monitor.clause_verdicts m) with
+                  | Some Verdict.Sat | None -> false
+                  | Some (Verdict.Violated _ | Verdict.Undecided _) -> true)
+                unrollings
+            in
+            lassos :=
+              { l_clause = cname;
+                l_reason = reason;
+                l_kind = kind;
+                l_depth = space.Space.depth.(pv);
+                l_stem = stem;
+                l_cycle = cyc;
+                l_confirmed = confirmed;
+              }
+              :: !lassos)
+        stables;
+      (List.rev !proved, List.rev !skipped, List.rev !lassos)
+    end
+  in
+  let safety_proved = space.Space.verdict = Space.Exhausted && violations = [] in
   { verdict = space.Space.verdict;
     states = nstates;
     transitions = space.Space.stats.Space.transitions;
     safety_clauses = Array.to_list names;
+    liveness_clauses = List.map fst stables;
+    liveness_proved;
     liveness_skipped;
     violations;
-    proved = space.Space.verdict = Space.Exhausted && violations = [];
+    lassos;
+    safety_proved;
+    proved = safety_proved && liveness_skipped = [] && lassos = [];
     por;
     stats = space.Space.stats;
   }
 
-let check_spec ?max_states ?por ?len_cap ?crashable ~n spec ~detector =
+let check_spec ?max_states ?por ?len_cap ?count_cap ?crashable ~n spec ~detector =
   match spec.Afd_core.Afd.prop with
   | None ->
     Error
@@ -265,18 +390,25 @@ let check_spec ?max_states ?por ?len_cap ?crashable ~n spec ~detector =
         ]
     in
     Ok
-      (check ?max_states ?por ?len_cap ~equal_state:Composition.equal_state
+      (check ?max_states ?por ?len_cap ?count_cap
+         ~equal_out:spec.Afd_core.Afd.equal_out ~equal_state:Composition.equal_state
          ~hash_state:Composition.hash_state ~n (prop ~n)
          (Composition.as_automaton comp))
 
 let pp_outcome ~pp_out fmt o =
   Format.fprintf fmt "@[<v>%s: %d states, %d transitions (%a%s)"
-    (if o.proved then "proved" else if o.violations = [] then "no violation found" else "VIOLATED")
+    (if o.proved then "proved"
+     else if o.violations = [] && o.lassos = [] then "no violation found"
+     else "VIOLATED")
     o.states o.transitions Space.pp_verdict o.verdict
     (if o.por then Printf.sprintf ", por slept %d" o.stats.Space.slept else "");
   Format.fprintf fmt "@,safety clauses: %s" (String.concat ", " o.safety_clauses);
+  if o.liveness_proved <> [] then
+    Format.fprintf fmt "@,liveness proved (no fair violating cycle): %s"
+      (String.concat ", " o.liveness_proved);
   if o.liveness_skipped <> [] then
-    Format.fprintf fmt "@,liveness (not model-checked): %s"
+    Format.fprintf fmt "@,liveness skipped (%s): %s"
+      (if o.por then "por" else "truncated")
       (String.concat ", " o.liveness_skipped);
   List.iter
     (fun v ->
@@ -286,6 +418,17 @@ let pp_outcome ~pp_out fmt o =
         (if v.confirmed then ", replay-confirmed" else ", NOT confirmed by replay")
         (Counterexample.pp pp_out) v.counterexample)
     o.violations;
+  List.iter
+    (fun l ->
+      Format.fprintf fmt
+        "@,[lasso/%s] %s at depth %d%s: %s@,  stem (%d): %a@,  cycle (%d): %a"
+        (match l.l_kind with `Cycle -> "fair-cycle" | `Stop -> "fair-stop")
+        l.l_clause l.l_depth
+        (if l.l_confirmed then ", replay-confirmed" else ", NOT confirmed by replay")
+        l.l_reason (List.length l.l_stem)
+        (Fd_event.pp_trace pp_out) l.l_stem (List.length l.l_cycle)
+        (Fd_event.pp_trace pp_out) l.l_cycle)
+    o.lassos;
   Format.fprintf fmt "@]"
 
 let json_escape s =
@@ -314,9 +457,21 @@ let outcome_to_json ~pp_out o =
       v.depth (str v.reason) v.confirmed
       (Counterexample.to_json ~pp_out v.counterexample)
   in
+  let events l =
+    "[" ^ String.concat "," (List.map (fun e -> str (Fmt.str "%a" (Fd_event.pp pp_out) e)) l) ^ "]"
+  in
+  let lasso l =
+    Printf.sprintf
+      "{\"clause\":%s,\"kind\":%s,\"depth\":%d,\"reason\":%s,\"confirmed\":%b,\"stem\":%s,\"cycle\":%s}"
+      (str l.l_clause)
+      (str (match l.l_kind with `Cycle -> "fair-cycle" | `Stop -> "fair-stop"))
+      l.l_depth (str l.l_reason) l.l_confirmed (events l.l_stem) (events l.l_cycle)
+  in
   Printf.sprintf
-    "{\"verdict\":%s,\"proved\":%b,\"states\":%d,\"transitions\":%d,\"por\":%b,\"slept\":%d,\"cut\":%d,\"safety_clauses\":%s,\"liveness_skipped\":%s,\"violations\":[%s]}"
+    "{\"verdict\":%s,\"proved\":%b,\"safety_proved\":%b,\"states\":%d,\"transitions\":%d,\"por\":%b,\"slept\":%d,\"cut\":%d,\"safety_clauses\":%s,\"liveness_clauses\":%s,\"liveness_proved\":%s,\"liveness_skipped\":%s,\"violations\":[%s],\"lassos\":[%s]}"
     (str (Space.verdict_string o.verdict))
-    o.proved o.states o.transitions o.por o.stats.Space.slept o.stats.Space.cut
-    (strs o.safety_clauses) (strs o.liveness_skipped)
+    o.proved o.safety_proved o.states o.transitions o.por o.stats.Space.slept
+    o.stats.Space.cut (strs o.safety_clauses) (strs o.liveness_clauses)
+    (strs o.liveness_proved) (strs o.liveness_skipped)
     (String.concat "," (List.map violation o.violations))
+    (String.concat "," (List.map lasso o.lassos))

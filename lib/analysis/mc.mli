@@ -1,4 +1,5 @@
-(** Exhaustive safety checking of AFD specs on small closed systems.
+(** Exhaustive safety {e and liveness} checking of AFD specs on small
+    closed systems.
 
     The paper's theorems quantify over {e all} fair executions; the
     bench matrix and [afd_sim check] only sample randomly scheduled
@@ -20,17 +21,30 @@
     reachable product state; a [J_violated] judgement is reported only
     when it is {e inescapable} — no path leads back to a non-violated
     state — which under an [Exhausted] verdict means every infinite
-    extension stays violated.  [Stable] clauses are liveness under the
-    limit-extension reading and are out of scope here; their names are
-    listed in [liveness_skipped].
+    extension stays violated.
+
+    {b Liveness.}  [Stable] (eventually) clauses are decided through
+    {!Live}: the clause is {e refuted} when some reachable state has a
+    non-[Sat] judge and either a weakly fair cycle through it (the
+    violation persists along an infinite fair execution) or is a
+    {e fair stop} (no fair task enabled — a maximal fair execution may
+    end with the "eventually" still pending).  The witness is a lasso
+    (stem + cycle), replay-confirmed through the online
+    {!Afd_prop.Monitor} after several unrollings.  The clause is
+    {e proved} when no such pivot exists {e and} the exploration is
+    [Exhausted] — refutations are positive facts and survive
+    truncation, proofs do not.  Under [por] the sleep-set reduction
+    preserves states but not cycles, so liveness is skipped entirely.
 
     {b Product state identity.}  Two product states are merged when
     their system states, crashed-so-far sets, trace lengths capped at
     [len_cap] (default 8), [Until] release flags and [Fold]
-    accumulators agree.  That covers exactly what the catalog's safety
-    clauses may read; a clause reading [last_output]/[output_counts],
-    or comparing [len] against a bound above [len_cap], would need a
-    richer identity — raise [len_cap] in that case. *)
+    accumulators agree.  When [Stable] clauses are in scope (and [por]
+    is off) the identity is enriched with [last_output] (modulo
+    [equal_out]) and [output_counts] capped at [count_cap] (default 1)
+    so that every Stable judge is a function of the merged state.  A
+    clause comparing [len] against a bound above [len_cap], or counts
+    above [count_cap], needs those caps raised. *)
 
 open Afd_ioa
 open Afd_prop
@@ -50,17 +64,45 @@ type 'o violation = {
           that the explorer and the monitor agree *)
 }
 
+type 'o lasso = {
+  l_clause : string;  (** the refuted [Stable] clause *)
+  l_reason : string;  (** the judge's reason at the pivot *)
+  l_kind : [ `Cycle | `Stop ];
+      (** [`Cycle]: a weakly fair cycle keeps the judge non-[Sat]
+          forever.  [`Stop]: a fair stop — no fair task enabled, the
+          "eventually" never happens (empty [l_cycle]). *)
+  l_depth : int;  (** BFS depth of the pivot — the stem is shortest *)
+  l_stem : 'o Fd_event.t list;  (** seed-to-pivot event path *)
+  l_cycle : 'o Fd_event.t list;
+      (** closed fair walk through the pivot; for every fair task it
+          either fires it or visits a state where it is disabled *)
+  l_confirmed : bool;
+      (** replaying stem + k unrollings of the cycle (k = 1, 2, 3)
+          through {!Monitor} leaves this clause's verdict non-[Sat]
+          every time *)
+}
+
 type 'o outcome = {
   verdict : Space.verdict;  (** completeness of the product exploration *)
   states : int;  (** product states discovered *)
   transitions : int;
-  safety_clauses : string list;  (** clauses actually model-checked *)
-  liveness_skipped : string list;  (** [Stable] clauses, out of scope *)
+  safety_clauses : string list;  (** safety clauses model-checked *)
+  liveness_clauses : string list;  (** [Stable] clauses in the formula *)
+  liveness_proved : string list;
+      (** [Stable] clauses with no fair violating cycle and no
+          violating fair stop, under an [Exhausted] unreduced
+          exploration: they hold on every fair execution *)
+  liveness_skipped : string list;
+      (** [Stable] clauses left undecided — exploration truncated or
+          [por] on *)
   violations : 'o violation list;
-      (** at most one per clause (the shallowest), ascending depth *)
+      (** at most one per safety clause (the shallowest), ascending depth *)
+  lassos : 'o lasso list;  (** one per refuted [Stable] clause *)
+  safety_proved : bool;
+      (** [verdict = Exhausted] and no safety violation *)
   proved : bool;
-      (** [verdict = Exhausted] and no violation: the safety clauses
-          hold in every reachable state of the system *)
+      (** [safety_proved] and every [Stable] clause proved: the whole
+          formula holds on every fair execution of the system *)
   por : bool;
   stats : Space.stats;
 }
@@ -72,6 +114,8 @@ val check :
   ?max_states:int ->
   ?por:bool ->
   ?len_cap:int ->
+  ?count_cap:int ->
+  ?equal_out:('o -> 'o -> bool) ->
   equal_state:('s -> 's -> bool) ->
   hash_state:('s -> int) ->
   n:int ->
@@ -83,13 +127,17 @@ val check :
     observing an event).  [equal_state]/[hash_state] identify system
     states — pass {!Composition.equal_state}/{!Composition.hash_state}
     for composed systems.  [por] (default [false]) enables the
-    sleep-set reduction; leave it off when shortest counterexamples
-    matter.  *)
+    sleep-set reduction; leave it off when shortest counterexamples or
+    liveness verdicts matter (liveness is skipped under POR).
+    [count_cap] (default 1) caps the per-location output counts joined
+    to the state identity for liveness; [equal_out] (default
+    structural) compares last outputs there. *)
 
 val check_spec :
   ?max_states:int ->
   ?por:bool ->
   ?len_cap:int ->
+  ?count_cap:int ->
   ?crashable:Loc.Set.t ->
   n:int ->
   'o Afd_core.Afd.spec ->

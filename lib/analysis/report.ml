@@ -61,6 +61,7 @@ let make ?(explorations = []) ~rules_run ~subjects_checked findings =
 let errors t = List.filter (fun f -> f.severity = Error) t.findings
 let warnings t = List.filter (fun f -> f.severity = Warning) t.findings
 let has_errors t = errors t <> []
+let truncated t = List.filter (fun e -> not e.exhaustive) t.explorations
 
 let pp_where fmt w =
   Fmt.pf fmt "%s(%s)" w.name w.origin;
@@ -134,11 +135,12 @@ let exploration_to_json e =
 
 let to_json t =
   Printf.sprintf
-    "{\"summary\":{\"subjects\":%d,\"rules\":%d,\"errors\":%d,\"warnings\":%d,\"explored\":%d,\"exhausted\":%d},\"explorations\":[%s],\"findings\":[%s]}"
+    "{\"summary\":{\"subjects\":%d,\"rules\":%d,\"errors\":%d,\"warnings\":%d,\"explored\":%d,\"exhausted\":%d,\"truncated\":%d},\"explorations\":[%s],\"findings\":[%s]}"
     t.subjects_checked t.rules_run
     (List.length (errors t))
     (List.length (warnings t))
     (List.length t.explorations)
     (List.length (List.filter (fun e -> e.exhaustive) t.explorations))
+    (List.length (truncated t))
     (String.concat "," (List.map exploration_to_json t.explorations))
     (String.concat "," (List.map finding_to_json t.findings))

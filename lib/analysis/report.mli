@@ -67,6 +67,12 @@ val errors : t -> finding list
 val warnings : t -> finding list
 val has_errors : t -> bool
 
+val truncated : t -> exploration list
+(** Explorations that hit a budget before exhausting their state space.
+    Every "on all reachable states" claim about such a subject is only
+    sampled; [afd_lint --strict] fails the exit gate when this is
+    nonempty. *)
+
 val pp_finding : finding Fmt.t
 val pp : t Fmt.t
 (** Summary header (including exhausted/truncated exploration counts)
@@ -78,5 +84,5 @@ val pp_explorations : t Fmt.t
 val to_json : t -> string
 (** The whole report as a JSON object (hand-rolled, no dependency):
     [{"summary": {...}, "explorations": [...], "findings": [...]}].
-    The summary carries [explored]/[exhausted] counts so tooling can
-    gate on completeness. *)
+    The summary carries [explored]/[exhausted]/[truncated] counts so
+    tooling can gate on completeness. *)

@@ -44,7 +44,7 @@ let probe_coverage =
     check =
       (fun subj ->
         match subj.Subject.packed with
-        | Some (Subject.P (_, { Probe.actions = []; _ }, _)) ->
+        | Some (Subject.P { probe = { Probe.actions = []; _ }; _ }) ->
           [ mkf ~rule:"probe-coverage" ~severity:Report.Warning ~origin:subj.Subject.origin
               ~name:subj.Subject.name
               "empty action probe universe: the well-formedness of this subject was \
@@ -62,7 +62,7 @@ let input_enabled =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, sp)) ->
+        | Some (Subject.P { aut = a; probe = p; space = sp; _ }) ->
           let states = Space.reachable (Lazy.force sp) in
           List.map
             (fun (si, act) ->
@@ -82,7 +82,7 @@ let task_determinism =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, sp)) ->
+        | Some (Subject.P { aut = a; probe = p; space = sp; _ }) ->
           List.concat
             (List.mapi
                (fun si s ->
@@ -117,7 +117,7 @@ let step_signature =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, sp)) ->
+        | Some (Subject.P { aut = a; probe = p; space = sp; _ }) ->
           List.concat
             (List.mapi
                (fun si s ->
@@ -147,7 +147,7 @@ let task_signature =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, sp)) ->
+        | Some (Subject.P { aut = a; probe = p; space = sp; _ }) ->
           List.concat
             (List.mapi
                (fun si s ->
@@ -182,7 +182,7 @@ let enabled_consistency =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, sp)) ->
+        | Some (Subject.P { aut = a; probe = p; space = sp; _ }) ->
           List.concat
             (List.mapi
                (fun si s ->
@@ -253,7 +253,7 @@ let dead_task =
              call a component's task dead; components are expected to be
              registered (and checked) individually *)
           []
-        | Registry.Automaton _, Some (Subject.P (a, _, sp)) ->
+        | Registry.Automaton _, Some (Subject.P { aut = a; space = sp; _ }) ->
           let sp = Lazy.force sp in
           let states = Space.reachable sp in
           List.filter_map
@@ -283,7 +283,7 @@ let unfair_task =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, _, _)) ->
+        | Some (Subject.P { aut = a; _ }) ->
           let name = subj.Subject.name in
           if contains_sub (String.lowercase_ascii name) "crash" then []
           else
@@ -314,7 +314,7 @@ let rename_roundtrip =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, _)) -> (
+        | Some (Subject.P { aut = a; probe = p; _ }) -> (
           let name = subj.Subject.name in
           match p.Probe.rename_roundtrip with
           | None -> []
@@ -351,7 +351,7 @@ let hiding =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, _)) -> (
+        | Some (Subject.P { aut = a; probe = p; _ }) -> (
           let name = subj.Subject.name in
           match p.Probe.base_kind with
           | None -> []
@@ -429,7 +429,7 @@ let reachable_input_enabled =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, sp)) ->
+        | Some (Subject.P { aut = a; probe = p; space = sp; _ }) ->
           let sp = Lazy.force sp in
           let states = Space.reachable sp in
           List.map
@@ -453,7 +453,7 @@ let deadlock =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, _, sp)) ->
+        | Some (Subject.P { aut = a; space = sp; _ }) ->
           let fair_names =
             List.filter_map
               (fun t -> if t.Automaton.fair then Some t.Automaton.task_name else None)
@@ -488,14 +488,17 @@ let race_pair =
   { Rule.id = "race-pair";
     severity = Report.Info;
     doc =
-      "two concurrently enabled tasks whose moves do not commute (report-only: \
-       interleaving order is observable there)";
+      "two concurrently enabled tasks whose moves do not commute, deduplicated \
+       under pair symmetry and annotated with whether the race recurs (its state \
+       lies in a cycle of the condensation)";
     paper = "2.5";
     check =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, sp)) ->
+        | Some (Subject.P { aut = a; probe = p; space = sp; live; _ }) ->
+          let sp = Lazy.force sp in
+          let live = Lazy.force live in
           let reported = Hashtbl.create 8 in
           let findings = ref [] in
           List.iteri
@@ -511,30 +514,38 @@ let race_pair =
                 | ((t1, _) as m1) :: rest ->
                   List.iter
                     (fun ((t2, _) as m2) ->
-                      let key =
-                        (t1.Automaton.task_name, t2.Automaton.task_name)
-                      in
+                      let n1 = t1.Automaton.task_name
+                      and n2 = t2.Automaton.task_name in
+                      (* symmetric dedup: (a,b) and (b,a) are one race *)
+                      let key = if String.compare n1 n2 <= 0 then (n1, n2) else (n2, n1) in
                       if
                         (not (Hashtbl.mem reported key))
                         && not (Space.commute a p s m1 m2)
                       then begin
                         Hashtbl.add reported key ();
+                        let scc = live.Live.sccs.(live.Live.scc_of.(si)) in
                         findings :=
                           mkf ~rule:"race-pair" ~severity:Report.Info
                             ~origin:subj.Subject.origin ~name:subj.Subject.name
-                            ~task:t1.Automaton.task_name ~state:si
+                            ~task:(fst key) ~state:si
                             (Fmt.str
                                "tasks %s and %s are both enabled in state #%d but \
                                 their moves do not commute: the schedule order is \
-                                observable (first seen here; reported once per pair)"
-                               t1.Automaton.task_name t2.Automaton.task_name si)
+                                observable (%s; reported once per unordered pair)"
+                               (fst key) (snd key) si
+                               (if scc.Live.internal <> [] then
+                                  Fmt.str
+                                    "recurring: the state sits in a %d-state cycle-capable \
+                                     SCC, so the race can be replayed forever"
+                                    (List.length scc.Live.members)
+                                else "transient: the state's SCC has no internal edge"))
                           :: !findings
                       end)
                     rest;
                   pairs rest
               in
               pairs moves)
-            (Space.reachable (Lazy.force sp));
+            (Space.reachable sp);
           List.rev !findings);
   }
 
@@ -549,32 +560,124 @@ let dead_transition =
       (fun subj ->
         match subj.Subject.packed with
         | None -> []
-        | Some (Subject.P (a, p, sp)) ->
+        | Some (Subject.P { aut = a; probe = p; space = sp; _ }) ->
           let sp = Lazy.force sp in
           (* Only an exhausted, unreduced exploration sees every edge:
              under truncation or POR an untaken action proves nothing. *)
           if sp.Space.verdict <> Space.Exhausted || sp.Space.por then []
           else
-            List.filter_map
-              (fun act ->
-                if not (Automaton.in_signature a act) then None
-                else if
-                  Array.exists
-                    (fun e -> p.Probe.equal_action e.Space.act act)
-                    sp.Space.edges
-                then None
-                else
-                  Some
-                    (mkf ~rule:"dead-transition" ~severity:Report.Info
-                       ~origin:subj.Subject.origin ~name:subj.Subject.name
-                       (Fmt.str
-                          "in-signature action %a labels no edge of the %d-state \
-                           exhausted graph: it can never fire (dead transition, or \
-                           an unfireable probe entry)"
-                          p.Probe.pp_action act
-                          (Array.length sp.Space.states))))
-              p.Probe.actions);
+            let candidates =
+              List.filter (Automaton.in_signature a) p.Probe.actions
+            in
+            (* one shared pass over the edge array (with early exit),
+               instead of one Array.exists per candidate *)
+            let fired =
+              Live.fired_actions sp ~equal:p.Probe.equal_action candidates
+            in
+            List.concat
+              (List.mapi
+                 (fun i act ->
+                   if fired.(i) then []
+                   else
+                     [ mkf ~rule:"dead-transition" ~severity:Report.Info
+                         ~origin:subj.Subject.origin ~name:subj.Subject.name
+                         (Fmt.str
+                            "in-signature action %a labels no edge of the %d-state \
+                             exhausted graph: it can never fire (dead transition, or \
+                             an unfireable probe entry)"
+                            p.Probe.pp_action act
+                            (Array.length sp.Space.states))
+                     ])
+                 candidates));
   }
 
-let mc = [ reachable_input_enabled; deadlock; race_pair; dead_transition ]
+let livelock =
+  { Rule.id = "livelock";
+    severity = Report.Warning;
+    doc =
+      "a weakly fair cycle of internal actions only: the system can spin forever \
+       without producing any output (sound even on a truncated graph)";
+    paper = "2.4";
+    check =
+      (fun subj ->
+        match subj.Subject.packed with
+        | None -> []
+        | Some (Subject.P { aut = a; space = sp; live; _ }) ->
+          let sp = Lazy.force sp in
+          if sp.Space.por then []
+          else
+            let live = Lazy.force live in
+            Array.to_list live.Live.sccs
+            |> List.filter_map (fun scc ->
+                   if
+                     scc.Live.internal <> []
+                     && scc.Live.unmet = []
+                     && List.for_all
+                          (fun ei ->
+                            Automaton.kind_of a sp.Space.edges.(ei).Space.act
+                            = Some Automaton.Internal)
+                          scc.Live.internal
+                   then
+                     Some
+                       (mkf ~rule:"livelock" ~severity:Report.Warning
+                          ~origin:subj.Subject.origin ~name:subj.Subject.name
+                          ~state:(List.hd scc.Live.members)
+                          (Fmt.str
+                             "livelock: a weakly fair cycle over %d state(s) (SCC #%d, \
+                              entered at state #%d) fires internal actions only — the \
+                              system can run forever without ever producing an output \
+                              (the cycle is real regardless of exploration verdict)"
+                             (List.length scc.Live.members) scc.Live.id
+                             (List.hd scc.Live.members)))
+                   else None));
+  }
+
+let unsat_fairness =
+  { Rule.id = "unsatisfiable-fairness-obligation";
+    severity = Report.Error;
+    doc =
+      "a terminal SCC where no fair execution can continue (some fair task neither \
+       fires nor is ever disabled) nor stop (some fair task is always enabled): the \
+       task structure admits no fair execution through it";
+    paper = "2.4";
+    check =
+      (fun subj ->
+        match subj.Subject.packed with
+        | None -> []
+        | Some (Subject.P { space = sp; live; _ }) ->
+          let sp = Lazy.force sp in
+          (* terminality and the absence of witnesses are absence
+             claims: only an exhausted, unreduced graph supports them *)
+          if sp.Space.verdict <> Space.Exhausted || sp.Space.por then []
+          else
+            let live = Lazy.force live in
+            Array.to_list live.Live.sccs
+            |> List.filter_map (fun scc ->
+                   if
+                     scc.Live.terminal && scc.Live.unmet <> []
+                     && scc.Live.fair_stops = []
+                   then
+                     Some
+                       (mkf ~rule:"unsatisfiable-fairness-obligation"
+                          ~severity:Report.Error ~origin:subj.Subject.origin
+                          ~name:subj.Subject.name
+                          ~task:(String.concat "+" scc.Live.unmet)
+                          ~state:(List.hd scc.Live.members)
+                          (Fmt.str
+                             "terminal SCC #%d (%d state(s), entered at state #%d) \
+                              admits no fair execution: fair task(s) %s neither fire \
+                              on any internal edge nor are ever disabled, and no \
+                              member is a fair stop — the scheduler can neither \
+                              satisfy the obligation nor halt fairly"
+                             scc.Live.id
+                             (List.length scc.Live.members)
+                             (List.hd scc.Live.members)
+                             (String.concat ", " scc.Live.unmet)))
+                   else None));
+  }
+
+let mc =
+  [ reachable_input_enabled; deadlock; race_pair; dead_transition; livelock;
+    unsat_fairness;
+  ]
 let mc_ids = List.map (fun r -> r.Rule.id) mc

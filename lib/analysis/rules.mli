@@ -58,11 +58,24 @@ val ids : string list
       rejects every enabled action: the scheduler stalls there forever;
     - [race-pair] (info, §2.5) — two concurrently enabled tasks whose
       moves do not commute (per {!Space.commute}); report-only, since
-      observable interleaving is often intended;
+      observable interleaving is often intended.  Symmetric pairs are
+      deduplicated (reported once per unordered pair) and each finding
+      says whether the race recurs — its state lies in a cycle-capable
+      SCC of the {!Live} condensation — or is transient;
     - [dead-transition] (info, §2.1) — an in-signature probed action
-      labelling no edge of the graph; claimed only when the exploration
+      labelling no edge of the graph, found in one shared
+      {!Live.fired_actions} pass; claimed only when the exploration
       is [Exhausted] and unreduced (under truncation or POR an untaken
-      action proves nothing). *)
+      action proves nothing);
+    - [livelock] (warning, §2.4) — a weakly fair cycle firing internal
+      actions only: the scheduler can spin there forever without any
+      output.  A positive fact about real edges, so reported even on a
+      truncated graph (skipped only under POR, which drops edges);
+    - [unsatisfiable-fairness-obligation] (error, §2.4) — a terminal
+      SCC in which some fair task neither fires on any internal edge
+      nor is ever disabled, and no member is a fair stop: the task
+      structure admits {e no} fair execution once the SCC is entered.
+      An absence claim, so gated on an [Exhausted] unreduced graph. *)
 
 val mc : Rule.t list
 val mc_ids : string list

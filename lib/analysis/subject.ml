@@ -1,7 +1,13 @@
 open Afd_ioa
 
 type packed =
-  | P : ('s, 'a) Automaton.t * ('s, 'a) Probe.t * ('s, 'a) Space.t Lazy.t -> packed
+  | P : {
+      aut : ('s, 'a) Automaton.t;
+      probe : ('s, 'a) Probe.t;
+      space : ('s, 'a) Space.t Lazy.t;
+      live : Live.t Lazy.t;
+    }
+      -> packed
 
 type t = {
   origin : string;
@@ -14,11 +20,13 @@ let make ?(por = false) ?max_states ~origin entry =
   let with_cap p =
     match max_states with None -> p | Some m -> { p with Probe.max_states = m }
   in
+  let pack a p =
+    let space = lazy (Space.explore ~por a p) in
+    P { aut = a; probe = p; space; live = lazy (Live.analyze a (Lazy.force space)) }
+  in
   let packed =
     match entry with
-    | Registry.Automaton (a, p) ->
-      let p = with_cap p in
-      Some (P (a, p, lazy (Space.explore ~por a p)))
+    | Registry.Automaton (a, p) -> Some (pack a (with_cap p))
     | Registry.Composition (c, p) ->
       (* Composition states hold closures, on which the probe's default
          structural equality would bail out: flatten with the
@@ -31,7 +39,7 @@ let make ?(por = false) ?max_states ~origin entry =
             hash_state = Some Composition.hash_state;
           }
       in
-      Some (P (a, p, lazy (Space.explore ~por a p)))
+      Some (pack a p)
     | Registry.Spec _ -> None
   in
   { origin; entry; name = Registry.entry_name entry; packed }
@@ -39,7 +47,7 @@ let make ?(por = false) ?max_states ~origin entry =
 let exploration t =
   match t.packed with
   | None -> None
-  | Some (P (_, _, sp)) ->
+  | Some (P { space = sp; _ }) ->
     if not (Lazy.is_val sp) then None
     else
       let sp = Lazy.force sp in

@@ -12,10 +12,18 @@
 
 open Afd_ioa
 
-(** Uniform automaton view: the automaton, its probe, and the shared
-    lazy exploration. *)
+(** Uniform automaton view: the automaton, its probe, the shared lazy
+    exploration, and the shared lazy {!Live} condensation over it (the
+    SCC/fairness analysis all graph rules and liveness verdicts draw
+    from — computed once per subject, like the exploration itself). *)
 type packed =
-  | P : ('s, 'a) Automaton.t * ('s, 'a) Probe.t * ('s, 'a) Space.t Lazy.t -> packed
+  | P : {
+      aut : ('s, 'a) Automaton.t;
+      probe : ('s, 'a) Probe.t;
+      space : ('s, 'a) Space.t Lazy.t;
+      live : Live.t Lazy.t;
+    }
+      -> packed
 
 type t = {
   origin : string;

@@ -13,6 +13,9 @@ module Check = Check
 module Explore_bench = Explore_bench
 (** Exploration-throughput rows (MX) appended to {!matrix}. *)
 
+module Live_bench = Live_bench
+(** Liveness model-checking rows (ML) appended to {!matrix}. *)
+
 val verdict_str : Afd_core.Verdict.t -> string
 (** ["sat"], ["VIOLATED: ..."] or ["undecided: ..."]. *)
 
@@ -24,6 +27,7 @@ val matrix :
   unit ->
   Afd_runner.Matrix.entry list
 (** The 25 entries of E1-E7, plus the MX exploration-throughput rows
-    ({!Explore_bench}).  [retention] (default
+    ({!Explore_bench}) and the ML liveness model-checking rows
+    ({!Live_bench}).  [retention] (default
     {!Afd_ioa.Scheduler.Trace_only}) is threaded into every
     scheduler-driven cell body; verdicts must not depend on it. *)

@@ -192,6 +192,16 @@ type mc_violation = {
   confirmed : bool;
 }
 
+type mc_lasso = {
+  lclause : string;
+  lkind : string;
+  ldepth : int;
+  lstem : int;
+  lcycle : int;
+  lreason : string;
+  lconfirmed : bool;
+}
+
 type mc_result = {
   mc_id : string;
   mc_label : string;
@@ -202,16 +212,32 @@ type mc_result = {
   mc_transitions : int;
   mc_proved : bool;
   mc_safety : string list;
+  mc_liveness_proved : string list;
   mc_liveness_skipped : string list;
   mc_violations : mc_violation list;
+  mc_lassos : mc_lasso list;
   mc_ok : bool;
   mc_json : string;
 }
 
-let mc_subject ?max_states ?por (S s) =
+(* Subjects broken only in the limit: every finite prefix is safe, so
+   they cannot join the seeded CHECK matrix (no schedule ever latches a
+   violation) — only the fair-cycle pass refutes them. *)
+let liveness_subjects =
+  [ S { id = "CHK.flipflop"; label = "Omega vs FD-FlipFlop (livelocked leader)";
+        n = 3; steps = 150; crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_flip_flop ~n:3);
+        spec = Omega.spec; expect_violated = true };
+    S { id = "CHK.silent"; label = "P vs FD-Silent (starved liveness)"; n = 3;
+        steps = 150; crash_at = [ (10, 1) ];
+        detector = (fun () -> Afd_automata.fd_silent ~n:3);
+        spec = Perfect.spec; expect_violated = true };
+  ]
+
+let mc_subject ?max_states ?(por = false) (S s) =
   let open Afd_analysis in
   match
-    Mc.check_spec ?max_states ?por ~n:s.n s.spec ~detector:(s.detector ())
+    Mc.check_spec ?max_states ~por ~n:s.n s.spec ~detector:(s.detector ())
   with
   | Error e -> Error e
   | Ok o ->
@@ -233,15 +259,33 @@ let mc_subject ?max_states ?por (S s) =
           })
         o.Mc.violations
     in
+    let lassos =
+      List.map
+        (fun l ->
+          { lclause = l.Mc.l_clause;
+            lkind = (match l.Mc.l_kind with `Cycle -> "fair-cycle" | `Stop -> "fair-stop");
+            ldepth = l.Mc.l_depth;
+            lstem = List.length l.Mc.l_stem;
+            lcycle = List.length l.Mc.l_cycle;
+            lreason = l.Mc.l_reason;
+            lconfirmed = l.Mc.l_confirmed;
+          })
+        o.Mc.lassos
+    in
     (* the meta-verdict mirrors the matrix cells: a truthful pairing
-       must be proved, a broken one must yield a confirmed violation —
-       and in both cases the exploration must actually be exhaustive,
-       or the claim is only about a truncated sample *)
+       must be proved (safety and liveness), a broken one must yield a
+       confirmed violation or a confirmed lasso — and in both cases the
+       exploration must actually be exhaustive, or the claim is only
+       about a truncated sample.  Under POR liveness is out of scope,
+       so only the safety half is demanded. *)
     let ok =
       exhaustive
       &&
       if s.expect_violated then
-        violations <> [] && List.for_all (fun v -> v.confirmed) violations
+        (violations <> [] || lassos <> [])
+        && List.for_all (fun v -> v.confirmed) violations
+        && List.for_all (fun l -> l.lconfirmed) lassos
+      else if por then o.Mc.safety_proved
       else o.Mc.proved
     in
     Ok
@@ -254,16 +298,21 @@ let mc_subject ?max_states ?por (S s) =
         mc_transitions = o.Mc.transitions;
         mc_proved = o.Mc.proved;
         mc_safety = o.Mc.safety_clauses;
+        mc_liveness_proved = o.Mc.liveness_proved;
         mc_liveness_skipped = o.Mc.liveness_skipped;
         mc_violations = violations;
+        mc_lassos = lassos;
         mc_ok = ok;
         mc_json = Mc.outcome_to_json ~pp_out o;
       }
 
-let mc_all ?max_states ?por () =
+let mc_all ?max_states ?(por = false) () =
+  (* The limit-broken extras are refutable only by the fair-cycle pass,
+     which POR disables — under POR they would fail vacuously. *)
+  let all = if por then subjects else subjects @ liveness_subjects in
   List.map
     (fun subj ->
-      match mc_subject ?max_states ?por subj with
+      match mc_subject ?max_states ~por subj with
       | Ok r -> r
       | Error e ->
         (* every shipped subject is prop-compiled; a raw spec here is a
@@ -279,9 +328,11 @@ let mc_all ?max_states ?por () =
           mc_transitions = 0;
           mc_proved = false;
           mc_safety = [];
+          mc_liveness_proved = [];
           mc_liveness_skipped = [];
           mc_violations = [];
+          mc_lassos = [];
           mc_ok = false;
           mc_json = Printf.sprintf "{\"error\": \"%s\"}" (String.escaped e);
         })
-    subjects
+    all

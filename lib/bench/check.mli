@@ -76,11 +76,20 @@ val matrix :
 (** {1 Exhaustive model checking}
 
     The same subjects, but instead of sampling seeded schedules each
-    detector is composed with the crash automaton and its spec's safety
-    clauses are model-checked over {e every} reachable state
-    ({!Afd_analysis.Mc}).  Where a matrix cell says "agreed on 3
-    seeds", an [mc_result] with [mc_proved = true] says "holds on all
-    schedules and fault patterns of this instance". *)
+    detector is composed with the crash automaton and its spec's
+    clauses — safety {e and} [Stable] liveness — are model-checked over
+    {e every} reachable state ({!Afd_analysis.Mc}).  Where a matrix
+    cell says "agreed on 3 seeds", an [mc_result] with
+    [mc_proved = true] says "holds on all fair schedules and fault
+    patterns of this instance". *)
+
+val liveness_subjects : subject list
+(** [CHK.flipflop] (FD-FlipFlop vs Ω: the elected leader alternates
+    forever) and [CHK.silent] (FD-Silent vs P: only location 0 ever
+    outputs).  Broken only in the limit — every finite prefix is safe,
+    so the seeded matrix cannot catch them; {!mc_all} refutes them
+    with fair-cycle lassos (and therefore omits them under [por],
+    which disables the fair-cycle pass). *)
 
 type mc_violation = {
   clause : string;
@@ -92,6 +101,18 @@ type mc_violation = {
   confirmed : bool;  (** witness replayed through {!Afd_prop.Monitor.replay} *)
 }
 
+type mc_lasso = {
+  lclause : string;  (** the refuted [Stable] clause *)
+  lkind : string;  (** ["fair-cycle"] or ["fair-stop"] *)
+  ldepth : int;  (** BFS depth of the lasso pivot *)
+  lstem : int;  (** stem length, in events *)
+  lcycle : int;  (** cycle length, in events (0 for a fair stop) *)
+  lreason : string;
+  lconfirmed : bool;
+      (** stem + k unrollings (k = 1, 2, 3) replayed through the
+          monitor leave the clause non-[Sat] every time *)
+}
+
 type mc_result = {
   mc_id : string;
   mc_label : string;
@@ -100,13 +121,18 @@ type mc_result = {
   mc_exhaustive : bool;
   mc_states : int;
   mc_transitions : int;
-  mc_proved : bool;
-  mc_safety : string list;  (** clauses model-checked *)
-  mc_liveness_skipped : string list;  (** [Stable] clauses, out of scope *)
+  mc_proved : bool;  (** safety and liveness, over all fair executions *)
+  mc_safety : string list;  (** safety clauses model-checked *)
+  mc_liveness_proved : string list;
+      (** [Stable] clauses with no fair violating cycle or stop *)
+  mc_liveness_skipped : string list;
+      (** [Stable] clauses left undecided (truncated or POR) *)
   mc_violations : mc_violation list;
+  mc_lassos : mc_lasso list;  (** one per refuted [Stable] clause *)
   mc_ok : bool;
-      (** the meta-verdict: exhaustive, and proved (truthful pairing)
-          or confirmed-violated (deliberately broken pairing) *)
+      (** the meta-verdict: exhaustive, and proved (truthful pairing —
+          safety only under [por], where liveness is out of scope) or
+          confirmed-violated / confirmed-lassoed (broken pairing) *)
   mc_json : string;  (** the underlying {!Afd_analysis.Mc.outcome_to_json} *)
 }
 
@@ -115,5 +141,6 @@ val mc_subject :
 (** Model-check one subject; [Error] for raw specs. *)
 
 val mc_all : ?max_states:int -> ?por:bool -> unit -> mc_result list
-(** All {!subjects}; a raw spec yields a failing row ([mc_ok = false],
+(** All {!subjects}, plus {!liveness_subjects} when [por] is off; a
+    raw spec yields a failing row ([mc_ok = false],
     [mc_verdict = "error"]) instead of an exception. *)

@@ -64,9 +64,17 @@ let fd_sigma ~n =
   truthful ~name:"FD-Sigma" ~n ~output:(fun crashset _i ->
       Some (Loc.Set.diff (Loc.set_of_universe ~n) crashset))
 
+(* Spare the smallest live location by naming the smallest other one.
+   Naming a crashed location is fine — anti-Omega has no accuracy
+   clause — and naming anyone {e live} would be wrong once it is the
+   only live one left (the old max-live choice failed exactly there:
+   with a single live location it named it forever, so no live
+   location was ever spared; the fair-cycle pass refutes that corner). *)
 let fd_anti_omega ~n =
   truthful ~name:"FD-antiOmega" ~n ~output:(fun crashset _i ->
-      Loc.Set.max_elt_opt (Loc.Set.diff (Loc.set_of_universe ~n) crashset))
+      match Loc.min_not_in ~n (fun j -> Loc.Set.mem j crashset) with
+      | None -> None
+      | Some spared -> Loc.min_not_in ~n (fun j -> Loc.equal j spared))
 
 (* The k smallest live locations, padded with the smallest crashed ones
    when fewer than k remain live: always a set of exactly k IDs that
@@ -89,6 +97,60 @@ let fd_psi_k ~n ~k =
   if k < 1 || k > n then invalid_arg "Afd_automata.fd_psi_k: need 1 <= k <= n";
   truthful ~name:(Printf.sprintf "FD-Psi%d" k) ~n ~output:(fun crashset _i ->
       Some (k_smallest_preferring_live ~n ~k crashset))
+
+(* Liveness-broken detectors for the model checker's lasso search.
+   Both are safe on every finite prefix (no sampled schedule can latch
+   a violation), so they cannot live in the seeded CHECK matrix — only
+   a fair-cycle analysis refutes them. *)
+
+(* Alternates between electing the smallest and the largest live
+   location on every output anywhere: each individual output is a live
+   leader (safety holds), but with >= 2 live locations the last-output
+   assignment never converges, so Omega's [stable-leader] is violated
+   along a fair cycle while [validity.liveness] still holds (every
+   live location outputs forever). *)
+let fd_flip_flop ~n =
+  let leader (crashset, toggle) =
+    let live j = not (Loc.Set.mem j crashset) in
+    if toggle then Loc.Set.max_elt_opt (Loc.Set.filter live (Loc.set_of_universe ~n))
+    else Loc.min_not_in ~n (fun j -> Loc.Set.mem j crashset)
+  in
+  let kind = function
+    | Fd_event.Crash _ -> Some Automaton.Input
+    | Fd_event.Output _ -> Some Automaton.Output
+  in
+  let step ((crashset, toggle) as st) = function
+    | Fd_event.Crash i -> Some (Loc.Set.add i crashset, toggle)
+    | Fd_event.Output (i, o) ->
+      if (not (Loc.Set.mem i crashset)) && leader st = Some o then
+        Some (crashset, not toggle)
+      else None
+  in
+  let task i =
+    { Automaton.task_name = Printf.sprintf "fd_%s" (Loc.to_string i);
+      fair = true;
+      enabled =
+        (fun ((crashset, _) as st) ->
+          if Loc.Set.mem i crashset then None
+          else Option.map (fun o -> Fd_event.Output (i, o)) (leader st));
+    }
+  in
+  { Automaton.name = "FD-FlipFlop";
+    kind;
+    start = (Loc.Set.empty, false);
+    step;
+    tasks = List.map task (Loc.universe ~n);
+  }
+
+(* Only location 0 ever outputs (the full crash set, so each output is
+   accurate); every other location stays silent forever.  Against P
+   this violates no safety clause on any prefix, but the fair cycle in
+   which only [fd_0] fires (the other fd tasks are disabled, hence
+   weak fairness is vacuous) keeps [validity.liveness] pending
+   forever. *)
+let fd_silent ~n =
+  truthful ~name:"FD-Silent" ~n ~output:(fun crashset i ->
+      if i = 0 then Some crashset else None)
 
 type 'o noise = 'o list Loc.Map.t
 

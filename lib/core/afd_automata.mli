@@ -43,9 +43,11 @@ val fd_sigma : n:int -> (Loc.Set.t, Loc.Set.t Fd_event.t) Automaton.t
     location stays live (quorums always contain every live location). *)
 
 val fd_anti_omega : n:int -> (Loc.Set.t, Loc.t Fd_event.t) Automaton.t
-(** Outputs [max (Pi \ crashset)] — the {e largest} live location; the
-    smallest live location is then eventually never named.  In
-    T_anti-Ω whenever at least two locations stay live. *)
+(** Spares the smallest live location by naming the smallest {e other}
+    location (which may be crashed — anti-Ω has no accuracy clause).
+    In T_anti-Ω whenever at least one location stays live; the old
+    max-live choice failed with a single live location (it named it
+    forever), a corner the fair-cycle model checker refutes. *)
 
 val fd_omega_k : n:int -> k:int -> (Loc.Set.t, Loc.Set.t Fd_event.t) Automaton.t
 (** Outputs the [k] smallest locations of [Pi \ crashset], padded with
@@ -56,6 +58,27 @@ val fd_psi_k : n:int -> k:int -> (Loc.Set.t, Loc.Set.t Fd_event.t) Automaton.t
 (** Same output as [fd_omega_k]; since all locations compute it from
     the same crash set, the outputs converge to one common set — in
     T_Ψk under the same condition. *)
+
+(** {2 Liveness-broken detectors}
+
+    Deliberately broken {e only} in the limit: every finite prefix is
+    safe, so no seeded schedule in the CHECK matrix can catch them —
+    they exist to exercise {!Afd_analysis.Mc}'s fair-cycle (lasso)
+    refutations. *)
+
+val fd_flip_flop : n:int -> (Loc.Set.t * bool, Loc.t Fd_event.t) Automaton.t
+(** Alternates between electing the smallest and the largest live
+    location on every output.  Each output names a live leader, but
+    with two or more live locations the assignment never converges:
+    Ω's [stable-leader] is violated along a fair cycle while
+    [validity.liveness] still holds. *)
+
+val fd_silent : n:int -> (Loc.Set.t, Loc.Set.t Fd_event.t) Automaton.t
+(** Only location 0 ever outputs (the accurate crash set); all other
+    locations stay silent forever.  Safe on every prefix against P,
+    but the fair cycle firing [fd_0] alone (the silent locations' fd
+    tasks are disabled, so weak fairness is vacuous) keeps
+    [validity.liveness] — and P's [completeness] — pending forever. *)
 
 type 'o noise = 'o list Loc.Map.t
 (** Finite scripted "wrong" outputs per location, consumed before the

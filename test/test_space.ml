@@ -30,7 +30,7 @@ let test_differential_vs_list () =
       let subj = Subject.make ~origin entry in
       match subj.Subject.packed with
       | None -> ()
-      | Some (Subject.P (a, p, _)) ->
+      | Some (Subject.P { aut = a; probe = p; _ }) ->
         incr checked;
         let hashed = Explore.reachable a p in
         let listed = Explore.list_based a p in
@@ -174,7 +174,7 @@ let find_mc id rs =
 let test_mc_all_subjects () =
   let open Afd_bench.Check in
   let rs = mc_all () in
-  Alcotest.(check int) "all 12 CHK subjects model-checked" 12 (List.length rs);
+  Alcotest.(check int) "all 14 CHK subjects model-checked" 14 (List.length rs);
   List.iter
     (fun r ->
       Alcotest.(check bool) (r.mc_id ^ " exhaustive") true r.mc_exhaustive;
@@ -188,13 +188,37 @@ let test_mc_all_subjects () =
     Alcotest.(check int) "lying-p: counterexample index" 0 v.index;
     Alcotest.(check bool) "lying-p: replay-confirmed" true v.confirmed
   | vs -> Alcotest.failf "lying-p: expected 1 violation, got %d" (List.length vs));
-  match (find_mc "CHK.marabout" rs).mc_violations with
+  (match (find_mc "CHK.marabout" rs).mc_violations with
   | [ v ] ->
     Alcotest.(check string) "marabout: judgement violation" "judgement" v.vkind;
     Alcotest.(check int) "marabout: shortest prefix has 2 events" 2 v.depth;
     Alcotest.(check int) "marabout: counterexample index" 1 v.index;
     Alcotest.(check bool) "marabout: replay-confirmed" true v.confirmed
-  | vs -> Alcotest.failf "marabout: expected 1 violation, got %d" (List.length vs)
+  | vs -> Alcotest.failf "marabout: expected 1 violation, got %d" (List.length vs));
+  (* the liveness pass left nothing undecided, and the two limit-broken
+     detectors were refuted by the right kind of lasso *)
+  List.iter
+    (fun r ->
+      Alcotest.(check (list string))
+        (r.mc_id ^ ": no liveness clause skipped")
+        [] r.mc_liveness_skipped)
+    rs;
+  (match (find_mc "CHK.flipflop" rs).mc_lassos with
+  | [ l ] ->
+    Alcotest.(check string) "flipflop: fair-cycle lasso" "fair-cycle" l.lkind;
+    Alcotest.(check string) "flipflop: stable-leader refuted" "stable-leader"
+      l.lclause;
+    Alcotest.(check bool) "flipflop: cycle is nonempty" true (l.lcycle > 0);
+    Alcotest.(check bool) "flipflop: replay-confirmed" true l.lconfirmed
+  | ls -> Alcotest.failf "flipflop: expected 1 lasso, got %d" (List.length ls));
+  let silent = find_mc "CHK.silent" rs in
+  Alcotest.(check bool) "silent: at least one lasso" true (silent.mc_lassos <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check string) (l.lclause ^ ": fair stop") "fair-stop" l.lkind;
+      Alcotest.(check int) (l.lclause ^ ": empty cycle") 0 l.lcycle;
+      Alcotest.(check bool) (l.lclause ^ ": replay-confirmed") true l.lconfirmed)
+    silent.mc_lassos
 
 (* --- qcheck: sampled executions stay inside the exhaustive set --- *)
 
@@ -278,7 +302,7 @@ let suite =
       `Quick test_por_preserves_reachable_set;
     Alcotest.test_case "MC proves P's safety clauses on the closed system" `Quick
       test_mc_truthful_proved;
-    Alcotest.test_case "MC: 10 proofs and 2 confirmed counterexamples" `Quick
+    Alcotest.test_case "MC: 10 proofs, 4 confirmed refutations" `Quick
       test_mc_all_subjects;
     QCheck_alcotest.to_alcotest containment_prop;
   ]
