@@ -17,9 +17,10 @@ lint:
 
 # exhaustive mode: graph lint rules over every reachable state, plus
 # the safety model checker proving the catalog specs on the closed
-# detector+crash product (a smoke pass also runs in `dune runtest`)
+# detector+crash product (a smoke pass also runs in `dune runtest`);
+# JOBS=n shards the frontier across n domains with identical verdicts
 mc:
-	dune exec bin/afd_lint.exe -- --mc $(if $(MAX_STATES),--max-states $(MAX_STATES),)
+	dune exec bin/afd_lint.exe -- --mc $(if $(MAX_STATES),--max-states $(MAX_STATES),) $(if $(JOBS),--jobs $(JOBS),)
 
 # online property monitors vs offline trace checks over the detector
 # catalog, streaming under windowed retention (smoke mode also runs as
@@ -41,11 +42,11 @@ bench-json:
 bench-smoke:
 	dune exec bench/main.exe
 
-# throughput gate: re-run the E1-E7 matrix and fail (exit 1) if the
-# aggregate transitions/sec regressed more than 30% against the
-# checked-in pre-optimization baseline
+# throughput gate: re-run the experiment matrix and fail (exit 1) if
+# the aggregate transitions/sec regressed more than MAX_REGRESSION
+# percent (default 30) against the checked-in baseline
 perf:
-	dune exec bench/main.exe -- --smoke $(if $(JOBS),--jobs $(JOBS),) --baseline BENCH_baseline.json
+	dune exec bench/main.exe -- --smoke $(if $(JOBS),--jobs $(JOBS),) --baseline BENCH_baseline.json $(if $(MAX_REGRESSION),--max-regression $(MAX_REGRESSION),)
 
 clean:
 	dune clean

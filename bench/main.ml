@@ -526,6 +526,55 @@ let p5_explore () =
     (if t_hash > 0. then t_list /. t_hash else 0.);
   assert (List.length listed = Array.length sp.A.Space.states)
 
+(* PX: the domain-sharded parallel explorer against the sequential one
+   on the same largest catalog subject, single timed runs at 1/2/4/8
+   domains.  Every parallel result is gated through Pspace.agree — a
+   speedup figure is only printed for a structurally identical state
+   space.  Printed under the perf gate too, so `make perf` tracks
+   parallel exploration throughput alongside the sequential figures.
+   Speedup tops out at the machine's core count (single-core CI
+   containers will honestly print ~1.0x). *)
+let px_explore () =
+  let module A = Afd_analysis in
+  let comp =
+    (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2))
+      .Net.composition
+  in
+  let a = Composition.as_automaton comp in
+  let probe =
+    A.Probe.make ~equal_action:Act.equal ~pp_action:Act.pp
+      ~equal_state:Composition.equal_state ~hash_state:Composition.hash_state
+      ~max_states:6_000 Afd_bench.Explore_bench.heartbeat_acts
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, t_seq = time (fun () -> A.Space.explore ~por:false a probe) in
+  row
+    "  PX explore heartbeat-net (%d states, %d transitions): sequential %.3fs \
+     (%.0f transitions/s)@."
+    (Array.length seq.A.Space.states)
+    seq.A.Space.stats.A.Space.transitions t_seq
+    (if t_seq > 0. then float_of_int seq.A.Space.stats.A.Space.transitions /. t_seq
+     else 0.);
+  List.iter
+    (fun jobs ->
+      let par, t_par = time (fun () -> A.Pspace.explore ~por:false ~jobs a probe) in
+      let equal =
+        A.Pspace.agree ~equal_state:Composition.equal_state ~equal_action:Act.equal
+          seq par
+      in
+      row "  PX   %d domains: %.3fs (%.0f transitions/s)  speedup=%.2fx  state-set-equal=%b@."
+        jobs t_par
+        (if t_par > 0. then float_of_int par.A.Space.stats.A.Space.transitions /. t_par
+         else 0.)
+        (if t_par > 0. then t_seq /. t_par else 0.)
+        equal;
+      assert equal)
+    [ 1; 2; 4; 8 ]
+
 let perf () =
   section "P1-P4  Performance (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -573,7 +622,8 @@ let perf () =
           | _ -> row "  %-45s (no estimate)@." name)
         results)
     tests;
-  p5_explore ()
+  p5_explore ();
+  px_explore ()
 
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
@@ -587,12 +637,16 @@ type opts = {
   smoke : bool;  (** matrix only (E1-E7), nonzero exit on violation *)
   baseline : string option;
       (** compare aggregate transitions/sec against a checked-in
-          BENCH_*.json; nonzero exit on a >30% regression *)
+          BENCH_*.json; nonzero exit on a regression beyond
+          [max_regression] *)
+  max_regression : float;
+      (** the perf-gate tolerance, in percent (default 30): fail when
+          current throughput drops below (1 - pct/100) x baseline *)
 }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs N] [--seeds N] [--json PATH] [--root-seed N] [--smoke] [--baseline PATH]";
+    "usage: main.exe [--jobs N] [--seeds N] [--json PATH] [--root-seed N] [--smoke] [--baseline PATH] [--max-regression PCT]";
   exit 2
 
 let parse_opts () =
@@ -603,9 +657,15 @@ let parse_opts () =
       root_seed = 1;
       smoke = false;
       baseline = None;
+      max_regression = 30.;
     }
   in
   let int_of v = match int_of_string_opt v with Some n -> n | None -> usage () in
+  let pct_of v =
+    match float_of_string_opt v with
+    | Some p when p >= 0. && p < 100. -> p
+    | _ -> usage ()
+  in
   let rec go o = function
     | [] -> o
     | "--jobs" :: v :: rest -> go { o with jobs = int_of v } rest
@@ -614,6 +674,7 @@ let parse_opts () =
     | "--root-seed" :: v :: rest -> go { o with root_seed = int_of v } rest
     | "--smoke" :: rest -> go { o with smoke = true } rest
     | "--baseline" :: v :: rest -> go { o with baseline = Some v } rest
+    | "--max-regression" :: v :: rest -> go { o with max_regression = pct_of v } rest
     | _ -> usage ()
   in
   go defaults (List.tl (Array.to_list Sys.argv))
@@ -680,13 +741,16 @@ let () =
       exit 1
     | Some base ->
       let ratio = if base > 0. then current /. base else infinity in
-      Format.printf "@.perf gate: %.0f transitions/s vs baseline %.0f (%s) = %.2fx@."
-        current base path ratio;
+      let floor = 1. -. (o.max_regression /. 100.) in
+      Format.printf
+        "@.perf gate: %.0f transitions/s vs baseline %.0f (%s) = %.2fx (floor %.2fx)@."
+        current base path ratio floor;
       p5_explore ();
-      if ratio < 0.7 then begin
+      px_explore ();
+      if ratio < floor then begin
         Printf.eprintf
-          "perf: aggregate throughput regressed more than 30%% vs %s (%.2fx)\n" path
-          ratio;
+          "perf: aggregate throughput regressed more than %.0f%% vs %s (%.2fx)\n"
+          o.max_regression path ratio;
         exit 1
       end)
   | None -> ());

@@ -19,7 +19,7 @@
 
 let usage =
   "afd_lint [--json] [--strict] [--rule ID]... [--fixture ID] [--list-rules] \
-   [--catalog] [--mc] [--max-states N] [--por on|off]"
+   [--catalog] [--mc] [--max-states N] [--por on|off] [--jobs N]"
 
 let () =
   let json = ref false in
@@ -31,6 +31,7 @@ let () =
   let mc = ref false in
   let max_states = ref None in
   let por = ref false in
+  let jobs = ref 1 in
   let spec =
     [ ("--json", Arg.Set json, "emit the report as JSON on stdout");
       ( "--strict",
@@ -61,6 +62,13 @@ let () =
             | s -> raise (Arg.Bad ("--por expects on|off, got " ^ s))),
         "on|off sleep-set partial-order reduction for the explorations \
          (default off: shortest counterexamples)" );
+      ( "--jobs",
+        Arg.Int
+          (fun n ->
+            if n < 1 then raise (Arg.Bad "--jobs expects a positive count");
+            jobs := n),
+        "N explore on N domains (Pspace; default 1 — findings, verdicts and \
+         JSON are identical at any N)" );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
@@ -105,10 +113,12 @@ let () =
             exit 2)
         (List.rev ids)
   in
-  let report = Engine.run ~rules ?max_states:!max_states ~por:!por items in
+  let report =
+    Engine.run ~rules ?max_states:!max_states ~por:!por ~jobs:!jobs items
+  in
   let mc_results =
     if !mc && !fixture = None then
-      Afd_bench.Check.mc_all ?max_states:!max_states ~por:!por ()
+      Afd_bench.Check.mc_all ?max_states:!max_states ~por:!por ~jobs:!jobs ()
     else []
   in
   (* Strict truncation gate: a budget-capped exploration turns every

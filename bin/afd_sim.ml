@@ -417,27 +417,75 @@ let check_cmd =
   let smoke_arg =
     Arg.(value & flag & info [ "smoke" ] ~doc:"One seed per subject, sequential — the fast path wired into dune runtest.")
   in
-  let run seeds jobs root json window retention smoke =
-    let seeds = if smoke then 1 else seeds in
-    let jobs =
-      if smoke then 1
-      else if jobs <= 0 then Domain.recommended_domain_count ()
-      else jobs
-    in
-    let entries = Afd_bench.Check.matrix ~window ~seeds ~retention () in
-    let r =
-      R.Engine.run { R.Engine.jobs; root_seed = root; seeds_override = None } entries
-    in
-    Format.printf "%a@." R.Engine.pp r;
-    (match json with Some path -> R.Report.write ~path r | None -> ());
-    if List.exists (fun e -> (R.Metrics.exp_counts e).R.Metrics.violated > 0) r.R.Engine.exps
-    then 1
-    else 0
+  let mc_arg =
+    Arg.(
+      value & flag
+      & info [ "mc" ]
+          ~doc:
+            "Model-check the catalog exhaustively instead of sampling seeded \
+             schedules: each detector is composed with the crash automaton and \
+             its spec's safety + liveness clauses are proved or refuted over \
+             every reachable product state ($(b,--jobs) domains explore via \
+             Pspace; the table is identical at any job count).")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"State budget per product exploration (with $(b,--mc)).")
+  in
+  let run seeds jobs root json window retention smoke mc max_states =
+    if mc then begin
+      let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+      let results = Afd_bench.Check.mc_all ?max_states ~jobs () in
+      Format.printf "MC  exhaustive safety + liveness check (%d domains)@." jobs;
+      List.iter
+        (fun r ->
+          let open Afd_bench.Check in
+          let status =
+            if not r.mc_ok then "FAIL"
+            else if r.mc_expect_violated then "violated (expected)"
+            else "proved"
+          in
+          Format.printf "  %-14s %-40s %-14s %5d states %6d transitions  %s@."
+            r.mc_id r.mc_label r.mc_verdict r.mc_states r.mc_transitions status)
+        results;
+      (match json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          ("[" ^ String.concat ","
+                   (List.map (fun r -> r.Afd_bench.Check.mc_json) results)
+           ^ "]\n");
+        close_out oc
+      | None -> ());
+      if List.exists (fun r -> not r.Afd_bench.Check.mc_ok) results then 1 else 0
+    end
+    else begin
+      let seeds = if smoke then 1 else seeds in
+      let jobs =
+        if smoke then 1
+        else if jobs <= 0 then Domain.recommended_domain_count ()
+        else jobs
+      in
+      let entries = Afd_bench.Check.matrix ~window ~seeds ~retention () in
+      let r =
+        R.Engine.run { R.Engine.jobs; root_seed = root; seeds_override = None } entries
+      in
+      Format.printf "%a@." R.Engine.pp r;
+      (match json with Some path -> R.Report.write ~path r | None -> ());
+      if
+        List.exists
+          (fun e -> (R.Metrics.exp_counts e).R.Metrics.violated > 0)
+          r.R.Engine.exps
+      then 1
+      else 0
+    end
   in
   let term =
     Term.(
       const run $ seeds_arg $ jobs_arg $ root_arg $ json_arg $ window_arg
-      $ check_retention_arg $ smoke_arg)
+      $ check_retention_arg $ smoke_arg $ mc_arg $ max_states_arg)
   in
   Cmd.v
     (Cmd.info "check"

@@ -6,15 +6,23 @@
     [Report.explorations]. *)
 
 val run :
-  ?rules:Rule.t list -> ?max_states:int -> ?por:bool -> Registry.item list -> Report.t
+  ?rules:Rule.t list ->
+  ?max_states:int ->
+  ?por:bool ->
+  ?jobs:int ->
+  Registry.item list ->
+  Report.t
 (** Defaults to {!Rules.all}.  [max_states] overrides every subject's
-    exploration cap; [por] turns on the sleep-set reduction (see
-    {!Subject.make}). *)
+    exploration cap; [por] turns on the sleep-set reduction; [jobs]
+    spreads each subject's exploration over that many domains (see
+    {!Subject.make} — findings and reports are identical at any
+    [jobs]). *)
 
 val run_entry :
   ?rules:Rule.t list ->
   ?max_states:int ->
   ?por:bool ->
+  ?jobs:int ->
   origin:string ->
   Registry.entry ->
   Report.t

@@ -30,8 +30,4 @@ let list_based aut probe =
   done;
   List.rev !seen
 
-let reachable_v aut probe =
-  let space = Space.explore ~por:false aut probe in
-  (Space.reachable space, space.Space.verdict)
-
-let reachable aut probe = fst (reachable_v aut probe)
+let reachable aut probe = Space.reachable (Space.explore ~por:false aut probe)

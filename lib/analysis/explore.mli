@@ -14,14 +14,8 @@
 
 val reachable : ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> 's list
 (** In discovery (BFS) order; the start state is first.  Historical
-    signature — truncation by [max_states] is silent here; prefer
-    {!reachable_v} (or {!Space.explore} directly) where the distinction
-    matters. *)
-
-val reachable_v :
-  ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> 's list * Space.verdict
-(** Like {!reachable} but also says whether the enumeration was
-    exhaustive or cut by the [max_states] budget. *)
+    signature — truncation by [max_states] is silent here; use
+    {!Space.explore} directly where the distinction matters. *)
 
 val list_based : ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> 's list
 (** The pre-{!Space} implementation with a list seen-set (O(n²) total

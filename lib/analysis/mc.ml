@@ -75,9 +75,9 @@ type ('s, 'o) pstate =
 
 exception Latch of string * string
 
-let check ?(max_states = default_max_states) ?(por = false) ?(len_cap = 8)
-    ?(count_cap = 1) ?(equal_out = Stdlib.( = )) ~equal_state ~hash_state ~n prop
-    sys =
+let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
+    ?(len_cap = 8) ?(count_cap = 1) ?(equal_out = Stdlib.( = )) ~equal_state
+    ~hash_state ~n prop sys =
   let safety, stables =
     List.partition_map
       (fun (nm, c) ->
@@ -200,7 +200,13 @@ let check ?(max_states = default_max_states) ?(por = false) ?(len_cap = 8)
       end
   in
   let probe = Probe.make ~equal_state:pequal ~hash_state:phash ~max_states [] in
-  let space = Space.explore ~por product probe in
+  (* Pspace is structurally identical to Space at any [jobs], so every
+     verdict, counterexample, and liveness lasso below is byte-for-byte
+     independent of the domain count. *)
+  let space =
+    if jobs <= 1 then Space.explore ~por product probe
+    else Pspace.explore ~por ~jobs product probe
+  in
   let nstates = Array.length space.Space.states in
   (* Fold-judge evaluation per reachable Running state. *)
   let judge_violation = function
@@ -374,7 +380,8 @@ let check ?(max_states = default_max_states) ?(por = false) ?(len_cap = 8)
     stats = space.Space.stats;
   }
 
-let check_spec ?max_states ?por ?len_cap ?count_cap ?crashable ~n spec ~detector =
+let check_spec ?max_states ?por ?jobs ?len_cap ?count_cap ?crashable ~n spec
+    ~detector =
   match spec.Afd_core.Afd.prop with
   | None ->
     Error
@@ -390,7 +397,7 @@ let check_spec ?max_states ?por ?len_cap ?count_cap ?crashable ~n spec ~detector
         ]
     in
     Ok
-      (check ?max_states ?por ?len_cap ?count_cap
+      (check ?max_states ?por ?jobs ?len_cap ?count_cap
          ~equal_out:spec.Afd_core.Afd.equal_out ~equal_state:Composition.equal_state
          ~hash_state:Composition.hash_state ~n (prop ~n)
          (Composition.as_automaton comp))

@@ -113,6 +113,7 @@ val default_max_states : int
 val check :
   ?max_states:int ->
   ?por:bool ->
+  ?jobs:int ->
   ?len_cap:int ->
   ?count_cap:int ->
   ?equal_out:('o -> 'o -> bool) ->
@@ -131,11 +132,15 @@ val check :
     liveness verdicts matter (liveness is skipped under POR).
     [count_cap] (default 1) caps the per-location output counts joined
     to the state identity for liveness; [equal_out] (default
-    structural) compares last outputs there. *)
+    structural) compares last outputs there.  [jobs > 1] (default 1)
+    explores the product on {!Pspace} across that many domains; the
+    exploration is structurally identical, so the outcome — including
+    counterexample paths and lassos — is the same at any [jobs]. *)
 
 val check_spec :
   ?max_states:int ->
   ?por:bool ->
+  ?jobs:int ->
   ?len_cap:int ->
   ?count_cap:int ->
   ?crashable:Loc.Set.t ->

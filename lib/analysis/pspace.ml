@@ -1,0 +1,276 @@
+open Afd_ioa
+
+(* Successor codes shipped from workers to the merge: a nonnegative
+   code is the index of the successor in the frozen seen-set prefix. *)
+let blocked = -1
+let fresh_code = -2
+
+(* One frontier state's expansion, computed in a worker.  Flat parallel
+   arrays (codes and hashes unboxed) rather than per-move records, so a
+   round's result is a handful of arrays per state, with every
+   [hash_state] call already paid in parallel.  [x_comm] is the k×k
+   commute matrix of the enabled moves (row-major, byte per pair),
+   empty with POR off: the merge looks pairs up instead of computing
+   diamonds sequentially. *)
+type ('s, 'a) packed = {
+  x_probe_code : int array;  (* per probe action; [||] once expanded *)
+  x_probe_dst : 's array;
+  x_probe_hash : int array;
+  x_names : string array;  (* enabled task moves, task-list order *)
+  x_acts : 'a array;
+  x_code : int array;
+  x_dst : 's array;
+  x_hash : int array;
+  x_comm : Bytes.t;
+}
+
+let explore_pool ?(por = false) pool aut probe =
+  let max_states = probe.Probe.max_states in
+  let hash = match probe.Probe.hash_state with Some h -> h | None -> fun _ -> 0 in
+  let equal = probe.Probe.equal_state in
+  let probe_acts = Array.of_list probe.Probe.actions in
+  (* Mirror of Space.explore's growable bookkeeping, indexed by
+     discovery order.  The merge below replays the sequential loop on
+     these verbatim; only successor computation moved to the workers. *)
+  let states = ref [||] and n = ref 0 in
+  let parent = ref [||] and depth = ref [||] in
+  let sleep = ref [||] and done_moves = ref [||] in
+  let expanded = ref [||] and queued = ref [||] in
+  let buckets : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let edges_rev = ref [] and transitions = ref 0 in
+  let slept = ref 0 and cut = ref 0 and dup_seeds = ref 0 in
+  let queue = Queue.create () in
+  let round_start_n = ref 0 in
+  let ensure () =
+    let cap = Array.length !states in
+    if !n >= cap then begin
+      let cap' = max 8 (2 * cap) in
+      let grow a fill =
+        let b = Array.make cap' fill in
+        Array.blit !a 0 b 0 cap;
+        a := b
+      in
+      grow states aut.Automaton.start;
+      grow parent None;
+      grow depth max_int;
+      grow sleep [];
+      grow done_moves [];
+      grow expanded false;
+      grow queued false
+    end
+  in
+  let find_index s =
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt buckets (hash s)) in
+    List.find_opt (fun i -> equal (!states).(i) s) bucket
+  in
+  (* Merge-time lookup for a worker-reported "fresh" successor: the
+     worker already proved it absent from the frozen prefix, so only
+     states added since the round started can match.  Buckets are
+     prepended newest-first, so those form a prefix of the bucket. *)
+  let find_delta h s =
+    match Hashtbl.find_opt buckets h with
+    | None -> None
+    | Some bucket ->
+      let rec go = function
+        | [] -> None
+        | j :: tl ->
+          if j < !round_start_n then None
+          else if equal (!states).(j) s then Some j
+          else go tl
+      in
+      go bucket
+  in
+  let add_state_h s h ~par ~d ~sl =
+    ensure ();
+    let i = !n in
+    (!states).(i) <- s;
+    (!parent).(i) <- par;
+    (!depth).(i) <- d;
+    (!sleep).(i) <- sl;
+    (!queued).(i) <- true;
+    incr n;
+    Hashtbl.replace buckets h (i :: Option.value ~default:[] (Hashtbl.find_opt buckets h));
+    Queue.add i queue;
+    i
+  in
+  let record_edge src dst act task =
+    incr transitions;
+    edges_rev := { Space.src; dst; act; task } :: !edges_rev
+  in
+  (* Space.explore's [take], with the step and hash already computed. *)
+  let take i act task sl code dst h =
+    if code <> blocked then begin
+      let hit = if code >= 0 then Some code else find_delta h dst in
+      match hit with
+      | Some j ->
+        record_edge i j act task;
+        if por then begin
+          let inter = List.filter (fun u -> List.mem u sl) (!sleep).(j) in
+          if List.length inter < List.length (!sleep).(j) then begin
+            (!sleep).(j) <- inter;
+            if not (!queued).(j) then begin
+              (!queued).(j) <- true;
+              Queue.add j queue
+            end
+          end
+        end
+      | None ->
+        if !n < max_states then begin
+          let d = if (!depth).(i) = max_int then max_int else (!depth).(i) + 1 in
+          let j = add_state_h dst h ~par:(Some (i, act)) ~d ~sl in
+          record_edge i j act task
+        end
+        else incr cut
+    end
+  in
+  (* Worker: expand one frontier state against the frozen prefix.  No
+     shared state is written; the refs it reads are quiescent for the
+     whole parallel phase, and the pool's barrier publishes the
+     merge's writes before the next phase begins. *)
+  let compute i =
+    let sts = !states and exp = !expanded in
+    let s = sts.(i) in
+    let pack acts =
+      let m = Array.length acts in
+      let code = Array.make m blocked in
+      let dst = Array.make m s in
+      let hsh = Array.make m 0 in
+      Array.iteri
+        (fun p act ->
+          match aut.Automaton.step s act with
+          | None -> ()
+          | Some s' ->
+            let h = hash s' in
+            let bucket = Option.value ~default:[] (Hashtbl.find_opt buckets h) in
+            (match List.find_opt (fun j -> equal sts.(j) s') bucket with
+            | Some j -> code.(p) <- j
+            | None -> code.(p) <- fresh_code);
+            dst.(p) <- s';
+            hsh.(p) <- h)
+        acts;
+      (code, dst, hsh)
+    in
+    let x_probe_code, x_probe_dst, x_probe_hash =
+      if exp.(i) then ([||], [||], [||]) else pack probe_acts
+    in
+    let moves =
+      List.filter_map
+        (fun tk ->
+          match tk.Automaton.enabled s with Some a -> Some (tk, a) | None -> None)
+        aut.Automaton.tasks
+    in
+    let k = List.length moves in
+    let marr = Array.of_list moves in
+    let x_names = Array.map (fun (tk, _) -> tk.Automaton.task_name) marr in
+    let x_acts = Array.map snd marr in
+    let x_code, x_dst, x_hash = pack x_acts in
+    let x_comm =
+      if not por then Bytes.empty
+      else begin
+        let b = Bytes.make (k * k) '\000' in
+        for u = 0 to k - 1 do
+          for t = 0 to k - 1 do
+            if Space.commute aut probe s marr.(u) marr.(t) then
+              Bytes.set b ((u * k) + t) '\001'
+          done
+        done;
+        b
+      end
+    in
+    { x_probe_code; x_probe_dst; x_probe_hash; x_names; x_acts; x_code; x_dst;
+      x_hash; x_comm }
+  in
+  (* Sequential replay of Space.explore's pop body for one frontier
+     state, consuming the worker's packed expansion. *)
+  let merge i it =
+    (!queued).(i) <- false;
+    if not (!expanded).(i) then begin
+      (!expanded).(i) <- true;
+      Array.iteri
+        (fun p act ->
+          take i act None [] it.x_probe_code.(p) it.x_probe_dst.(p)
+            it.x_probe_hash.(p))
+        probe_acts
+    end;
+    let k = Array.length it.x_names in
+    for t = 0 to k - 1 do
+      let name = it.x_names.(t) in
+      if not (List.mem name (!done_moves).(i)) then begin
+        if por && List.mem name (!sleep).(i) then incr slept
+        else begin
+          let sl' =
+            if not por then []
+            else begin
+              let idx_of u =
+                let rec go v = if v >= k then None else if it.x_names.(v) = u then Some v else go (v + 1) in
+                go 0
+              in
+              List.filter
+                (fun u ->
+                  match idx_of u with
+                  | Some ui -> Bytes.get it.x_comm ((ui * k) + t) = '\001'
+                  | None -> false)
+                (List.sort_uniq Stdlib.compare ((!sleep).(i) @ (!done_moves).(i)))
+            end
+          in
+          (!done_moves).(i) <- name :: (!done_moves).(i);
+          take i it.x_acts.(t) (Some name) sl' it.x_code.(t) it.x_dst.(t)
+            it.x_hash.(t)
+        end
+      end
+    done
+  in
+  if max_states > 0 then begin
+    let s = aut.Automaton.start in
+    ignore (add_state_h s (hash s) ~par:None ~d:0 ~sl:[])
+  end
+  else incr cut;
+  List.iter
+    (fun s ->
+      match find_index s with
+      | Some _ -> incr dup_seeds
+      | None ->
+        if !n < max_states then
+          ignore (add_state_h s (hash s) ~par:None ~d:max_int ~sl:[])
+        else incr cut)
+    probe.Probe.seed_states;
+  while not (Queue.is_empty queue) do
+    let m = Queue.length queue in
+    let round = Array.init m (fun _ -> Queue.pop queue) in
+    round_start_n := !n;
+    let items = Afd_runner.Pool.map_pool pool compute round in
+    Array.iteri (fun r i -> merge i items.(r)) round
+  done;
+  {
+    Space.states = Array.sub !states 0 !n;
+    edges = Array.of_list (List.rev !edges_rev);
+    parent = Array.sub !parent 0 !n;
+    depth = Array.sub !depth 0 !n;
+    verdict = (if !cut = 0 then Space.Exhausted else Space.Truncated max_states);
+    por;
+    stats =
+      { Space.transitions = !transitions; slept = !slept; cut = !cut;
+        dup_seeds = !dup_seeds };
+  }
+
+let explore ?(por = false) ?(jobs = 1) aut probe =
+  Afd_runner.Pool.with_pool ~jobs (fun pool -> explore_pool ~por pool aut probe)
+
+let agree ~equal_state ~equal_action a b =
+  let open Space in
+  let arr eq x y = Array.length x = Array.length y && Array.for_all2 eq x y
+  in
+  let edge_eq (e : _ Space.edge) (f : _ Space.edge) =
+    e.src = f.src && e.dst = f.dst && equal_action e.act f.act && e.task = f.task
+  in
+  let parent_eq p q =
+    match (p, q) with
+    | None, None -> true
+    | Some (i, a), Some (j, b) -> i = j && equal_action a b
+    | _ -> false
+  in
+  a.verdict = b.verdict && a.por = b.por && a.stats = b.stats
+  && arr equal_state a.states b.states
+  && arr edge_eq a.edges b.edges
+  && arr parent_eq a.parent b.parent
+  && arr ( = ) a.depth b.depth

@@ -1,0 +1,78 @@
+(** Parallel exhaustive state-space exploration.
+
+    [Pspace] is {!Space.explore} sharded across OCaml 5 domains: the
+    BFS frontier is processed in rounds, each round's states are
+    expanded concurrently on a {!Afd_runner.Pool.t} (work-stealing over
+    the frontier array), and a sequential merge folds the workers'
+    packed results back in frontier order.  The result is a plain
+    {!Space.t} — downstream analyses ({!Live}, {!Mc}, lint rules,
+    [path_actions]) run on it unchanged.
+
+    {b Determinism.}  Workers only compute {e order-free} data: the raw
+    successor state, its precomputed [Probe.hash_state] value, and a
+    frozen-prefix dedup code per move, plus (with POR) the pairwise
+    commute matrix of the enabled moves.  Everything order-dependent —
+    seen-set insertion, within-round dedup, edge recording, sleep-set
+    bookkeeping, requeueing, [max_states] cuts — happens in the
+    sequential merge, which replays {!Space.explore}'s own loop in its
+    own FIFO order.  Because a FIFO queue pops states in global
+    insertion order and the round decomposition preserves that order,
+    the exploration is {e structurally identical} to the sequential
+    one at any [jobs]: same state indices, same edge array (order
+    included), same parent tree, depths, verdict, and stats.  The
+    differential tests in [test/test_pspace.ml] assert this field for
+    field across the subject catalog, and {!agree} is the assertion
+    the benchmark equality gate reuses.
+
+    {b Dedup scheme.}  The seen-set is the same hash-bucket table as
+    the sequential explorer's, but workers read it as a {e frozen
+    prefix}: during a round's parallel phase the table is immutable
+    (merge only writes between phases, and the pool's wake/idle
+    barrier orders those writes before the workers' reads), so lookups
+    are lock-free and exact for every state discovered before the
+    round.  A successor not in the prefix is shipped back as "fresh"
+    with its hash; the merge re-checks only those candidates against
+    the bucket entries added since the round started — newest-first
+    bucket order makes that a prefix scan — before allocating a new
+    index.
+
+    {b Crash safety.}  A probe or step function that raises inside a
+    worker propagates out of {!explore} (first failing frontier index,
+    via {!Afd_runner.Pool}'s per-index capture), the worker domains
+    are shut down, and nothing leaks. *)
+
+val explore :
+  ?por:bool ->
+  ?jobs:int ->
+  ('s, 'a) Afd_ioa.Automaton.t ->
+  ('s, 'a) Probe.t ->
+  ('s, 'a) Space.t
+(** Like {!Space.explore}, with the expansion work spread over [jobs]
+    domains (default [1]; clamped to at least 1).  [jobs = 1] still
+    runs the round-based machinery — inline, with no domain spawned —
+    so single-job runs exercise the same code path the differential
+    tests compare.  The result is structurally identical to
+    [Space.explore ~por aut probe] at any [jobs]. *)
+
+val explore_pool :
+  ?por:bool ->
+  Afd_runner.Pool.t ->
+  ('s, 'a) Afd_ioa.Automaton.t ->
+  ('s, 'a) Probe.t ->
+  ('s, 'a) Space.t
+(** [explore] on a caller-managed pool, so one set of worker domains
+    amortises over many explorations (the benchmark matrix and the
+    engine's catalog sweep).  The pool is left usable. *)
+
+val agree :
+  equal_state:('s -> 's -> bool) ->
+  equal_action:('a -> 'a -> bool) ->
+  ('s, 'a) Space.t ->
+  ('s, 'a) Space.t ->
+  bool
+(** Structural identity of two explorations: states pointwise equal in
+    the same order, edge arrays equal (order, endpoints, action, task
+    label), parent trees, depths, verdicts, POR flags, and stats all
+    equal.  This is strictly stronger than the state-set / edge-
+    multiset equality the acceptance gate needs, and is what the PX
+    benchmark rows assert between sequential and parallel runs. *)

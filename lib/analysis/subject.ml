@@ -16,12 +16,16 @@ type t = {
   packed : packed option;
 }
 
-let make ?(por = false) ?max_states ~origin entry =
+let make ?(por = false) ?max_states ?(jobs = 1) ~origin entry =
   let with_cap p =
     match max_states with None -> p | Some m -> { p with Probe.max_states = m }
   in
   let pack a p =
-    let space = lazy (Space.explore ~por a p) in
+    let space =
+      lazy
+        (if jobs <= 1 then Space.explore ~por a p
+         else Pspace.explore ~por ~jobs a p)
+    in
     P { aut = a; probe = p; space; live = lazy (Live.analyze a (Lazy.force space)) }
   in
   let packed =

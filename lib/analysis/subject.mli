@@ -32,11 +32,14 @@ type t = {
   packed : packed option;  (** [None] for spec entries *)
 }
 
-val make : ?por:bool -> ?max_states:int -> origin:string -> Registry.entry -> t
+val make :
+  ?por:bool -> ?max_states:int -> ?jobs:int -> origin:string -> Registry.entry -> t
 (** [max_states] overrides the probe's own exploration cap;
     [por] (default [false]) turns on the sleep-set reduction for the
     shared exploration (edge-granular rules then skip themselves — see
-    {!Rules.mc}). *)
+    {!Rules.mc}); [jobs > 1] (default [1]) runs the shared exploration
+    on {!Pspace} across that many domains — same result, structurally
+    ({!Pspace.agree}). *)
 
 val exploration : t -> Report.exploration option
 (** The exploration summary, only if some rule forced it ([None] for

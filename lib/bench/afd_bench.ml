@@ -15,6 +15,7 @@ module C = Afd_consensus
 module R = Afd_runner
 module Check = Check
 module Explore_bench = Explore_bench
+module Pspace_bench = Pspace_bench
 module Live_bench = Live_bench
 
 let verdict_str = function
@@ -268,5 +269,8 @@ let matrix ?(retention = Scheduler.Trace_only) () =
   ]
   (* MX: exploration throughput (retention-independent by construction) *)
   @ Explore_bench.entries ()
+  (* PX: parallel exploration, differential against MX's sequential
+     explorer (retention-independent: pure graph work) *)
+  @ Pspace_bench.entries ()
   (* ML: liveness model checking (retention-independent: pure graph work) *)
   @ Live_bench.entries ()

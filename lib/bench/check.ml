@@ -234,10 +234,10 @@ let liveness_subjects =
         spec = Perfect.spec; expect_violated = true };
   ]
 
-let mc_subject ?max_states ?(por = false) (S s) =
+let mc_subject ?max_states ?(por = false) ?jobs (S s) =
   let open Afd_analysis in
   match
-    Mc.check_spec ?max_states ~por ~n:s.n s.spec ~detector:(s.detector ())
+    Mc.check_spec ?max_states ~por ?jobs ~n:s.n s.spec ~detector:(s.detector ())
   with
   | Error e -> Error e
   | Ok o ->
@@ -306,13 +306,13 @@ let mc_subject ?max_states ?(por = false) (S s) =
         mc_json = Mc.outcome_to_json ~pp_out o;
       }
 
-let mc_all ?max_states ?(por = false) () =
+let mc_all ?max_states ?(por = false) ?jobs () =
   (* The limit-broken extras are refutable only by the fair-cycle pass,
      which POR disables — under POR they would fail vacuously. *)
   let all = if por then subjects else subjects @ liveness_subjects in
   List.map
     (fun subj ->
-      match mc_subject ?max_states ~por subj with
+      match mc_subject ?max_states ~por ?jobs subj with
       | Ok r -> r
       | Error e ->
         (* every shipped subject is prop-compiled; a raw spec here is a

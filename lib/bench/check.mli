@@ -137,10 +137,12 @@ type mc_result = {
 }
 
 val mc_subject :
-  ?max_states:int -> ?por:bool -> subject -> (mc_result, string) result
-(** Model-check one subject; [Error] for raw specs. *)
+  ?max_states:int -> ?por:bool -> ?jobs:int -> subject -> (mc_result, string) result
+(** Model-check one subject; [Error] for raw specs.  [jobs > 1] runs
+    the product exploration on {!Afd_analysis.Pspace} — the result
+    (JSON included) is byte-identical at any [jobs]. *)
 
-val mc_all : ?max_states:int -> ?por:bool -> unit -> mc_result list
+val mc_all : ?max_states:int -> ?por:bool -> ?jobs:int -> unit -> mc_result list
 (** All {!subjects}, plus {!liveness_subjects} when [por] is off; a
     raw spec yields a failing row ([mc_ok = false],
     [mc_verdict = "error"]) instead of an exception. *)

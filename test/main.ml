@@ -24,6 +24,7 @@ let () =
       ("k-set", Test_kset.suite);
       ("lint", Test_lint.suite);
       ("space", Test_space.suite);
+      ("pspace", Test_pspace.suite);
       ("live", Test_live.suite);
       ("prop", Test_prop.suite);
       ("sched-fairness", Test_sched_fairness.suite);

@@ -1,0 +1,233 @@
+(* Differential tests for the parallel explorer (lib/analysis/pspace).
+
+   The claim under test is strong: Pspace.explore is STRUCTURALLY
+   identical to Space.explore — same state array in the same discovery
+   order, same edge array (order included), same parent tree, depths,
+   verdict, and stats — at any domain count, with POR on or off, under
+   any max_states budget.  Everything downstream (MC verdict tables,
+   liveness lassos, lint reports, JSON) is then byte-identical at any
+   --jobs, which the coarser-grained tests here confirm end to end.
+
+   A worker that raises mid-exploration must propagate the exception
+   out of the explorer and leave a shared pool usable — the
+   crash-safety half of the contract. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_analysis
+module BC = Afd_bench.Check
+
+(* The full CHK catalog (12 seeded subjects + 2 limit-broken liveness
+   subjects), each closed like Mc.check_spec closes them: detector
+   composed with the crash automaton over the full universe. *)
+let chk_subjects = BC.subjects @ BC.liveness_subjects
+
+(* Close one CHK subject like Mc.check_spec does — detector composed
+   with the crash automaton over the full universe — and compare the
+   sequential and parallel explorations structurally.  The GADT match
+   and everything typed by its existentials stay inside this one
+   function. *)
+let subject_agrees ~por ~jobs ~max_states (BC.S { n; detector; _ }) =
+  let crashable = Loc.set_of_universe ~n in
+  let comp =
+    Composition.make ~name:"chk-closed"
+      [ Component.C (detector ());
+        Component.C (Afd_automata.crash_automaton ~n ~crashable);
+      ]
+  in
+  let aut = Composition.as_automaton comp in
+  let probe =
+    Probe.make ~equal_state:Composition.equal_state
+      ~hash_state:Composition.hash_state ~max_states []
+  in
+  let seq = Space.explore ~por aut probe in
+  let par = Pspace.explore ~por ~jobs aut probe in
+  Pspace.agree ~equal_state:Composition.equal_state ~equal_action:( = ) seq par
+
+(* --- qcheck: parallel == sequential across the catalog ---
+
+   Random subject x POR x budget x jobs: the sequential exploration and
+   the parallel one must agree field for field.  Small random budgets
+   matter: they exercise the truncation path (cut counting at merge
+   time), and budgets below the seed count exercise the seed-cut
+   path. *)
+let differential_prop =
+  let gen =
+    QCheck2.Gen.(
+      let* subj_ix = int_bound (List.length chk_subjects - 1) in
+      let* por = bool in
+      let* jobs = oneofl [ 1; 2; 4 ] in
+      let* cap = oneofl [ 1; 7; 60; 400; 2000 ] in
+      return (subj_ix, por, jobs, cap))
+  in
+  QCheck2.Test.make
+    ~name:
+      "Pspace.explore == Space.explore (structural) on CHK subjects x por x \
+       budget x jobs"
+    ~count:40
+    ~print:(fun (i, por, jobs, cap) ->
+      Printf.sprintf "subject=%s por=%b jobs=%d max_states=%d"
+        (BC.id (List.nth chk_subjects i))
+        por jobs cap)
+    gen
+    (fun (subj_ix, por, jobs, cap) ->
+      subject_agrees ~por ~jobs ~max_states:cap (List.nth chk_subjects subj_ix))
+
+(* --- full-catalog sweep at a fixed budget, both POR settings --- *)
+
+let test_catalog_structural_equality () =
+  List.iter
+    (fun subj ->
+      List.iter
+        (fun por ->
+          List.iter
+            (fun jobs ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s por=%b jobs=%d structurally equal"
+                   (BC.id subj) por jobs)
+                true
+                (subject_agrees ~por ~jobs ~max_states:6_000 subj))
+            [ 1; 2; 4 ])
+        [ false; true ])
+    chk_subjects
+
+(* --- three explorers stay congruent: list == hashed == parallel --- *)
+
+let test_three_explorer_congruence () =
+  let checked = ref 0 in
+  List.iter
+    (fun { Registry.origin; entry } ->
+      let subj = Subject.make ~origin entry in
+      match subj.Subject.packed with
+      | None -> ()
+      | Some (Subject.P { aut = a; probe = p; _ }) ->
+        incr checked;
+        let listed = Explore.list_based a p in
+        let hashed = Explore.reachable a p in
+        let parallel = Space.reachable (Pspace.explore ~jobs:2 a p) in
+        Alcotest.(check int)
+          (subj.Subject.name ^ ": list/hashed same count")
+          (List.length listed) (List.length hashed);
+        Alcotest.(check int)
+          (subj.Subject.name ^ ": hashed/parallel same count")
+          (List.length hashed) (List.length parallel);
+        List.iter2
+          (fun x y ->
+            Alcotest.(check bool)
+              (subj.Subject.name ^ ": list/hashed same visit order")
+              true (p.Probe.equal_state x y))
+          listed hashed;
+        List.iter2
+          (fun x y ->
+            Alcotest.(check bool)
+              (subj.Subject.name ^ ": hashed/parallel same visit order")
+              true (p.Probe.equal_state x y))
+          hashed parallel)
+    (Catalog.items ());
+  Alcotest.(check bool) "covered a real spread of subjects" true (!checked >= 20)
+
+(* --- MC verdict byte-equality at any jobs --- *)
+
+let mc_table rs =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%s|%s|%b|%d|%d|%b|%s|%s|%s" r.BC.mc_id r.BC.mc_verdict
+           r.BC.mc_exhaustive r.BC.mc_states r.BC.mc_transitions r.BC.mc_ok
+           (String.concat "," r.BC.mc_safety)
+           (String.concat "," r.BC.mc_liveness_proved)
+           (String.concat "," r.BC.mc_liveness_skipped))
+       rs)
+
+let mc_json rs = String.concat "\n" (List.map (fun r -> r.BC.mc_json) rs)
+
+let test_mc_byte_equality () =
+  let j1 = BC.mc_all ~jobs:1 () in
+  let j4 = BC.mc_all ~jobs:4 () in
+  Alcotest.(check int) "same row count" (List.length j1) (List.length j4);
+  Alcotest.(check string) "verdict table identical at jobs 1 vs 4" (mc_table j1)
+    (mc_table j4);
+  Alcotest.(check string) "outcome JSON identical at jobs 1 vs 4" (mc_json j1)
+    (mc_json j4);
+  List.iter
+    (fun r -> Alcotest.(check bool) (r.BC.mc_id ^ " ok") true r.BC.mc_ok)
+    j4
+
+let test_mc_por_byte_equality () =
+  let j1 = BC.mc_all ~por:true ~max_states:4_000 ~jobs:1 () in
+  let j2 = BC.mc_all ~por:true ~max_states:4_000 ~jobs:2 () in
+  Alcotest.(check string) "POR verdict table identical at jobs 1 vs 2"
+    (mc_table j1) (mc_table j2);
+  Alcotest.(check string) "POR outcome JSON identical at jobs 1 vs 2"
+    (mc_json j1) (mc_json j2)
+
+(* --- lint engine: whole report identical at any jobs --- *)
+
+let test_lint_report_jobs_invariant () =
+  let report jobs =
+    Afd_analysis.Report.to_json
+      (Engine.run ~rules:(Rules.all @ Rules.mc) ~max_states:2_000 ~jobs
+         (Catalog.items ()))
+  in
+  Alcotest.(check string) "lint JSON identical at jobs 1 vs 3" (report 1)
+    (report 3)
+
+(* --- crash safety: a raising step mid-exploration --- *)
+
+exception Boom
+
+let bomb ~armed =
+  (* counter automaton whose step blows up past 5 when armed *)
+  { Automaton.name = "bomb";
+    kind = (fun _ -> Some Automaton.Internal);
+    start = 0;
+    step =
+      (fun s () ->
+        if armed && s >= 5 then raise Boom
+        else if s < 40 then Some (s + 1)
+        else None);
+    tasks =
+      [ { Automaton.task_name = "inc";
+          fair = true;
+          enabled = (fun s -> if s < 40 then Some () else None);
+        }
+      ];
+  }
+
+let int_probe = Probe.make ~hash_state:(fun s -> s) ~max_states:1_000 []
+
+let test_raise_propagates_and_pool_survives () =
+  Afd_runner.Pool.with_pool ~jobs:3 (fun pool ->
+      (match Pspace.explore_pool pool (bomb ~armed:true) int_probe with
+      | exception Boom -> ()
+      | _ -> Alcotest.fail "expected the worker exception to propagate");
+      (* the same pool is not poisoned: a clean exploration on it still
+         agrees with the sequential explorer *)
+      let seq = Space.explore (bomb ~armed:false) int_probe in
+      let par = Pspace.explore_pool pool (bomb ~armed:false) int_probe in
+      Alcotest.(check bool) "pool survives a raising exploration" true
+        (Pspace.agree ~equal_state:( = ) ~equal_action:( = ) seq par))
+
+let test_explore_raise_no_leak () =
+  (* the one-shot entry point joins its domains before re-raising *)
+  match Pspace.explore ~jobs:4 (bomb ~armed:true) int_probe with
+  | exception Boom -> ()
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+
+let suite =
+  [ QCheck_alcotest.to_alcotest differential_prop;
+    Alcotest.test_case "catalog x por x jobs: structural equality" `Quick
+      test_catalog_structural_equality;
+    Alcotest.test_case "list == hashed == parallel on the whole catalog" `Quick
+      test_three_explorer_congruence;
+    Alcotest.test_case "MC table and JSON byte-identical at jobs 1 vs 4" `Quick
+      test_mc_byte_equality;
+    Alcotest.test_case "MC under POR byte-identical at jobs 1 vs 2" `Quick
+      test_mc_por_byte_equality;
+    Alcotest.test_case "lint report JSON identical at any jobs" `Quick
+      test_lint_report_jobs_invariant;
+    Alcotest.test_case "raising step propagates, shared pool survives" `Quick
+      test_raise_propagates_and_pool_survives;
+    Alcotest.test_case "one-shot explore joins domains on failure" `Quick
+      test_explore_raise_no_leak;
+  ]
