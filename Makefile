@@ -18,9 +18,11 @@ lint:
 # exhaustive mode: graph lint rules over every reachable state, plus
 # the safety model checker proving the catalog specs on the closed
 # detector+crash product (a smoke pass also runs in `dune runtest`);
-# JOBS=n shards the frontier across n domains with identical verdicts
+# JOBS=n shards the frontier across n domains with identical verdicts;
+# COMPILED=1 routes exploration through the compiled explorer (packed
+# states, defunctionalized step tables) — same verdicts, faster
 mc:
-	dune exec bin/afd_lint.exe -- --mc $(if $(MAX_STATES),--max-states $(MAX_STATES),) $(if $(JOBS),--jobs $(JOBS),)
+	dune exec bin/afd_lint.exe -- --mc $(if $(MAX_STATES),--max-states $(MAX_STATES),) $(if $(JOBS),--jobs $(JOBS),) $(if $(COMPILED),--compiled,)
 
 # online property monitors vs offline trace checks over the detector
 # catalog, streaming under windowed retention (smoke mode also runs as

@@ -19,7 +19,8 @@
 
 let usage =
   "afd_lint [--json] [--strict] [--rule ID]... [--fixture ID] [--list-rules] \
-   [--catalog] [--mc] [--max-states N] [--por on|off] [--jobs N]"
+   [--catalog] [--mc] [--max-states N] [--por on|off] [--jobs N] [--compiled] \
+   [--profile]"
 
 let () =
   let json = ref false in
@@ -32,6 +33,8 @@ let () =
   let max_states = ref None in
   let por = ref false in
   let jobs = ref 1 in
+  let compiled = ref false in
+  let profile = ref false in
   let spec =
     [ ("--json", Arg.Set json, "emit the report as JSON on stdout");
       ( "--strict",
@@ -69,6 +72,16 @@ let () =
             jobs := n),
         "N explore on N domains (Pspace; default 1 — findings, verdicts and \
          JSON are identical at any N)" );
+      ( "--compiled",
+        Arg.Set compiled,
+        "explore on the compiled explorer (Cspace: packed states, \
+         defunctionalized step tables) — findings, verdicts and JSON are \
+         identical to the boxed explorers" );
+      ( "--profile",
+        Arg.Set profile,
+        "with --mc, report per-phase wall-clock timings (explore / clause \
+         eval / lasso, plus explorer sub-phases) on stderr and in the JSON \
+         outcome" );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
@@ -114,13 +127,29 @@ let () =
         (List.rev ids)
   in
   let report =
-    Engine.run ~rules ?max_states:!max_states ~por:!por ~jobs:!jobs items
+    Engine.run ~rules ?max_states:!max_states ~por:!por ~jobs:!jobs
+      ~compiled:!compiled items
   in
   let mc_results =
     if !mc && !fixture = None then
-      Afd_bench.Check.mc_all ?max_states:!max_states ~por:!por ~jobs:!jobs ()
+      Afd_bench.Check.mc_all ?max_states:!max_states ~por:!por ~jobs:!jobs
+        ~compiled:!compiled ~profile:!profile ()
     else []
   in
+  (* Per-phase timing breakdown on stderr, never stdout: the JSON and
+     table outputs stay byte-comparable across profiled runs. *)
+  if !profile && mc_results <> [] then begin
+    Fmt.epr "afd_lint: --profile phase timings (seconds)@.";
+    List.iter
+      (fun r ->
+        let open Afd_bench.Check in
+        Fmt.epr "  %-14s %s@." r.mc_id
+          (String.concat ", "
+             (List.map
+                (fun (k, dt) -> Printf.sprintf "%s=%.4f" k dt)
+                r.mc_profile)))
+      mc_results
+  end;
   (* Strict truncation gate: a budget-capped exploration turns every
      "proved" / "no finding" claim about that subject into a statement
      about a sample.  --strict refuses to bless those. *)

@@ -10,19 +10,21 @@ val run :
   ?max_states:int ->
   ?por:bool ->
   ?jobs:int ->
+  ?compiled:bool ->
   Registry.item list ->
   Report.t
 (** Defaults to {!Rules.all}.  [max_states] overrides every subject's
     exploration cap; [por] turns on the sleep-set reduction; [jobs]
-    spreads each subject's exploration over that many domains (see
-    {!Subject.make} — findings and reports are identical at any
-    [jobs]). *)
+    spreads each subject's exploration over that many domains;
+    [compiled] routes it to {!Cspace} (see {!Subject.make} — findings
+    and reports are identical at any [jobs], compiled or not). *)
 
 val run_entry :
   ?rules:Rule.t list ->
   ?max_states:int ->
   ?por:bool ->
   ?jobs:int ->
+  ?compiled:bool ->
   origin:string ->
   Registry.entry ->
   Report.t

@@ -76,8 +76,19 @@ type ('s, 'o) pstate =
 exception Latch of string * string
 
 let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
-    ?(len_cap = 8) ?(count_cap = 1) ?(equal_out = Stdlib.( = )) ~equal_state
-    ~hash_state ~n prop sys =
+    ?(compiled = false) ?timings ?(len_cap = 8) ?(count_cap = 1)
+    ?(equal_out = Stdlib.( = )) ~equal_state ~hash_state ~n prop sys =
+  (* Phase timings are an out-parameter, never part of the outcome
+     record: a profiled run stays byte-identical to an unprofiled
+     one. *)
+  let t_rec =
+    match timings with
+    | None -> fun _ _ -> ()
+    | Some r -> fun k dt -> r := !r @ [ (k, dt) ]
+  in
+  let sub_profile =
+    Option.map (fun r k dt -> r := !r @ [ ("explore." ^ k, dt) ]) timings
+  in
   let safety, stables =
     List.partition_map
       (fun (nm, c) ->
@@ -200,13 +211,18 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
       end
   in
   let probe = Probe.make ~equal_state:pequal ~hash_state:phash ~max_states [] in
-  (* Pspace is structurally identical to Space at any [jobs], so every
-     verdict, counterexample, and liveness lasso below is byte-for-byte
-     independent of the domain count. *)
+  (* Pspace and Cspace are structurally identical to Space at any
+     [jobs], so every verdict, counterexample, and liveness lasso below
+     is byte-for-byte independent of the domain count and of
+     [compiled]. *)
+  let t0 = Unix.gettimeofday () in
   let space =
-    if jobs <= 1 then Space.explore ~por product probe
-    else Pspace.explore ~por ~jobs product probe
+    if compiled then Cspace.explore ~por ~jobs ?profile:sub_profile product probe
+    else if jobs <= 1 then Space.explore ~por product probe
+    else Pspace.explore ~por ~jobs ?profile:sub_profile product probe
   in
+  let t1 = Unix.gettimeofday () in
+  t_rec "explore" (t1 -. t0);
   let nstates = Array.length space.Space.states in
   (* Fold-judge evaluation per reachable Running state. *)
   let judge_violation = function
@@ -289,6 +305,8 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
       !candidates
     |> List.sort (fun a b -> compare a.depth b.depth)
   in
+  let t2 = Unix.gettimeofday () in
+  t_rec "clause_eval" (t2 -. t1);
   (* Liveness: a [Stable] clause is violated exactly when some reachable
      [Running] state has a non-[Sat] judge and either a weakly fair
      cycle runs through it (the judge stays non-[Sat] forever along the
@@ -364,6 +382,7 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
       (List.rev !proved, List.rev !skipped, List.rev !lassos)
     end
   in
+  t_rec "lasso" (Unix.gettimeofday () -. t2);
   let safety_proved = space.Space.verdict = Space.Exhausted && violations = [] in
   { verdict = space.Space.verdict;
     states = nstates;
@@ -380,8 +399,8 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
     stats = space.Space.stats;
   }
 
-let check_spec ?max_states ?por ?jobs ?len_cap ?count_cap ?crashable ~n spec
-    ~detector =
+let check_spec ?max_states ?por ?jobs ?compiled ?timings ?len_cap ?count_cap
+    ?crashable ~n spec ~detector =
   match spec.Afd_core.Afd.prop with
   | None ->
     Error
@@ -397,7 +416,7 @@ let check_spec ?max_states ?por ?jobs ?len_cap ?count_cap ?crashable ~n spec
         ]
     in
     Ok
-      (check ?max_states ?por ?jobs ?len_cap ?count_cap
+      (check ?max_states ?por ?jobs ?compiled ?timings ?len_cap ?count_cap
          ~equal_out:spec.Afd_core.Afd.equal_out ~equal_state:Composition.equal_state
          ~hash_state:Composition.hash_state ~n (prop ~n)
          (Composition.as_automaton comp))
@@ -453,7 +472,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let outcome_to_json ~pp_out o =
+let outcome_to_json ?(timings = []) ~pp_out o =
   let str s = "\"" ^ json_escape s ^ "\"" in
   let strs l = "[" ^ String.concat "," (List.map str l) ^ "]" in
   let violation v =
@@ -474,11 +493,22 @@ let outcome_to_json ~pp_out o =
       (str (match l.l_kind with `Cycle -> "fair-cycle" | `Stop -> "fair-stop"))
       l.l_depth (str l.l_reason) l.l_confirmed (events l.l_stem) (events l.l_cycle)
   in
+  (* The profile field appears only when timings were collected, so
+     unprofiled reports stay byte-identical across explorer choices. *)
+  let profile_field =
+    match timings with
+    | [] -> ""
+    | ts ->
+      Printf.sprintf ",\"profile\":{%s}"
+        (String.concat ","
+           (List.map (fun (k, dt) -> Printf.sprintf "%s:%.6f" (str k) dt) ts))
+  in
   Printf.sprintf
-    "{\"verdict\":%s,\"proved\":%b,\"safety_proved\":%b,\"states\":%d,\"transitions\":%d,\"por\":%b,\"slept\":%d,\"cut\":%d,\"safety_clauses\":%s,\"liveness_clauses\":%s,\"liveness_proved\":%s,\"liveness_skipped\":%s,\"violations\":[%s],\"lassos\":[%s]}"
+    "{\"verdict\":%s,\"proved\":%b,\"safety_proved\":%b,\"states\":%d,\"transitions\":%d,\"por\":%b,\"slept\":%d,\"cut\":%d,\"safety_clauses\":%s,\"liveness_clauses\":%s,\"liveness_proved\":%s,\"liveness_skipped\":%s,\"violations\":[%s],\"lassos\":[%s]%s}"
     (str (Space.verdict_string o.verdict))
     o.proved o.safety_proved o.states o.transitions o.por o.stats.Space.slept
     o.stats.Space.cut (strs o.safety_clauses) (strs o.liveness_clauses)
     (strs o.liveness_proved) (strs o.liveness_skipped)
     (String.concat "," (List.map violation o.violations))
     (String.concat "," (List.map lasso o.lassos))
+    profile_field

@@ -114,6 +114,8 @@ val check :
   ?max_states:int ->
   ?por:bool ->
   ?jobs:int ->
+  ?compiled:bool ->
+  ?timings:(string * float) list ref ->
   ?len_cap:int ->
   ?count_cap:int ->
   ?equal_out:('o -> 'o -> bool) ->
@@ -133,14 +135,22 @@ val check :
     [count_cap] (default 1) caps the per-location output counts joined
     to the state identity for liveness; [equal_out] (default
     structural) compares last outputs there.  [jobs > 1] (default 1)
-    explores the product on {!Pspace} across that many domains; the
-    exploration is structurally identical, so the outcome — including
-    counterexample paths and lassos — is the same at any [jobs]. *)
+    explores the product on {!Pspace} across that many domains;
+    [compiled] (default [false]) on {!Cspace} (packed ids,
+    defunctionalized step tables) instead.  All explorations are
+    structurally identical, so the outcome — including counterexample
+    paths and lassos — is the same at any [jobs], compiled or not.
+    [timings], when given, accumulates per-phase wall-clock seconds
+    ([explore], [clause_eval], [lasso], plus [explore.*] sub-phases
+    from the parallel/compiled explorers) without touching the
+    outcome. *)
 
 val check_spec :
   ?max_states:int ->
   ?por:bool ->
   ?jobs:int ->
+  ?compiled:bool ->
+  ?timings:(string * float) list ref ->
   ?len_cap:int ->
   ?count_cap:int ->
   ?crashable:Loc.Set.t ->
@@ -155,6 +165,10 @@ val check_spec :
 
 val pp_outcome : pp_out:'o Fmt.t -> Format.formatter -> 'o outcome -> unit
 
-val outcome_to_json : pp_out:'o Fmt.t -> 'o outcome -> string
+val outcome_to_json :
+  ?timings:(string * float) list -> pp_out:'o Fmt.t -> 'o outcome -> string
 (** One JSON object: verdict, proved, state/transition counts, clause
-    lists, POR stats and the violations with their counterexamples. *)
+    lists, POR stats and the violations with their counterexamples.
+    [timings] (default empty) appends a ["profile"] object of per-phase
+    seconds; when empty the output is byte-identical to earlier
+    versions. *)

@@ -24,7 +24,29 @@ type ('s, 'a) packed = {
   x_comm : Bytes.t;
 }
 
-let explore_pool ?(por = false) pool aut probe =
+(* The seen-set is sharded by hash stripe: stripe = hash land smask.
+   Equality can only hold between equal hashes, hence within one
+   stripe, so per-stripe work never interferes across stripes — the
+   invariant both the striped table and the parallel dedup below lean
+   on. *)
+let nstripes = 8
+let smask = nstripes - 1
+
+type merge_stats = {
+  ms_rounds : int;
+  ms_stripes : int;
+  ms_candidates : int array; (* fresh successors deduped, per stripe *)
+  ms_classes : int array; (* distinct new states among them, per stripe *)
+  ms_conflicts : int array; (* hash-equal-but-unequal comparisons *)
+}
+
+(* Merge-side resolution state of a candidate class: unresolved until
+   the first actually-taken member admits (id >= 0) or hits the budget
+   cut. *)
+let unresolved = -1
+let cut_class = -2
+
+let explore_pool ?(por = false) ?profile ?merge_stats pool aut probe =
   let max_states = probe.Probe.max_states in
   let hash = match probe.Probe.hash_state with Some h -> h | None -> fun _ -> 0 in
   let equal = probe.Probe.equal_state in
@@ -36,11 +58,18 @@ let explore_pool ?(por = false) pool aut probe =
   let parent = ref [||] and depth = ref [||] in
   let sleep = ref [||] and done_moves = ref [||] in
   let expanded = ref [||] and queued = ref [||] in
-  let buckets : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let btab : (int, int list) Hashtbl.t array =
+    Array.init nstripes (fun _ -> Hashtbl.create 64)
+  in
   let edges_rev = ref [] and transitions = ref 0 in
   let slept = ref 0 and cut = ref 0 and dup_seeds = ref 0 in
   let queue = Queue.create () in
-  let round_start_n = ref 0 in
+  let ms_rounds = ref 0 in
+  let ms_candidates = Array.make nstripes 0 in
+  let ms_classes = Array.make nstripes 0 in
+  let ms_conflicts = Array.make nstripes 0 in
+  let t_workers = ref 0.0 and t_dedup = ref 0.0 and t_replay = ref 0.0 in
+  let now () = Unix.gettimeofday () in
   let ensure () =
     let cap = Array.length !states in
     if !n >= cap then begin
@@ -60,25 +89,9 @@ let explore_pool ?(por = false) pool aut probe =
     end
   in
   let find_index s =
-    let bucket = Option.value ~default:[] (Hashtbl.find_opt buckets (hash s)) in
+    let h = hash s in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt btab.(h land smask) h) in
     List.find_opt (fun i -> equal (!states).(i) s) bucket
-  in
-  (* Merge-time lookup for a worker-reported "fresh" successor: the
-     worker already proved it absent from the frozen prefix, so only
-     states added since the round started can match.  Buckets are
-     prepended newest-first, so those form a prefix of the bucket. *)
-  let find_delta h s =
-    match Hashtbl.find_opt buckets h with
-    | None -> None
-    | Some bucket ->
-      let rec go = function
-        | [] -> None
-        | j :: tl ->
-          if j < !round_start_n then None
-          else if equal (!states).(j) s then Some j
-          else go tl
-      in
-      go bucket
   in
   let add_state_h s h ~par ~d ~sl =
     ensure ();
@@ -89,7 +102,8 @@ let explore_pool ?(por = false) pool aut probe =
     (!sleep).(i) <- sl;
     (!queued).(i) <- true;
     incr n;
-    Hashtbl.replace buckets h (i :: Option.value ~default:[] (Hashtbl.find_opt buckets h));
+    let tbl = btab.(h land smask) in
+    Hashtbl.replace tbl h (i :: Option.value ~default:[] (Hashtbl.find_opt tbl h));
     Queue.add i queue;
     i
   in
@@ -97,12 +111,21 @@ let explore_pool ?(por = false) pool aut probe =
     incr transitions;
     edges_rev := { Space.src; dst; act; task } :: !edges_rev
   in
-  (* Space.explore's [take], with the step and hash already computed. *)
-  let take i act task sl code dst h =
+  (* Per-round candidate classes, resolved by the striped dedup phase:
+     [cls] maps a candidate (a worker-reported fresh successor, code
+     [-3 - c]) to the representative of its equality class, [resolved]
+     the class's merge outcome so far. *)
+  let cls = ref [||] and resolved = ref [||] in
+  let cand_dst = ref [||] and cand_hash = ref [||] in
+  (* Space.explore's [take], with the step and hash already computed.
+     A worker-reported hit ([code >= 0]) is a frozen-prefix index; a
+     candidate code resolves through its class: the first taken member
+     admits (or takes the budget cut) on behalf of the whole class,
+     exactly as the first sequential insertion would, and later members
+     hit (or re-cut) deterministically. *)
+  let take i act task sl code =
     if code <> blocked then begin
-      let hit = if code >= 0 then Some code else find_delta h dst in
-      match hit with
-      | Some j ->
+      let old_hit j =
         record_edge i j act task;
         if por then begin
           let inter = List.filter (fun u -> List.mem u sl) (!sleep).(j) in
@@ -114,13 +137,28 @@ let explore_pool ?(por = false) pool aut probe =
             end
           end
         end
-      | None ->
-        if !n < max_states then begin
+      in
+      if code >= 0 then old_hit code
+      else begin
+        let c = -3 - code in
+        let k = (!cls).(c) in
+        let r = (!resolved).(k) in
+        if r >= 0 then old_hit r
+        else if r = cut_class then incr cut
+        else if !n < max_states then begin
           let d = if (!depth).(i) = max_int then max_int else (!depth).(i) + 1 in
-          let j = add_state_h dst h ~par:(Some (i, act)) ~d ~sl in
+          let j =
+            add_state_h (!cand_dst).(c) (!cand_hash).(c) ~par:(Some (i, act)) ~d
+              ~sl
+          in
+          (!resolved).(k) <- j;
           record_edge i j act task
         end
-        else incr cut
+        else begin
+          incr cut;
+          (!resolved).(k) <- cut_class
+        end
+      end
     end
   in
   (* Worker: expand one frontier state against the frozen prefix.  No
@@ -141,7 +179,9 @@ let explore_pool ?(por = false) pool aut probe =
           | None -> ()
           | Some s' ->
             let h = hash s' in
-            let bucket = Option.value ~default:[] (Hashtbl.find_opt buckets h) in
+            let bucket =
+              Option.value ~default:[] (Hashtbl.find_opt btab.(h land smask) h)
+            in
             (match List.find_opt (fun j -> equal sts.(j) s') bucket with
             | Some j -> code.(p) <- j
             | None -> code.(p) <- fresh_code);
@@ -186,11 +226,7 @@ let explore_pool ?(por = false) pool aut probe =
     (!queued).(i) <- false;
     if not (!expanded).(i) then begin
       (!expanded).(i) <- true;
-      Array.iteri
-        (fun p act ->
-          take i act None [] it.x_probe_code.(p) it.x_probe_dst.(p)
-            it.x_probe_hash.(p))
-        probe_acts
+      Array.iteri (fun p act -> take i act None [] it.x_probe_code.(p)) probe_acts
     end;
     let k = Array.length it.x_names in
     for t = 0 to k - 1 do
@@ -214,8 +250,7 @@ let explore_pool ?(por = false) pool aut probe =
             end
           in
           (!done_moves).(i) <- name :: (!done_moves).(i);
-          take i it.x_acts.(t) (Some name) sl' it.x_code.(t) it.x_dst.(t)
-            it.x_hash.(t)
+          take i it.x_acts.(t) (Some name) sl' it.x_code.(t)
         end
       end
     done
@@ -235,12 +270,116 @@ let explore_pool ?(por = false) pool aut probe =
         else incr cut)
     probe.Probe.seed_states;
   while not (Queue.is_empty queue) do
+    incr ms_rounds;
     let m = Queue.length queue in
     let round = Array.init m (fun _ -> Queue.pop queue) in
-    round_start_n := !n;
+    let t0 = now () in
     let items = Afd_runner.Pool.map_pool pool compute round in
-    Array.iteri (fun r i -> merge i items.(r)) round
+    let t1 = now () in
+    t_workers := !t_workers +. (t1 -. t0);
+    (* Striped dedup of the round's fresh candidates.  Number them in
+       merge order (rewriting each fresh code to [-3 - c] in place),
+       shard by hash stripe, and resolve equality classes per stripe in
+       parallel: class membership depends only on (hash, value), never
+       on order, and equal values share a stripe, so the stripes are
+       independent.  The replay then resolves each class at its first
+       actually-taken member — exactly where the sequential merge would
+       have inserted it. *)
+    let ncand = ref 0 in
+    let count arr = Array.iter (fun c -> if c = fresh_code then incr ncand) arr in
+    Array.iter
+      (fun it ->
+        count it.x_probe_code;
+        count it.x_code)
+      items;
+    let nc = !ncand in
+    if nc > 0 then begin
+      cand_dst := Array.make nc aut.Automaton.start;
+      cand_hash := Array.make nc 0;
+      cls := Array.make nc 0;
+      resolved := Array.make nc unresolved;
+      let by_stripe = Array.make nstripes [] in
+      let ci = ref 0 in
+      let assign code_arr dst_arr hash_arr =
+        Array.iteri
+          (fun p c ->
+            if c = fresh_code then begin
+              let idx = !ci in
+              incr ci;
+              (!cand_dst).(idx) <- dst_arr.(p);
+              (!cand_hash).(idx) <- hash_arr.(p);
+              code_arr.(p) <- -3 - idx;
+              let sp = hash_arr.(p) land smask in
+              by_stripe.(sp) <- idx :: by_stripe.(sp)
+            end)
+          code_arr
+      in
+      Array.iter
+        (fun it ->
+          assign it.x_probe_code it.x_probe_dst it.x_probe_hash;
+          assign it.x_code it.x_dst it.x_hash)
+        items;
+      let stripe_of =
+        Array.map (fun l -> Array.of_list (List.rev l)) by_stripe
+      in
+      let per_stripe =
+        Afd_runner.Pool.map_pool pool
+          (fun s ->
+            let cd = !cand_dst and ch = !cand_hash and cl = !cls in
+            let tbl : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+            let classes = ref 0 and conflicts = ref 0 in
+            Array.iter
+              (fun c ->
+                let h = ch.(c) in
+                let reps = Option.value ~default:[] (Hashtbl.find_opt tbl h) in
+                let rec go = function
+                  | [] -> -1
+                  | r :: tl ->
+                    if equal cd.(r) cd.(c) then r
+                    else begin
+                      incr conflicts;
+                      go tl
+                    end
+                in
+                let r = go reps in
+                if r >= 0 then cl.(c) <- r
+                else begin
+                  cl.(c) <- c;
+                  incr classes;
+                  Hashtbl.replace tbl h (c :: reps)
+                end)
+              stripe_of.(s);
+            (Array.length stripe_of.(s), !classes, !conflicts))
+          (Array.init nstripes (fun s -> s))
+      in
+      Array.iteri
+        (fun s (cands, classes, conflicts) ->
+          ms_candidates.(s) <- ms_candidates.(s) + cands;
+          ms_classes.(s) <- ms_classes.(s) + classes;
+          ms_conflicts.(s) <- ms_conflicts.(s) + conflicts)
+        per_stripe
+    end;
+    let t2 = now () in
+    t_dedup := !t_dedup +. (t2 -. t1);
+    Array.iteri (fun r i -> merge i items.(r)) round;
+    t_replay := !t_replay +. (now () -. t2)
   done;
+  (match profile with
+  | None -> ()
+  | Some f ->
+    f "workers" !t_workers;
+    f "stripe_dedup" !t_dedup;
+    f "replay" !t_replay);
+  (match merge_stats with
+  | None -> ()
+  | Some f ->
+    f
+      { ms_rounds = !ms_rounds;
+        ms_stripes = nstripes;
+        ms_candidates;
+        ms_classes;
+        ms_conflicts;
+      });
   {
     Space.states = Array.sub !states 0 !n;
     edges = Array.of_list (List.rev !edges_rev);
@@ -253,8 +392,9 @@ let explore_pool ?(por = false) pool aut probe =
         dup_seeds = !dup_seeds };
   }
 
-let explore ?(por = false) ?(jobs = 1) aut probe =
-  Afd_runner.Pool.with_pool ~jobs (fun pool -> explore_pool ~por pool aut probe)
+let explore ?(por = false) ?(jobs = 1) ?profile ?merge_stats aut probe =
+  Afd_runner.Pool.with_pool ~jobs (fun pool ->
+      explore_pool ~por ?profile ?merge_stats pool aut probe)
 
 let agree ~equal_state ~equal_action a b =
   let open Space in

@@ -24,26 +24,49 @@
     field across the subject catalog, and {!agree} is the assertion
     the benchmark equality gate reuses.
 
-    {b Dedup scheme.}  The seen-set is the same hash-bucket table as
-    the sequential explorer's, but workers read it as a {e frozen
-    prefix}: during a round's parallel phase the table is immutable
-    (merge only writes between phases, and the pool's wake/idle
-    barrier orders those writes before the workers' reads), so lookups
-    are lock-free and exact for every state discovered before the
-    round.  A successor not in the prefix is shipped back as "fresh"
-    with its hash; the merge re-checks only those candidates against
-    the bucket entries added since the round started — newest-first
-    bucket order makes that a prefix scan — before allocating a new
-    index.
+    {b Dedup scheme.}  The seen-set is sharded by hash stripe
+    ([hash land (stripes - 1)], 8 stripes); workers read it as a
+    {e frozen prefix}: during a round's parallel phase the table is
+    immutable (merge only writes between phases, and the pool's
+    wake/idle barrier orders those writes before the workers' reads),
+    so lookups are lock-free and exact for every state discovered
+    before the round.  A successor not in the prefix is shipped back
+    as "fresh" with its hash.  Each round then dedups those fresh
+    candidates {e in parallel by stripe}: equality can only hold
+    within a stripe (equal values hash equal), so the stripes resolve
+    their equality classes independently — conflict-checked, a full
+    hash match still requires exact equality, unequal comparisons are
+    counted per stripe.  The sequential replay resolves each class at
+    its first actually-taken member: that member allocates the new
+    index (or takes the budget cut) exactly where the sequential merge
+    would have inserted it, and later members hit it — so numbering,
+    edges and cut counts are untouched by the sharding.
 
     {b Crash safety.}  A probe or step function that raises inside a
     worker propagates out of {!explore} (first failing frontier index,
     via {!Afd_runner.Pool}'s per-index capture), the worker domains
     are shut down, and nothing leaks. *)
 
+(** Per-exploration accounting of the striped merge, reported through
+    the [?merge_stats] callback — never part of the returned
+    {!Space.t}, so instrumented runs stay structurally identical. *)
+type merge_stats = {
+  ms_rounds : int;  (** BFS rounds (parallel phases) executed. *)
+  ms_stripes : int;  (** Stripe count (a constant, for reporting). *)
+  ms_candidates : int array;
+      (** Worker-reported fresh successors deduped, per stripe. *)
+  ms_classes : int array;
+      (** Distinct equality classes among them, per stripe. *)
+  ms_conflicts : int array;
+      (** Hash-equal-but-value-unequal comparisons, per stripe — the
+          conflict check engaging. *)
+}
+
 val explore :
   ?por:bool ->
   ?jobs:int ->
+  ?profile:(string -> float -> unit) ->
+  ?merge_stats:(merge_stats -> unit) ->
   ('s, 'a) Afd_ioa.Automaton.t ->
   ('s, 'a) Probe.t ->
   ('s, 'a) Space.t
@@ -52,10 +75,15 @@ val explore :
     runs the round-based machinery — inline, with no domain spawned —
     so single-job runs exercise the same code path the differential
     tests compare.  The result is structurally identical to
-    [Space.explore ~por aut probe] at any [jobs]. *)
+    [Space.explore ~por aut probe] at any [jobs].  [?profile] reports
+    wall-clock phase timings ([workers], [stripe_dedup], [replay]);
+    [?merge_stats] the striped-merge accounting — neither touches the
+    result. *)
 
 val explore_pool :
   ?por:bool ->
+  ?profile:(string -> float -> unit) ->
+  ?merge_stats:(merge_stats -> unit) ->
   Afd_runner.Pool.t ->
   ('s, 'a) Afd_ioa.Automaton.t ->
   ('s, 'a) Probe.t ->

@@ -16,15 +16,20 @@ type t = {
   packed : packed option;
 }
 
-let make ?(por = false) ?max_states ?(jobs = 1) ~origin entry =
+let make ?(por = false) ?max_states ?(jobs = 1) ?(compiled = false) ~origin entry
+    =
   let with_cap p =
     match max_states with None -> p | Some m -> { p with Probe.max_states = m }
   in
-  let pack a p =
+  let pack ?explore a p =
     let space =
       lazy
-        (if jobs <= 1 then Space.explore ~por a p
-         else Pspace.explore ~por ~jobs a p)
+        (match explore with
+        | Some run -> run ()
+        | None ->
+          if compiled then Cspace.explore ~por ~jobs a p
+          else if jobs <= 1 then Space.explore ~por a p
+          else Pspace.explore ~por ~jobs a p)
     in
     P { aut = a; probe = p; space; live = lazy (Live.analyze a (Lazy.force space)) }
   in
@@ -34,7 +39,9 @@ let make ?(por = false) ?max_states ?(jobs = 1) ~origin entry =
     | Registry.Composition (c, p) ->
       (* Composition states hold closures, on which the probe's default
          structural equality would bail out: flatten with the
-         componentwise equality and its congruent hash. *)
+         componentwise equality and its congruent hash.  That exact
+         pairing is also {!Cspace.explore_composition}'s precondition,
+         so compiled runs take the packed backend here. *)
       let a = Composition.as_automaton c in
       let p =
         with_cap
@@ -43,7 +50,11 @@ let make ?(por = false) ?max_states ?(jobs = 1) ~origin entry =
             hash_state = Some Composition.hash_state;
           }
       in
-      Some (pack a p)
+      let explore =
+        if compiled then Some (fun () -> Cspace.explore_composition ~por ~jobs c p)
+        else None
+      in
+      Some (pack ?explore a p)
     | Registry.Spec _ -> None
   in
   { origin; entry; name = Registry.entry_name entry; packed }

@@ -33,13 +33,21 @@ type t = {
 }
 
 val make :
-  ?por:bool -> ?max_states:int -> ?jobs:int -> origin:string -> Registry.entry -> t
+  ?por:bool ->
+  ?max_states:int ->
+  ?jobs:int ->
+  ?compiled:bool ->
+  origin:string ->
+  Registry.entry ->
+  t
 (** [max_states] overrides the probe's own exploration cap;
     [por] (default [false]) turns on the sleep-set reduction for the
     shared exploration (edge-granular rules then skip themselves — see
     {!Rules.mc}); [jobs > 1] (default [1]) runs the shared exploration
-    on {!Pspace} across that many domains — same result, structurally
-    ({!Pspace.agree}). *)
+    on {!Pspace} across that many domains; [compiled] (default
+    [false]) on {!Cspace} — the packed composition backend for
+    composition entries, the generic interned one otherwise.  Same
+    result in every combination, structurally ({!Pspace.agree}). *)
 
 val exploration : t -> Report.exploration option
 (** The exploration summary, only if some rule forced it ([None] for

@@ -16,6 +16,7 @@ module R = Afd_runner
 module Check = Check
 module Explore_bench = Explore_bench
 module Pspace_bench = Pspace_bench
+module Cspace_bench = Cspace_bench
 module Live_bench = Live_bench
 
 let verdict_str = function
@@ -272,5 +273,8 @@ let matrix ?(retention = Scheduler.Trace_only) () =
   (* PX: parallel exploration, differential against MX's sequential
      explorer (retention-independent: pure graph work) *)
   @ Pspace_bench.entries ()
+  (* CX: compiled exploration, differential against the boxed explorer
+     (retention-independent: pure graph work) *)
+  @ Cspace_bench.entries ()
   (* ML: liveness model checking (retention-independent: pure graph work) *)
   @ Live_bench.entries ()

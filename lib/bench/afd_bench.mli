@@ -18,6 +18,11 @@ module Pspace_bench = Pspace_bench
     domain-sharded explorer differential-gated against MX's sequential
     one at 1/2/4/8 domains, POR off and on. *)
 
+module Cspace_bench = Cspace_bench
+(** Compiled-exploration rows (CX) appended to {!matrix}: the packed
+    Cspace explorer differential-gated against the boxed sequential
+    one at 1/2/4 domains, POR off and on. *)
+
 module Live_bench = Live_bench
 (** Liveness model-checking rows (ML) appended to {!matrix}. *)
 
@@ -33,7 +38,8 @@ val matrix :
   Afd_runner.Matrix.entry list
 (** The 25 entries of E1-E7, plus the MX exploration-throughput rows
     ({!Explore_bench}), the PX parallel-exploration rows
-    ({!Pspace_bench}) and the ML liveness model-checking rows
+    ({!Pspace_bench}), the CX compiled-exploration rows
+    ({!Cspace_bench}) and the ML liveness model-checking rows
     ({!Live_bench}).  [retention] (default
     {!Afd_ioa.Scheduler.Trace_only}) is threaded into every
     scheduler-driven cell body; verdicts must not depend on it. *)

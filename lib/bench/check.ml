@@ -217,6 +217,7 @@ type mc_result = {
   mc_violations : mc_violation list;
   mc_lassos : mc_lasso list;
   mc_ok : bool;
+  mc_profile : (string * float) list;
   mc_json : string;
 }
 
@@ -234,10 +235,13 @@ let liveness_subjects =
         spec = Perfect.spec; expect_violated = true };
   ]
 
-let mc_subject ?max_states ?(por = false) ?jobs (S s) =
+let mc_subject ?max_states ?(por = false) ?jobs ?compiled ?(profile = false)
+    (S s) =
   let open Afd_analysis in
+  let timings = if profile then Some (ref []) else None in
   match
-    Mc.check_spec ?max_states ~por ?jobs ~n:s.n s.spec ~detector:(s.detector ())
+    Mc.check_spec ?max_states ~por ?jobs ?compiled ?timings ~n:s.n s.spec
+      ~detector:(s.detector ())
   with
   | Error e -> Error e
   | Ok o ->
@@ -303,16 +307,20 @@ let mc_subject ?max_states ?(por = false) ?jobs (S s) =
         mc_violations = violations;
         mc_lassos = lassos;
         mc_ok = ok;
-        mc_json = Mc.outcome_to_json ~pp_out o;
+        mc_profile = (match timings with None -> [] | Some r -> !r);
+        mc_json =
+          Mc.outcome_to_json
+            ?timings:(Option.map (fun r -> !r) timings)
+            ~pp_out o;
       }
 
-let mc_all ?max_states ?(por = false) ?jobs () =
+let mc_all ?max_states ?(por = false) ?jobs ?compiled ?profile () =
   (* The limit-broken extras are refutable only by the fair-cycle pass,
      which POR disables — under POR they would fail vacuously. *)
   let all = if por then subjects else subjects @ liveness_subjects in
   List.map
     (fun subj ->
-      match mc_subject ?max_states ~por ?jobs subj with
+      match mc_subject ?max_states ~por ?jobs ?compiled ?profile subj with
       | Ok r -> r
       | Error e ->
         (* every shipped subject is prop-compiled; a raw spec here is a
@@ -333,6 +341,7 @@ let mc_all ?max_states ?(por = false) ?jobs () =
           mc_violations = [];
           mc_lassos = [];
           mc_ok = false;
+          mc_profile = [];
           mc_json = Printf.sprintf "{\"error\": \"%s\"}" (String.escaped e);
         })
     all

@@ -133,16 +133,34 @@ type mc_result = {
       (** the meta-verdict: exhaustive, and proved (truthful pairing —
           safety only under [por], where liveness is out of scope) or
           confirmed-violated / confirmed-lassoed (broken pairing) *)
+  mc_profile : (string * float) list;
+      (** per-phase wall-clock seconds when profiled, else empty *)
   mc_json : string;  (** the underlying {!Afd_analysis.Mc.outcome_to_json} *)
 }
 
 val mc_subject :
-  ?max_states:int -> ?por:bool -> ?jobs:int -> subject -> (mc_result, string) result
+  ?max_states:int ->
+  ?por:bool ->
+  ?jobs:int ->
+  ?compiled:bool ->
+  ?profile:bool ->
+  subject ->
+  (mc_result, string) result
 (** Model-check one subject; [Error] for raw specs.  [jobs > 1] runs
-    the product exploration on {!Afd_analysis.Pspace} — the result
-    (JSON included) is byte-identical at any [jobs]. *)
+    the product exploration on {!Afd_analysis.Pspace}, [compiled] on
+    {!Afd_analysis.Cspace} — the result (JSON included) is
+    byte-identical at any [jobs], compiled or not.  [profile] (default
+    [false]) collects per-phase timings into the JSON's ["profile"]
+    field (and only then — unprofiled JSON is unchanged). *)
 
-val mc_all : ?max_states:int -> ?por:bool -> ?jobs:int -> unit -> mc_result list
+val mc_all :
+  ?max_states:int ->
+  ?por:bool ->
+  ?jobs:int ->
+  ?compiled:bool ->
+  ?profile:bool ->
+  unit ->
+  mc_result list
 (** All {!subjects}, plus {!liveness_subjects} when [por] is off; a
     raw spec yields a failing row ([mc_ok = false],
     [mc_verdict = "error"]) instead of an exception. *)

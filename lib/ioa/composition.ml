@@ -189,10 +189,12 @@ let equal_state s1 s2 =
 let hash_state st =
   Array.fold_left (fun acc inst -> (acc * 31) + Component.state_hash inst) 17 st
 
+let task_full_name tid = Printf.sprintf "%s/%s" tid.comp_name tid.task_name
+
 let as_automaton c =
   let tasks_list = tasks c in
   let task tid =
-    { Automaton.task_name = Printf.sprintf "%s/%s" tid.comp_name tid.task_name;
+    { Automaton.task_name = task_full_name tid;
       fair = tid.fair;
       enabled = (fun st -> enabled c st tid);
     }

@@ -99,8 +99,9 @@ let to_json ?(timings = true) ?git (r : Engine.run) =
       in
       header
       ^ Printf.sprintf
-          ",\"run_id\":%s,\"git\":%s,\"jobs\":%d,\"wall_clock_s\":%s,\"total_steps\":%d,\"aggregate_transitions_per_sec\":%s"
+          ",\"run_id\":%s,\"git\":%s,\"jobs\":%d,\"cores\":%d,\"wall_clock_s\":%s,\"total_steps\":%d,\"aggregate_transitions_per_sec\":%s"
           (json_str run_id) (json_str git) r.Engine.cfg.Engine.jobs
+          (Domain.recommended_domain_count ())
           (json_float r.Engine.wall_seconds)
           (Engine.total_steps r)
           (json_float (Engine.aggregate_transitions_per_sec r))

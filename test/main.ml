@@ -25,6 +25,7 @@ let () =
       ("lint", Test_lint.suite);
       ("space", Test_space.suite);
       ("pspace", Test_pspace.suite);
+      ("cspace", Test_cspace.suite);
       ("live", Test_live.suite);
       ("prop", Test_prop.suite);
       ("sched-fairness", Test_sched_fairness.suite);

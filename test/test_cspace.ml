@@ -1,0 +1,167 @@
+(* Differential tests for the compiled explorer (lib/analysis/cspace).
+
+   Same claim as test_pspace, one explorer over: Cspace (packed states,
+   defunctionalized step tables) is STRUCTURALLY identical to
+   Space.explore — same state array in the same discovery order, same
+   edge array (order included), same parent tree, depths, verdict, and
+   stats — on both backends (generic whole-state interning and the
+   packed composition machine), at any jobs, with POR on or off, under
+   any max_states budget. *)
+
+open Afd_ioa
+open Afd_core
+open Afd_analysis
+module BC = Afd_bench.Check
+
+let chk_subjects = BC.subjects @ BC.liveness_subjects
+
+(* Close one CHK subject like Mc.check_spec does and compare the boxed
+   sequential exploration against the compiled one, both backends.  The
+   GADT match and everything typed by its existentials stay inside this
+   one function. *)
+let subject_agrees ~packed ~por ~jobs ~max_states (BC.S { n; detector; _ }) =
+  let crashable = Loc.set_of_universe ~n in
+  let comp =
+    Composition.make ~name:"chk-closed"
+      [ Component.C (detector ());
+        Component.C (Afd_automata.crash_automaton ~n ~crashable);
+      ]
+  in
+  let aut = Composition.as_automaton comp in
+  let probe =
+    Probe.make ~equal_state:Composition.equal_state
+      ~hash_state:Composition.hash_state ~max_states []
+  in
+  let seq = Space.explore ~por aut probe in
+  let com =
+    if packed then Cspace.explore_composition ~por ~jobs comp probe
+    else Cspace.explore ~por ~jobs aut probe
+  in
+  Pspace.agree ~equal_state:Composition.equal_state ~equal_action:( = ) seq com
+
+(* --- qcheck: compiled == boxed across the catalog ---
+
+   Random subject x backend x POR x budget x jobs.  Small random
+   budgets exercise the truncation path (cut counting during merge) and
+   budgets below the seed count exercise the seed-cut path. *)
+let differential_prop =
+  let gen =
+    QCheck2.Gen.(
+      let* subj_ix = int_bound (List.length chk_subjects - 1) in
+      let* packed = bool in
+      let* por = bool in
+      let* jobs = oneofl [ 1; 2; 4 ] in
+      let* cap = oneofl [ 1; 7; 60; 400; 2000 ] in
+      return (subj_ix, packed, por, jobs, cap))
+  in
+  QCheck2.Test.make
+    ~name:
+      "Cspace == Space (structural) on CHK subjects x backend x por x budget \
+       x jobs"
+    ~count:40
+    ~print:(fun (i, packed, por, jobs, cap) ->
+      Printf.sprintf "subject=%s packed=%b por=%b jobs=%d max_states=%d"
+        (BC.id (List.nth chk_subjects i))
+        packed por jobs cap)
+    gen
+    (fun (subj_ix, packed, por, jobs, cap) ->
+      subject_agrees ~packed ~por ~jobs ~max_states:cap
+        (List.nth chk_subjects subj_ix))
+
+(* --- full-catalog sweep at a fixed budget, both backends, both POR --- *)
+
+let test_catalog_structural_equality () =
+  List.iter
+    (fun subj ->
+      List.iter
+        (fun packed ->
+          List.iter
+            (fun por ->
+              List.iter
+                (fun jobs ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "%s packed=%b por=%b jobs=%d structurally equal"
+                       (BC.id subj) packed por jobs)
+                    true
+                    (subject_agrees ~packed ~por ~jobs ~max_states:6_000 subj))
+                [ 1; 2; 4 ])
+            [ false; true ])
+        [ false; true ])
+    chk_subjects
+
+(* --- profiled runs stay structurally identical --- *)
+
+let test_profile_does_not_perturb () =
+  let (BC.S { n; detector; _ }) = List.hd chk_subjects in
+  let crashable = Loc.set_of_universe ~n in
+  let comp =
+    Composition.make ~name:"chk-closed"
+      [ Component.C (detector ());
+        Component.C (Afd_automata.crash_automaton ~n ~crashable);
+      ]
+  in
+  let probe =
+    Probe.make ~equal_state:Composition.equal_state
+      ~hash_state:Composition.hash_state ~max_states:3_000 []
+  in
+  let phases = ref [] in
+  let plain = Cspace.explore_composition ~por:true comp probe in
+  let profiled =
+    Cspace.explore_composition ~por:true
+      ~profile:(fun k dt -> phases := (k, dt) :: !phases)
+      comp probe
+  in
+  Alcotest.(check bool) "profiled == unprofiled" true
+    (Pspace.agree ~equal_state:Composition.equal_state ~equal_action:( = )
+       plain profiled);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("phase " ^ k ^ " reported") true
+        (List.mem_assoc k !phases))
+    [ "workers"; "merge"; "decode" ]
+
+(* --- crash safety: a raising step propagates from workers --- *)
+
+exception Boom
+
+let bomb ~armed =
+  { Automaton.name = "bomb";
+    kind = (fun _ -> Some Automaton.Internal);
+    start = 0;
+    step =
+      (fun s () ->
+        if armed && s >= 5 then raise Boom
+        else if s < 40 then Some (s + 1)
+        else None);
+    tasks =
+      [ { Automaton.task_name = "inc";
+          fair = true;
+          enabled = (fun s -> if s < 40 then Some () else None);
+        }
+      ];
+  }
+
+let int_probe = Probe.make ~hash_state:(fun s -> s) ~max_states:1_000 []
+
+let test_generic_matches_plain_automaton () =
+  let seq = Space.explore (bomb ~armed:false) int_probe in
+  let com = Cspace.explore (bomb ~armed:false) int_probe in
+  Alcotest.(check bool) "generic backend on a plain automaton" true
+    (Pspace.agree ~equal_state:( = ) ~equal_action:( = ) seq com)
+
+let test_raise_propagates () =
+  match Cspace.explore (bomb ~armed:true) int_probe with
+  | exception Boom -> ()
+  | _ -> Alcotest.fail "expected the step exception to propagate"
+
+let suite =
+  [ QCheck_alcotest.to_alcotest differential_prop;
+    Alcotest.test_case "catalog x backend x por x jobs: structural equality"
+      `Quick test_catalog_structural_equality;
+    Alcotest.test_case "profile callback does not perturb the result" `Quick
+      test_profile_does_not_perturb;
+    Alcotest.test_case "generic backend on a plain automaton" `Quick
+      test_generic_matches_plain_automaton;
+    Alcotest.test_case "raising step propagates" `Quick test_raise_propagates;
+  ]

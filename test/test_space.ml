@@ -289,6 +289,44 @@ let containment_prop =
       in
       !contained && mem outcome.Scheduler.final_state)
 
+(* --- qcheck: deliberately colliding hashes never corrupt dedup --- *)
+
+let collision_prop =
+  (* The seen-set is conflict-checked: the hash only picks the bucket,
+     exact equality decides membership.  A congruent but deliberately
+     colliding hash (every state crammed into 1..4 buckets) must
+     reproduce the reference exploration bit for bit — same states in
+     the same visit order, same edges, same verdict.  This is the boxed
+     half of the invariant the compiled explorer (test_cspace) relies
+     on for its packed-key dedup. *)
+  let a = Composition.as_automaton (independent_pair ()) in
+  let probe ~hash_state =
+    Probe.make ~pp_action:pp_act ~equal_state:Composition.equal_state
+      ~hash_state ~max_states:64 []
+  in
+  let reference = Space.explore a (probe ~hash_state:Composition.hash_state) in
+  assert (reference.Space.verdict = Space.Exhausted);
+  QCheck2.Test.make
+    ~name:"deliberately colliding hashes never corrupt the seen-set dedup"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 4) (int_bound 1_000_000))
+    (fun (buckets, salt) ->
+      (* still a congruence: equal states collide onto the same bucket *)
+      let colliding s = (Composition.hash_state s lxor salt) mod buckets in
+      let sp = Space.explore a (probe ~hash_state:colliding) in
+      sp.Space.verdict = reference.Space.verdict
+      && Array.length sp.Space.states = Array.length reference.Space.states
+      && Array.for_all2 Composition.equal_state sp.Space.states
+           reference.Space.states
+      && Array.length sp.Space.edges = Array.length reference.Space.edges
+      && Array.for_all2
+           (fun e r ->
+             e.Space.src = r.Space.src
+             && e.Space.dst = r.Space.dst
+             && e.Space.act = r.Space.act
+             && e.Space.task = r.Space.task)
+           sp.Space.edges reference.Space.edges)
+
 let suite =
   [ Alcotest.test_case "hashed explorer == list scan on the whole catalog" `Quick
       test_differential_vs_list;
@@ -305,4 +343,5 @@ let suite =
     Alcotest.test_case "MC: 10 proofs, 4 confirmed refutations" `Quick
       test_mc_all_subjects;
     QCheck_alcotest.to_alcotest containment_prop;
+    QCheck_alcotest.to_alcotest collision_prop;
   ]
