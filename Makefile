@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test lint mc check bench bench-json bench-smoke perf clean
+.PHONY: all build test lint mc check churn bench bench-json bench-smoke perf clean
 
 all: build
 
@@ -29,6 +29,12 @@ mc:
 # part of `dune runtest`)
 check:
 	dune exec bin/afd_sim.exe -- check $(if $(JOBS),--jobs $(JOBS),)
+
+# the mega discrete-event churn simulator (smoke matrix also runs in
+# `dune runtest` and CI); override scale with PROCS/EVENTS, e.g.
+#   make churn PROCS=1000000 EVENTS=10000000
+churn:
+	dune exec bin/afd_sim.exe -- churn $(if $(PROCS),--procs $(PROCS),) $(if $(EVENTS),--events $(EVENTS),) $(if $(DETECTOR),--detector $(DETECTOR),) $(if $(TOPOLOGY),--topology $(TOPOLOGY),) $(if $(SEED),--seed $(SEED),)
 
 # the full experiment harness; the E1-E7 matrix runs on all available
 # cores (override with JOBS=n)

@@ -177,12 +177,12 @@ let e13 () =
     Act.fd_trace_set ~detector:Heartbeat.detector_name run
   in
   let fair =
-    let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) in
+    let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) () in
     trace_of (Net.run net ~seed:5 ~crash_at:[ (60, 2) ] ~steps:1400).Net.trace
   in
   row "  fair scheduler, one crash:             %s@."
     (verdict_str (Afd.check Ev_perfect.spec ~n fair));
-  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty in
+  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty () in
   let starved =
     trace_of
       (Execution.schedule
@@ -439,7 +439,7 @@ let a5 () =
   let n = 3 in
   List.iter
     (fun timeout ->
-      let net = Heartbeat.net ~n ~initial_timeout:timeout ~crashable:(Loc.Set.singleton 2) in
+      let net = Heartbeat.net ~n ~initial_timeout:timeout ~crashable:(Loc.Set.singleton 2) () in
       let r = Net.run net ~seed:5 ~crash_at:[ (60, 2) ] ~steps:1600 in
       let t = Act.fd_trace_set ~detector:Heartbeat.detector_name r.Net.trace in
       let false_susp =
@@ -496,7 +496,7 @@ let f1 () =
 let p5_explore () =
   let module A = Afd_analysis in
   let comp =
-    (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2))
+    (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) ())
       .Net.composition
   in
   let a = Composition.as_automaton comp in
@@ -537,7 +537,7 @@ let p5_explore () =
 let px_explore () =
   let module A = Afd_analysis in
   let comp =
-    (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2))
+    (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) ())
       .Net.composition
   in
   let a = Composition.as_automaton comp in
@@ -592,7 +592,7 @@ let cx_explore () =
     (r, Unix.gettimeofday () -. t0)
   in
   let heartbeat () =
-    (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2))
+    (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) ())
       .Net.composition
   in
   let flood () =

@@ -35,11 +35,11 @@ let describe label t =
 let () =
   Format.printf "Adaptive-heartbeat detector, n = %d (initial timeout 2 ticks)@." n;
 
-  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) in
+  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) () in
   let fair = Net.run net ~seed:5 ~crash_at:[ (60, 2) ] ~steps:1400 in
   describe "fair scheduling; p2 crashes at step 60" (fd_stream fair.Net.trace);
 
-  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty in
+  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty () in
   let starved =
     Scheduler.run_custom net.Net.composition ~max_steps:1500
       ~choose:(Adversary.starve_channel ~seed:9 ~src:1 ~dst:0)

@@ -250,7 +250,7 @@ let register_system () =
   (* the full heartbeat net: processes + channels + crash *)
   reg
     (Registry.Composition
-       ( (Heartbeat.net ~n ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2)).Net.composition,
+       ( (Heartbeat.net ~n ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) ()).Net.composition,
          act_probe ~max_states:48
            [ Act.Crash 0;
              Act.Crash 2;

@@ -436,6 +436,17 @@ let backend_of_composition (type a) (comp : a Composition.t)
     cur_ids
   in
   let smemo = Array.init k (fun _ -> Pack.itab ()) in
+  (* Probe actions are interned first, so their ids are dense in
+     [0, ncols).  They are also the hot, high-fan-out ones — every
+     product transition steps them — so each gets a per-component
+     dense successor column indexed by component state id (-2 =
+     unfilled), turning the per-transition hashed memo probe into an
+     array read.  Structural actions (forced crashes etc., interned
+     later) keep the hashed [smemo] path.  This is the "flood gap"
+     fix of ROADMAP item 2: flood's merge was dominated by step-memo
+     lookups. *)
+  let ncols = Array.fold_left (fun m a -> max m (a + 1)) 0 probe_ids in
+  let cols = Array.init k (fun _ -> Array.init ncols (fun _ -> Pack.ints ())) in
   let comp_step_raw c csid aid =
     let inst = Pack.value cinter.(c) csid in
     match Component.step inst (Pack.value acts aid) with
@@ -443,7 +454,20 @@ let backend_of_composition (type a) (comp : a Composition.t)
     | Some inst' -> if inst' == inst then csid else Pack.intern cinter.(c) inst'
   in
   let comp_step c csid aid =
-    if aid < act_key_limit then begin
+    if aid < ncols then begin
+      let col = cols.(c).(aid) in
+      while Pack.ints_len col <= csid do
+        Pack.ints_push col (-2)
+      done;
+      let v = Pack.ints_get col csid in
+      if v <> -2 then v
+      else begin
+        let v = comp_step_raw c csid aid in
+        Pack.ints_set col csid v;
+        v
+      end
+    end
+    else if aid < act_key_limit then begin
       let key = (csid lsl act_key_bits) lor aid in
       let v = Pack.itab_find smemo.(c) key in
       if v <> Pack.itab_absent then v
@@ -639,7 +663,15 @@ let backend_of_composition (type a) (comp : a Composition.t)
      aborts the packet; the merge replays that state sequentially. *)
   let cb_ro ~por ~expanded sid =
     let ro_comp_step c csid aid =
-      if aid >= act_key_limit then raise Ro_miss
+      if aid < ncols then begin
+        let col = cols.(c).(aid) in
+        if csid >= Pack.ints_len col then raise Ro_miss
+        else begin
+          let v = Pack.ints_get col csid in
+          if v = -2 then raise Ro_miss else v
+        end
+      end
+      else if aid >= act_key_limit then raise Ro_miss
       else begin
         let v = Pack.itab_find smemo.(c) ((csid lsl act_key_bits) lor aid) in
         if v = Pack.itab_absent then raise Ro_miss else v

@@ -18,6 +18,7 @@ module Explore_bench = Explore_bench
 module Pspace_bench = Pspace_bench
 module Cspace_bench = Cspace_bench
 module Live_bench = Live_bench
+module Churn_bench = Churn_bench
 
 let verdict_str = function
   | Verdict.Sat -> "sat"
@@ -278,3 +279,6 @@ let matrix ?(retention = Scheduler.Trace_only) () =
   @ Cspace_bench.entries ()
   (* ML: liveness model checking (retention-independent: pure graph work) *)
   @ Live_bench.entries ()
+  (* CN: churn simulation on the mega event-queue engine (retention-
+     independent: it never touches the task scheduler) *)
+  @ Churn_bench.entries ()

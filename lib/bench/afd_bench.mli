@@ -26,6 +26,10 @@ module Cspace_bench = Cspace_bench
 module Live_bench = Live_bench
 (** Liveness model-checking rows (ML) appended to {!matrix}. *)
 
+module Churn_bench = Churn_bench
+(** Churn-simulation rows (CN) appended to {!matrix}: the mega
+    discrete-event engine under the seeded churn adversary. *)
+
 val verdict_str : Afd_core.Verdict.t -> string
 (** ["sat"], ["VIOLATED: ..."] or ["undecided: ..."]. *)
 
@@ -39,7 +43,8 @@ val matrix :
 (** The 25 entries of E1-E7, plus the MX exploration-throughput rows
     ({!Explore_bench}), the PX parallel-exploration rows
     ({!Pspace_bench}), the CX compiled-exploration rows
-    ({!Cspace_bench}) and the ML liveness model-checking rows
-    ({!Live_bench}).  [retention] (default
+    ({!Cspace_bench}), the ML liveness model-checking rows
+    ({!Live_bench}) and the CN churn-simulation rows
+    ({!Churn_bench}).  [retention] (default
     {!Afd_ioa.Scheduler.Trace_only}) is threaded into every
     scheduler-driven cell body; verdicts must not depend on it. *)

@@ -1,0 +1,16 @@
+(** Churn-simulation rows (CN) for the experiment matrix.
+
+    Each row drives the {!Afd_mega} discrete-event engine end to end —
+    a universe of thousands of processes under the seeded churn
+    adversary — and renders only its deterministic shape: events
+    processed, final membership, fault/detection counts, latency
+    percentiles in virtual ticks and the sampled-monitor verdict.  The
+    cell's [steps] is the number of events processed, so the perf gate
+    (`make perf`, aggregate transitions/sec vs BENCH_baseline.json)
+    tracks event-queue throughput alongside the simulator's and the
+    explorers'.  Wall-clock figures appear only in the harness timing
+    lines, never in matrix rows. *)
+
+val entries : unit -> Afd_runner.Matrix.entry list
+(** [CN.hb-ring], [CN.hb-grid], [CN.vcube-hypercube] and
+    [CN.vcube-quiet]: both catalog detectors, with and without churn. *)

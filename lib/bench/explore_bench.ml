@@ -79,7 +79,7 @@ let flood_acts =
 let entries () =
   [ entry ~id:"MX.heartbeat" ~label:"heartbeat net, cap 6000"
       (fun () ->
-        (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2)).Net.composition)
+        (Heartbeat.net ~n:3 ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) ()).Net.composition)
       heartbeat_acts;
     entry ~id:"MX.flood" ~label:"flood consensus net, cap 6000"
       (fun () ->

@@ -73,7 +73,7 @@ let entries () =
           ~label:"heartbeat net, cap 6000" ~jobs
           (fun () ->
             (Heartbeat.net ~n:3 ~initial_timeout:2
-               ~crashable:(Loc.Set.singleton 2))
+               ~crashable:(Loc.Set.singleton 2) ())
               .Net.composition)
           Explore_bench.heartbeat_acts;
         entry ~id:(Printf.sprintf "PX.flood.j%d" jobs)

@@ -1,0 +1,7 @@
+(* Explicit list, not side-effect registration: dune links only the
+   modules a program mentions, so a registry filled by module
+   initializers would silently lose members. *)
+let all = [ Vcube.spec; Hb_pc.spec ]
+
+let find name = List.find_opt (fun s -> s.Detector.sname = name) all
+let names = List.map (fun s -> s.Detector.sname) all

@@ -1,0 +1,5 @@
+(** The scalable-detector catalog of the mega engine. *)
+
+val all : Detector.spec list
+val find : string -> Detector.spec option
+val names : string list

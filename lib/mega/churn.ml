@@ -1,0 +1,30 @@
+type action =
+  | Crash
+  | Recover
+  | Join
+  | Leave
+  | Link_down
+  | Link_up
+  | Partition
+  | Heal
+
+let pick rng =
+  let d = Rng.int rng 100 in
+  if d < 30 then Crash
+  else if d < 45 then Recover
+  else if d < 60 then Join
+  else if d < 70 then Leave
+  else if d < 80 then Link_down
+  else if d < 88 then Link_up
+  else if d < 94 then Partition
+  else Heal
+
+let to_string = function
+  | Crash -> "crash"
+  | Recover -> "recover"
+  | Join -> "join"
+  | Leave -> "leave"
+  | Link_down -> "link-down"
+  | Link_up -> "link-up"
+  | Partition -> "partition"
+  | Heal -> "heal"

@@ -1,0 +1,22 @@
+(** The churn/adversary mix: which upheaval hits the universe next.
+
+    The draw is a pure function of the churn rng stream (derived from
+    the root seed via [Scheduler.Seed.derive]), so fault schedules are
+    byte-reproducible. *)
+
+type action =
+  | Crash
+  | Recover
+  | Join
+  | Leave
+  | Link_down
+  | Link_up
+  | Partition
+  | Heal
+
+val pick : Rng.t -> action
+(** Weighted draw: crashes dominate (30%), then recoveries and joins
+    (15% each), leaves (10%), link failures and repairs (10% + 8%),
+    partitions and heals (6% + 6%). *)
+
+val to_string : action -> string

@@ -1,0 +1,254 @@
+open Afd_ioa
+open Afd_core
+
+type kind =
+  | Perfect
+  | Sigma
+  | Omega
+  | Anti_omega
+  | Omega_k of int
+  | Psi_k of int
+  | Silent
+  | Flip_flop
+
+let name = function
+  | Perfect -> "FD-P"
+  | Sigma -> "FD-Sigma"
+  | Omega -> "FD-Omega"
+  | Anti_omega -> "FD-antiOmega"
+  | Omega_k k -> Printf.sprintf "FD-Omega%d" k
+  | Psi_k k -> Printf.sprintf "FD-Psi%d" k
+  | Silent -> "FD-Silent"
+  | Flip_flop -> "FD-FlipFlop"
+
+let leader_valued = function
+  | Omega | Anti_omega | Flip_flop -> true
+  | Perfect | Sigma | Omega_k _ | Psi_k _ | Silent -> false
+
+(* {2 The compiled fd-system}
+
+   State is one int: bit [i] set iff location [i] has crashed, plus
+   one aux bool for the flip-flop toggle.  The output payload is also
+   an int — a location bitmask for set-valued kinds, a location for
+   leader-valued ones, [-1] for "no output enabled". *)
+
+let min_live n crashmask =
+  let found = ref (-1) in
+  for j = n - 1 downto 0 do
+    if (crashmask lsr j) land 1 = 0 then found := j
+  done;
+  !found
+
+let max_live n crashmask =
+  let found = ref (-1) in
+  for j = 0 to n - 1 do
+    if (crashmask lsr j) land 1 = 0 then found := j
+  done;
+  !found
+
+(* mirror of [Afd_automata.k_smallest_preferring_live]: the k smallest
+   live locations, padded with the smallest crashed ones *)
+let k_smallest_preferring_live n k crashmask =
+  let m = ref 0 in
+  let taken = ref 0 in
+  for j = 0 to n - 1 do
+    if !taken < k && (crashmask lsr j) land 1 = 0 then begin
+      m := !m lor (1 lsl j);
+      incr taken
+    end
+  done;
+  for j = 0 to n - 1 do
+    if !taken < k && (crashmask lsr j) land 1 = 1 then begin
+      m := !m lor (1 lsl j);
+      incr taken
+    end
+  done;
+  !m
+
+let output kind n crashmask toggle i =
+  match kind with
+  | Perfect -> crashmask
+  | Sigma -> ((1 lsl n) - 1) land lnot crashmask
+  | Omega -> min_live n crashmask
+  | Anti_omega -> (
+    match min_live n crashmask with
+    | -1 -> -1
+    | 0 -> if n > 1 then 1 else -1
+    | _ -> 0)
+  | Omega_k k -> k_smallest_preferring_live n k crashmask
+  | Psi_k k -> k_smallest_preferring_live n k crashmask
+  | Silent -> if i = 0 then crashmask else -1
+  | Flip_flop -> if toggle then max_live n crashmask else min_live n crashmask
+
+(* {2 Draw-for-draw replica of [Scheduler.run]'s Random policy}
+
+   Task indexing follows [Composition.tasks_array] for the fd-system
+   composition: indices [0..n-1] are the fair [fd_i] tasks of the
+   detector component, [n..2n-1] the unfair [crash_i] tasks.  The
+   forced pattern ["crash/crash_<i>"] matches exactly the crash task
+   of location [i] (single-digit locations, hence the n <= 9 bound).
+   [patience] mirrors [Scheduler.patience]. *)
+
+let patience = 4
+
+type raw = { rc : bool; ri : int; rp : int }
+
+let run_encoded kind ~n ~seed ~crash_at ~steps =
+  if n < 1 || n > 9 then invalid_arg "Compat.run: need 1 <= n <= 9";
+  if steps < 0 then invalid_arg "Compat.run: negative steps";
+  let ntasks = 2 * n in
+  let rng = Stdlib.Random.State.make [| seed |] in
+  let starving = Array.make ntasks 0 in
+  let scratch = Array.make ntasks 0 in
+  let univ = (1 lsl n) - 1 in
+  let crashable =
+    List.fold_left (fun m (_, i) -> m lor (1 lsl (i : Loc.t))) 0 crash_at land univ
+  in
+  let crashed = ref 0 in
+  let pending = ref crashable in
+  let toggle = ref false in
+  let pending_forced =
+    ref (List.stable_sort (fun (a, _) (b, _) -> compare (a : int) b) crash_at)
+  in
+  let out i = output kind n !crashed !toggle i in
+  let enabled_fd i = (!crashed lsr i) land 1 = 0 && out i >= 0 in
+  let fired = ref [] in
+  let quiescent = ref false in
+  let step = ref 0 in
+  let continue = ref true in
+  let pick_random () =
+    (* starvation backstop first, then the seeded uniform choice *)
+    let starved = ref (-1) in
+    let k = ref 0 in
+    while !starved < 0 && !k < ntasks do
+      if !k < n && starving.(!k) > patience * ntasks && enabled_fd !k then starved := !k;
+      incr k
+    done;
+    if !starved >= 0 then begin
+      starving.(!starved) <- 0;
+      !starved
+    end
+    else begin
+      let count = ref 0 in
+      for k = 0 to ntasks - 1 do
+        if k < n then
+          if enabled_fd k then begin
+            scratch.(!count) <- k;
+            incr count;
+            starving.(k) <- starving.(k) + 1
+          end
+          else starving.(k) <- 0
+      done;
+      if !count = 0 then -1
+      else begin
+        let i = Stdlib.Random.State.int rng !count in
+        let k = scratch.(!count - 1 - i) in
+        starving.(k) <- 0;
+        k
+      end
+    end
+  in
+  while !continue && !step < steps do
+    (* forced candidate: consume at most one entry per iteration, fire
+       it when its crash task is enabled, drop it otherwise (the
+       policy then picks in the same iteration) — as in
+       [Scheduler.run.forced_candidate] *)
+    let forced_fire = ref (-1) in
+    (match !pending_forced with
+    | (at, i) :: rest when at <= !step ->
+      pending_forced := rest;
+      if (!pending lsr i) land 1 = 1 then forced_fire := i
+    | _ -> ());
+    if !forced_fire >= 0 then begin
+      let i = !forced_fire in
+      fired := { rc = true; ri = i; rp = 0 } :: !fired;
+      crashed := !crashed lor (1 lsl i);
+      pending := !pending land lnot (1 lsl i);
+      incr step
+    end
+    else begin
+      let k = pick_random () in
+      if k >= 0 then begin
+        let payload = out k in
+        fired := { rc = false; ri = k; rp = payload } :: !fired;
+        if kind = Flip_flop then toggle := not !toggle;
+        incr step
+      end
+      else
+        match !pending_forced with
+        | [] ->
+          quiescent := true;
+          continue := false
+        | (at, _) :: _ -> step := max (!step + 1) (min at steps)
+    end
+  done;
+  (List.rev !fired, !quiescent, !step)
+
+type 'o outcome = {
+  trace : 'o Fd_event.t list;
+  quiescent : bool;
+  steps_taken : int;
+}
+
+let set_of_mask n mask =
+  let s = ref Loc.Set.empty in
+  for j = 0 to n - 1 do
+    if mask land (1 lsl j) <> 0 then s := Loc.Set.add j !s
+  done;
+  !s
+
+let run_set kind ~n ~seed ~crash_at ~steps =
+  if leader_valued kind then invalid_arg "Compat.run_set: leader-valued kind";
+  let raw, quiescent, steps_taken = run_encoded kind ~n ~seed ~crash_at ~steps in
+  let trace =
+    List.map
+      (fun r -> if r.rc then Fd_event.Crash r.ri else Fd_event.Output (r.ri, set_of_mask n r.rp))
+      raw
+  in
+  { trace; quiescent; steps_taken }
+
+let run_leader kind ~n ~seed ~crash_at ~steps =
+  if not (leader_valued kind) then invalid_arg "Compat.run_leader: set-valued kind";
+  let raw, quiescent, steps_taken = run_encoded kind ~n ~seed ~crash_at ~steps in
+  let trace =
+    List.map
+      (fun r -> if r.rc then Fd_event.Crash r.ri else Fd_event.Output (r.ri, (r.rp : Loc.t)))
+      raw
+  in
+  { trace; quiescent; steps_taken }
+
+(* {2 Boxed references and spec verdicts} *)
+
+let reference_set kind ~n ~seed ~crash_at ~steps =
+  match kind with
+  | Perfect -> Afd_automata.generate_trace ~detector:(Afd_automata.fd_perfect ~n) ~n ~seed ~crash_at ~steps
+  | Sigma -> Afd_automata.generate_trace ~detector:(Afd_automata.fd_sigma ~n) ~n ~seed ~crash_at ~steps
+  | Omega_k k ->
+    Afd_automata.generate_trace ~detector:(Afd_automata.fd_omega_k ~n ~k) ~n ~seed ~crash_at ~steps
+  | Psi_k k ->
+    Afd_automata.generate_trace ~detector:(Afd_automata.fd_psi_k ~n ~k) ~n ~seed ~crash_at ~steps
+  | Silent -> Afd_automata.generate_trace ~detector:(Afd_automata.fd_silent ~n) ~n ~seed ~crash_at ~steps
+  | Omega | Anti_omega | Flip_flop -> invalid_arg "Compat.reference_set: leader-valued kind"
+
+let reference_leader kind ~n ~seed ~crash_at ~steps =
+  match kind with
+  | Omega -> Afd_automata.generate_trace ~detector:(Afd_automata.fd_omega ~n) ~n ~seed ~crash_at ~steps
+  | Anti_omega ->
+    Afd_automata.generate_trace ~detector:(Afd_automata.fd_anti_omega ~n) ~n ~seed ~crash_at ~steps
+  | Flip_flop ->
+    Afd_automata.generate_trace ~detector:(Afd_automata.fd_flip_flop ~n) ~n ~seed ~crash_at ~steps
+  | _ -> invalid_arg "Compat.reference_leader: set-valued kind"
+
+let spec_verdict_set kind ~n trace =
+  match kind with
+  | Perfect | Silent -> Afd.check Perfect.spec ~n trace
+  | Sigma -> Afd.check Sigma.spec ~n trace
+  | Omega_k k -> Afd.check (Omega_k.spec ~k) ~n trace
+  | Psi_k k -> Afd.check (Psi_k.spec ~k) ~n trace
+  | Omega | Anti_omega | Flip_flop -> invalid_arg "Compat.spec_verdict_set: leader-valued kind"
+
+let spec_verdict_leader kind ~n trace =
+  match kind with
+  | Omega | Flip_flop -> Afd.check Omega.spec ~n trace
+  | Anti_omega -> Afd.check Anti_omega.spec ~n trace
+  | _ -> invalid_arg "Compat.spec_verdict_leader: set-valued kind"

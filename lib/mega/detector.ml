@@ -1,0 +1,24 @@
+type ctx = {
+  univ : Univ.t;
+  topo : Topology.t;
+  cal : Calendar.t;
+  det_rng : Rng.t;
+  period : int;
+  send : src:int -> dst:int -> tag:int -> payload:int -> unit;
+  set_timer : p:int -> after:int -> unit;
+  suspect : observer:int -> target:int -> suspected:bool -> unit;
+}
+
+type t = {
+  dname : string;
+  on_start : int -> unit;
+  on_stop : int -> unit;
+  on_timer : int -> unit;
+  on_receive : src:int -> dst:int -> tag:int -> payload:int -> unit;
+}
+
+type spec = {
+  sname : string;
+  sdoc : string;
+  instantiate : ctx -> t;
+}

@@ -1,0 +1,36 @@
+(** Scalable detector instances for the mega engine.
+
+    A detector is a set of per-process reactions to timers and
+    messages, over flat per-process state sized once at instantiation
+    ({!Univ.cap} slots).  The engine provides the context: sending
+    (which applies link/partition failures and delivery delay),
+    per-process timers (single chain per process, epoch-guarded across
+    crash/recovery), and the suspicion-transition callback feeding the
+    metrics layer and the sampled monitor.  Every reaction touches
+    O(degree) state — nothing scans the universe. *)
+
+type ctx = {
+  univ : Univ.t;
+  topo : Topology.t;
+  cal : Calendar.t;
+  det_rng : Rng.t;  (** jitter stream, derived from the root seed *)
+  period : int;  (** base protocol period, virtual ticks *)
+  send : src:int -> dst:int -> tag:int -> payload:int -> unit;
+  set_timer : p:int -> after:int -> unit;
+  suspect : observer:int -> target:int -> suspected:bool -> unit;
+      (** suspicion {e transitions} only (edge-triggered) *)
+}
+
+type t = {
+  dname : string;
+  on_start : int -> unit;  (** process becomes live: init, join, recovery *)
+  on_stop : int -> unit;  (** process crashed or left *)
+  on_timer : int -> unit;
+  on_receive : src:int -> dst:int -> tag:int -> payload:int -> unit;
+}
+
+type spec = {
+  sname : string;
+  sdoc : string;
+  instantiate : ctx -> t;
+}

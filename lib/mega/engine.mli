@@ -1,0 +1,85 @@
+(** The discrete-event mega engine.
+
+    One run = one universe of up to ~10^6 processes stepped through a
+    calendar of message-delivery and timer events, under a seeded
+    churn adversary.  Each popped event touches only the processes it
+    names — O(degree) work, no universe scans — which is what buys
+    millions of events per second where the task-probing scheduler
+    tops out at thousands of locations.
+
+    Determinism: the engine is single-threaded and every random
+    decision (delivery delay, protocol jitter, churn) comes from a
+    splitmix64 stream derived from [cfg.seed] via
+    [Scheduler.Seed.derive], so every field of the {!report} except
+    the wall-clock ones is a pure function of the configuration. *)
+
+open Afd_core
+
+type cfg = {
+  procs : int;  (** initial universe size (1 .. 1_500_000) *)
+  events : int;  (** event budget: stop after this many pops *)
+  churn_rate : float;  (** churn actions per 1000 processed events *)
+  topology : Topology.t;
+  detector : string;  (** a {!Catalog} name *)
+  seed : int;
+  sample : int;  (** sampled-monitor size, clamped to [1, 63] *)
+}
+
+val cfg :
+  ?churn_rate:float ->
+  ?topology:Topology.t ->
+  ?detector:string ->
+  ?seed:int ->
+  ?sample:int ->
+  procs:int ->
+  events:int ->
+  unit ->
+  cfg
+(** Defaults: churn 5.0, ring topology, ["vcube"], seed 1, sample 32. *)
+
+type report = {
+  detector_name : string;
+  procs0 : int;
+  requested : int;
+  processed : int;  (** events actually popped *)
+  vtime : int;  (** final virtual time, ticks *)
+  final_live : int;
+  final_count : int;
+  crashes : int;
+  recoveries : int;
+  joins : int;
+  leaves : int;
+  link_downs : int;
+  link_ups : int;
+  partitions : int;
+  heals : int;
+  sends : int;
+  drops : int;  (** sends lost to down links or partitions *)
+  detections : int;  (** dead processes first-suspected by someone *)
+  lat_p50 : int;
+  lat_p95 : int;
+  lat_p99 : int;  (** detection latency, virtual ticks *)
+  false_suspicions : int;
+  fs_p50 : int;
+  fs_p95 : int;
+  fs_p99 : int;  (** false-suspicion duration, virtual ticks *)
+  monitor_verdict : Verdict.t;
+  monitor_clauses : (string * Verdict.t) list;
+  wall_s : float;  (** nondeterministic: wall-clock seconds *)
+  events_per_s : float;  (** nondeterministic: throughput *)
+  peak_words : int;  (** nondeterministic-ish: major-heap peak *)
+}
+
+val run : cfg -> report
+
+val deterministic_summary : report -> string
+(** One-line summary of the deterministic fields only — safe for BENCH
+    row details (byte-identical at any [--jobs]). *)
+
+val ok : report -> bool
+(** The CN gate: the sampled monitor latched no violation, and some
+    injected fault was detected — unless the run could not have
+    detected any (calendar drained early, or the event budget ran out
+    before virtual time reached the first detection timeout). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,128 @@
+let max_slots = 8
+
+let tag_hello = 0
+let tag_welcome = 1
+let tag_hb = 2
+
+let make (ctx : Detector.ctx) =
+  let cap = Univ.cap ctx.univ in
+  let deg = min max_slots (max 1 (Topology.degree ctx.topo ~n:cap)) in
+  (* flat per-(process, slot) state *)
+  let nbr = Array.make (cap * deg) (-1) in
+  let last = Array.make (cap * deg) 0 in
+  let tmo = Array.make (cap * deg) 0 in
+  let susp = Bytes.make (cap * deg) '\000' in
+  let round = Bytes.make cap '\000' in
+  let initial_tmo = (2 * ctx.period) + 2 in
+  let tmo_cap = 32 * ctx.period in
+  let clear_slots p =
+    let base = p * deg in
+    for j = 0 to deg - 1 do
+      nbr.(base + j) <- -1;
+      Bytes.unsafe_set susp (base + j) '\000'
+    done
+  in
+  let slot_of p q =
+    let base = p * deg in
+    let found = ref (-1) in
+    for j = 0 to deg - 1 do
+      if !found < 0 && nbr.(base + j) = q then found := base + j
+    done;
+    !found
+  in
+  (* Adopt [q] into [p]'s membership (discovery, or an unknown
+     participant announcing itself); full table means [q] stays
+     unmonitored by [p] — bounded membership is the point. *)
+  let adopt p q =
+    let s = slot_of p q in
+    if s >= 0 then s
+    else begin
+      let base = p * deg in
+      let free = ref (-1) in
+      for j = deg - 1 downto 0 do
+        if nbr.(base + j) < 0 then free := base + j
+      done;
+      if !free >= 0 then begin
+        nbr.(!free) <- q;
+        last.(!free) <- Calendar.now ctx.cal;
+        tmo.(!free) <- initial_tmo;
+        Bytes.unsafe_set susp !free '\000'
+      end;
+      !free
+    end
+  in
+  let topo_degree p =
+    ignore p;
+    min deg (Topology.degree ctx.topo ~n:(Univ.count ctx.univ))
+  in
+  let say_hello p ~all =
+    (* forward edges only on the initial hello: each link is
+       discovered from one side, the WELCOME closes it — halves the
+       discovery burst at 10^6 processes *)
+    let d = topo_degree p in
+    let limit = if all then d else (d + 1) / 2 in
+    for j = 0 to limit - 1 do
+      let q = Topology.neighbor ctx.topo ~n:(Univ.count ctx.univ) p j in
+      if q >= 0 && q <> p then ctx.send ~src:p ~dst:q ~tag:tag_hello ~payload:0
+    done
+  in
+  let on_start p =
+    clear_slots p;
+    Bytes.unsafe_set round p '\000';
+    (* a joiner announces itself to its whole neighborhood: the
+       incumbents have never heard of it *)
+    say_hello p ~all:(Calendar.now ctx.cal > 0);
+    ctx.set_timer ~p ~after:(1 + Rng.int ctx.det_rng ctx.period)
+  in
+  let on_stop p = clear_slots p in
+  let on_timer p =
+    let now = Calendar.now ctx.cal in
+    let base = p * deg in
+    for j = 0 to deg - 1 do
+      let q = nbr.(base + j) in
+      if q >= 0 then begin
+        if Bytes.unsafe_get susp (base + j) = '\000' && now - last.(base + j) > tmo.(base + j)
+        then begin
+          Bytes.unsafe_set susp (base + j) '\001';
+          ctx.suspect ~observer:p ~target:q ~suspected:true
+        end;
+        ctx.send ~src:p ~dst:q ~tag:tag_hb ~payload:0
+      end
+    done;
+    let r = (Char.code (Bytes.unsafe_get round p) + 1) land 0xff in
+    Bytes.unsafe_set round p (Char.chr r);
+    (* periodic re-discovery: neighbors that joined after our last
+       hello, or whose hello we lost *)
+    if r land 3 = 0 && slot_of p (-1) >= 0 then say_hello p ~all:false;
+    ctx.set_timer ~p ~after:ctx.period
+  in
+  let on_receive ~src ~dst ~tag ~payload =
+    ignore payload;
+    let p = dst in
+    if tag = tag_hello then begin
+      ignore (adopt p src);
+      ctx.send ~src:p ~dst:src ~tag:tag_welcome ~payload:0
+    end
+    else begin
+      (* welcome and heartbeat both refresh (and, if needed, adopt) *)
+      let s = adopt p src in
+      if s >= 0 then begin
+        if Bytes.unsafe_get susp s = '\001' then begin
+          (* false suspicion corrected: forgive and back off *)
+          Bytes.unsafe_set susp s '\000';
+          ctx.suspect ~observer:p ~target:src ~suspected:false;
+          tmo.(s) <- min (2 * tmo.(s)) tmo_cap
+        end;
+        last.(s) <- Calendar.now ctx.cal
+      end
+    end
+  in
+  { Detector.dname = "hb-pc"; on_start; on_stop; on_timer; on_receive }
+
+let spec =
+  { Detector.sname = "hb-pc";
+    sdoc =
+      "heartbeats over a partially connected neighborhood, discovery of \
+       unknown participants, adaptive per-peer timeouts";
+    instantiate = make;
+  }

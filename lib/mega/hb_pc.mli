@@ -1,0 +1,18 @@
+(** Heartbeat failure detection under partial connectivity and
+    unknown participants (after Sens et al., PAPERS.md).
+
+    Processes know only a neighborhood of {e addresses} a priori and
+    learn actual participants at runtime: HELLO/WELCOME discovery
+    fills a bounded per-process membership table (at most
+    {!max_slots} peers), heartbeats flow only along discovered edges,
+    and a heartbeat from an unknown sender — a joiner announcing
+    itself — is adopted on the spot.  Timeouts adapt: a false
+    suspicion corrected by a late heartbeat doubles that peer's
+    timeout (capped), the classic eventually-perfect trick.  All state
+    is O(cap × degree) flat arrays; every reaction is O(degree). *)
+
+val max_slots : int
+(** Membership table width per process (8). *)
+
+val spec : Detector.spec
+(** Registered as ["hb-pc"]. *)

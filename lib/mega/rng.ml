@@ -1,0 +1,15 @@
+type t = { mutable s : int64 }
+
+let golden = 0x9e3779b97f4a7c15L
+
+let make seed = { s = Int64.of_int seed }
+
+let next30 t =
+  t.s <- Int64.add t.s golden;
+  Int64.to_int (Int64.shift_right_logical (Afd_ioa.Scheduler.Seed.mix64 t.s) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next30 t mod bound
+
+let bool t = next30 t land 1 = 1

@@ -1,0 +1,20 @@
+(** Allocation-free splitmix64 streams for the mega engine.
+
+    Each stream is seeded from {!Afd_ioa.Scheduler.Seed.derive}, so
+    every random decision in a run is a pure function of the root seed
+    and the stream key — runs are byte-reproducible at any [--jobs]
+    (the engine is single-threaded; parallelism only ever runs whole
+    cells, each with its own derived root). *)
+
+type t
+
+val make : int -> t
+(** [make seed] starts a stream at [seed] (use
+    [Scheduler.Seed.derive] to produce it). *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly-enough from [\[0, bound)] for
+    simulation purposes ([bound] in [\[1, 2^30)]; modulo bias is
+    below 2^-10 at the bounds the engine uses). *)
+
+val bool : t -> bool

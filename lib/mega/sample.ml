@@ -1,0 +1,155 @@
+open Afd_ioa
+open Afd_prop
+
+(* Ring entries are packed ints: kind (2 bits) | observer (6) |
+   target (6) — the sample is at most 64 ids. *)
+let k_set = 0
+let k_clear = 1
+let k_crash = 2
+
+let pack k o t = (k lsl 12) lor (o lsl 6) lor t
+let entry_kind e = e lsr 12
+let entry_obs e = (e lsr 6) land 63
+let entry_tgt e = e land 63
+
+type t = {
+  s : int;
+  window : int;
+  ring : int array;
+  mutable start : int;
+  mutable len : int;
+  mat : Bytes.t;  (* current s*s suspicion matrix *)
+  basemat : Bytes.t;  (* matrix state before the window *)
+  mutable base_crashed : int;  (* bitmask of crashes evicted from the window *)
+}
+
+let create ~s ~window =
+  if s < 1 || s > 63 then invalid_arg "Sample.create: need 1 <= s <= 63";
+  { s;
+    window = max 16 window;
+    ring = Array.make (max 16 window) 0;
+    start = 0;
+    len = 0;
+    mat = Bytes.make (s * s) '\000';
+    basemat = Bytes.make (s * s) '\000';
+    base_crashed = 0;
+  }
+
+let size t = t.s
+
+let push t e =
+  if t.len = t.window then begin
+    (* evict the oldest into the base snapshot *)
+    let old = t.ring.(t.start) in
+    let k = entry_kind old in
+    if k = k_crash then t.base_crashed <- t.base_crashed lor (1 lsl entry_tgt old)
+    else
+      Bytes.unsafe_set t.basemat
+        ((entry_obs old * t.s) + entry_tgt old)
+        (if k = k_set then '\001' else '\000');
+    t.start <- (t.start + 1) mod t.window;
+    t.len <- t.len - 1
+  end;
+  t.ring.((t.start + t.len) mod t.window) <- e;
+  t.len <- t.len + 1
+
+let susp t ~observer ~target ~suspected =
+  if observer < t.s && target < t.s && observer <> target then begin
+    let i = (observer * t.s) + target in
+    let cur = Bytes.unsafe_get t.mat i = '\001' in
+    if cur <> suspected then begin
+      Bytes.unsafe_set t.mat i (if suspected then '\001' else '\000');
+      push t (pack (if suspected then k_set else k_clear) observer target)
+    end
+  end
+
+let crash t p = if p < t.s then push t (pack k_crash 0 p)
+
+let suspected t ~observer ~target =
+  observer < t.s && target < t.s
+  && Bytes.unsafe_get t.mat ((observer * t.s) + target) = '\001'
+
+let clear_row t o =
+  if o < t.s then
+    for q = 0 to t.s - 1 do
+      if Bytes.unsafe_get t.mat ((o * t.s) + q) = '\001' then
+        susp t ~observer:o ~target:q ~suspected:false
+    done
+
+(* {2 Formulas over the sampled universe} *)
+
+let no_self_suspicion =
+  Prop.always ~name:"sample.no-self-suspicion" (fun _st ev ->
+      match ev with
+      | Fd_event.Output (o, set) when Loc.Set.mem o set -> Error "observer suspects itself"
+      | Fd_event.Output _ | Fd_event.Crash _ -> Ok ())
+
+let accuracy =
+  Prop.eventually_stable ~name:"sample.accuracy" (fun st ->
+      let ok =
+        Loc.Map.for_all
+          (fun o set -> Loc.Set.mem o st.Prop.crashed || Loc.Set.subset set st.Prop.crashed)
+          st.Prop.last_output
+      in
+      Prop.j_of_bool ~undecided:"a live observer still suspects a live peer" ok)
+
+let completeness =
+  Prop.eventually_stable ~name:"sample.completeness" (fun st ->
+      let ok =
+        Loc.Map.for_all
+          (fun o set ->
+            Loc.Set.mem o st.Prop.crashed || Loc.Set.subset st.Prop.crashed set)
+          st.Prop.last_output
+      in
+      Prop.j_of_bool ~undecided:"a sampled crash is not yet suspected by every sampled observer"
+        ok)
+
+let formula ~completeness:want_completeness =
+  if want_completeness then Prop.conj [ no_self_suspicion; accuracy; completeness ]
+  else Prop.conj [ no_self_suspicion; accuracy ]
+
+let set_of_mask s mask =
+  let set = ref Loc.Set.empty in
+  for q = 0 to s - 1 do
+    if mask land (1 lsl q) <> 0 then set := Loc.Set.add q !set
+  done;
+  !set
+
+let finalize t ~final_dead ~completeness =
+  let mon = Monitor.create ~n:t.s (formula ~completeness) in
+  (* A crash whose ring entry was evicted (folded into [base_crashed])
+     or that the engine never recorded must still reach the monitor —
+     only in-window crash entries will be replayed below. *)
+  let win_crash = ref 0 in
+  for j = 0 to t.len - 1 do
+    let e = t.ring.((t.start + j) mod t.window) in
+    if entry_kind e = k_crash then win_crash := !win_crash lor (1 lsl entry_tgt e)
+  done;
+  for q = 0 to t.s - 1 do
+    if final_dead q && !win_crash land (1 lsl q) = 0 then
+      Monitor.observe mon (Fd_event.Crash q)
+  done;
+  (* base suspicions predating the window *)
+  let row = Array.make t.s 0 in
+  for o = 0 to t.s - 1 do
+    for q = 0 to t.s - 1 do
+      if Bytes.unsafe_get t.basemat ((o * t.s) + q) = '\001' then
+        row.(o) <- row.(o) lor (1 lsl q)
+    done;
+    if row.(o) <> 0 then Monitor.observe mon (Fd_event.Output (o, set_of_mask t.s row.(o)))
+  done;
+  (* replay the window *)
+  for j = 0 to t.len - 1 do
+    let e = t.ring.((t.start + j) mod t.window) in
+    let k = entry_kind e in
+    if k = k_crash then begin
+      if final_dead (entry_tgt e) then Monitor.observe mon (Fd_event.Crash (entry_tgt e))
+    end
+    else begin
+      let o = entry_obs e and q = entry_tgt e in
+      if k = k_set then row.(o) <- row.(o) lor (1 lsl q)
+      else row.(o) <- row.(o) land lnot (1 lsl q);
+      Monitor.observe mon (Fd_event.Output (o, set_of_mask t.s row.(o)))
+    end
+  done;
+  (Monitor.verdict mon, Monitor.clause_verdicts mon)

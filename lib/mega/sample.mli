@@ -1,0 +1,44 @@
+(** Sampled online monitoring: `Afd_prop` over a bounded window.
+
+    At 10^6 processes a whole-universe monitor is impossible, so the
+    engine samples the first [s] dense ids (the sample is a fixed,
+    deterministic subset — initial members, so crashes, recoveries and
+    suspicions among them are representative) and keeps (a) an [s x s]
+    suspicion matrix updated O(1) per suspicion transition and (b) a
+    bounded ring of the last [window] sampled events.  Entries evicted
+    from the ring fold into a base snapshot, so at [finalize] the ring
+    replays into an exact `Afd_prop.Monitor` trace over universe [s]:
+    base suspicions, crashes of processes dead at the end of the run,
+    and every in-window suspicion transition as an [Output] event.
+
+    The formulas are the paper's clauses restricted to the sample:
+    ["sample.no-self-suspicion"] (safety, exact), ["sample.accuracy"]
+    (eventual accuracy under limit extension) and — for detectors with
+    global dissemination — ["sample.completeness"]. *)
+
+open Afd_core
+
+type t
+
+val create : s:int -> window:int -> t
+val size : t -> int
+
+val susp : t -> observer:int -> target:int -> suspected:bool -> unit
+(** Record a suspicion transition; ids outside the sample are ignored,
+    as are non-transitions (the matrix is authoritative). *)
+
+val crash : t -> int -> unit
+(** Record the crash (or departure) of a sampled process. *)
+
+val clear_row : t -> int -> unit
+(** The observer stopped: retract its outstanding suspicions (emits
+    the corresponding clear transitions). *)
+
+val suspected : t -> observer:int -> target:int -> bool
+
+val finalize :
+  t -> final_dead:(int -> bool) -> completeness:bool -> Verdict.t * (string * Verdict.t) list
+(** Replay the window into a fresh monitor; [final_dead] decides which
+    recorded crashes are real at end of run (a crash followed by a
+    recovery is not limit-extended as a crash).  Returns the overall
+    verdict and per-clause verdicts. *)

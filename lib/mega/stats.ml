@@ -1,0 +1,17 @@
+open Afd_analysis
+
+type series = Pack.ints
+
+let series () = Pack.ints ()
+let add s v = Pack.ints_push s v
+let count s = Pack.ints_len s
+
+let percentiles s =
+  let n = Pack.ints_len s in
+  if n = 0 then (0, 0, 0)
+  else begin
+    let a = Array.init n (Pack.ints_get s) in
+    Array.sort compare a;
+    let at p = a.(min (n - 1) (p * (n - 1) / 100)) in
+    (at 50, at 95, at 99)
+  end

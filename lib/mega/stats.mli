@@ -1,0 +1,12 @@
+(** Latency series for the metrics layer: O(1) insertion, percentiles
+    computed once at report time. *)
+
+type series
+
+val series : unit -> series
+val add : series -> int -> unit
+val count : series -> int
+
+val percentiles : series -> int * int * int
+(** (p50, p95, p99) by nearest-rank on the sorted series; [(0, 0, 0)]
+    when empty. *)

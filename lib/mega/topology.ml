@@ -1,0 +1,63 @@
+type t = Full | Ring of int | Grid | Hypercube
+
+let of_string = function
+  | "full" -> Ok Full
+  | "ring" -> Ok (Ring 2)
+  | "grid" -> Ok Grid
+  | "hypercube" -> Ok Hypercube
+  | s -> Error (Printf.sprintf "unknown topology %S (full|ring|grid|hypercube)" s)
+
+let to_string = function
+  | Full -> "full"
+  | Ring _ -> "ring"
+  | Grid -> "grid"
+  | Hypercube -> "hypercube"
+
+let bits_for n =
+  let d = ref 0 in
+  while 1 lsl !d < n do
+    incr d
+  done;
+  !d
+
+let side_for n =
+  let s = ref 1 in
+  while !s * !s < n do
+    incr s
+  done;
+  !s
+
+let degree t ~n =
+  let d =
+    match t with
+    | Full -> 4
+    | Ring k -> 2 * k
+    | Grid -> 4
+    | Hypercube -> bits_for n
+  in
+  min d (max 0 (n - 1))
+
+let ring_neighbor ~n ~k p j =
+  if j < k then (p + j + 1) mod n else (p - (j - k) - 1 + n) mod n
+
+let neighbor t ~n p j =
+  if n <= 1 then -1
+  else
+    match t with
+    | Full -> ring_neighbor ~n ~k:2 p j
+    | Ring k -> ring_neighbor ~n ~k p j
+    | Grid ->
+      let side = side_for n in
+      let x = p mod side and y = p / side in
+      let rows = (n + side - 1) / side in
+      let q =
+        match j with
+        | 0 -> (y * side) + ((x + 1) mod side)
+        | 1 -> (y * side) + ((x + side - 1) mod side)
+        | 2 -> (((y + 1) mod rows) * side) + x
+        | _ -> (((y + rows - 1) mod rows) * side) + x
+      in
+      if q < n && q <> p then q else -1
+    | Hypercube ->
+      let q = p lxor (1 lsl j) in
+      if q < n then q else -1

@@ -1,0 +1,25 @@
+(** Connection topologies over the dense id space.
+
+    Neighbors are computed arithmetically — no adjacency storage, so a
+    10^6-process universe costs nothing.  [n] is the current universe
+    size ({!Univ.count}); joiners extend the id space and the
+    neighborhoods follow. *)
+
+type t =
+  | Full  (** full connectivity; monitoring uses a degree-4 ring overlay *)
+  | Ring of int  (** [Ring k]: k successors and k predecessors *)
+  | Grid  (** 2D torus, 4 neighbors *)
+  | Hypercube  (** dimension [ceil log2 n] *)
+
+val of_string : string -> (t, string) result
+(** ["full" | "ring" | "grid" | "hypercube"]. *)
+
+val to_string : t -> string
+
+val degree : t -> n:int -> int
+(** Maximum out-degree at universe size [n]. *)
+
+val neighbor : t -> n:int -> int -> int -> int
+(** [neighbor t ~n p j] is the [j]-th neighbor of [p]
+    ([j < degree t ~n]), or [-1] when that slot is absent (hypercube
+    edge beyond the universe, grid cell off the partial last row). *)

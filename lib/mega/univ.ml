@@ -1,0 +1,63 @@
+open Afd_analysis
+
+let live = 1
+let crashed = 2
+let left = 3
+
+type t = {
+  ucap : int;
+  statuses : Bytes.t;
+  ids : int Pack.interner;
+  ext : int array;
+  mutable n : int;
+  mutable nlive : int;
+}
+
+let create ~cap ~n =
+  if n < 1 || n > cap then invalid_arg "Univ.create: need 1 <= n <= cap";
+  let t =
+    { ucap = cap;
+      statuses = Bytes.make cap '\000';
+      ids = Pack.interner ~hash:(fun (x : int) -> x * 0x9e3779b1) ~equal:Int.equal ();
+      ext = Array.make cap (-1);
+      n = 0;
+      nlive = 0;
+    }
+  in
+  for i = 0 to n - 1 do
+    let id = Pack.intern t.ids i in
+    assert (id = i);
+    t.ext.(i) <- i;
+    Bytes.unsafe_set t.statuses i (Char.chr live)
+  done;
+  t.n <- n;
+  t.nlive <- n;
+  t
+
+let cap t = t.ucap
+let count t = t.n
+let live_count t = t.nlive
+let status t i = Char.code (Bytes.unsafe_get t.statuses i)
+let is_live t i = status t i = live
+
+let set_status t i s =
+  let old = status t i in
+  if old = live && s <> live then t.nlive <- t.nlive - 1;
+  if old <> live && s = live then t.nlive <- t.nlive + 1;
+  Bytes.unsafe_set t.statuses i (Char.chr s)
+
+let join t ~ext =
+  if t.n >= t.ucap then None
+  else begin
+    let id = Pack.intern t.ids ext in
+    if id <> t.n then None (* external id already interned *)
+    else begin
+      t.ext.(id) <- ext;
+      t.n <- t.n + 1;
+      Bytes.unsafe_set t.statuses id (Char.chr live);
+      t.nlive <- t.nlive + 1;
+      Some id
+    end
+  end
+
+let ext_id t i = t.ext.(i)

@@ -1,0 +1,136 @@
+let cache_slots = 4
+
+let tag_ping = 0
+let tag_ack = 1
+let tag_crashed = 2
+
+(* CRASHED payload: target id in the high bits, forwarding level in
+   the low 5 (dimension <= 21 at the 2^21 id-space bound). *)
+let pack_crashed q lvl = (q lsl 5) lor lvl
+let crashed_target pl = pl lsr 5
+let crashed_level pl = pl land 31
+
+let make (ctx : Detector.ctx) =
+  let cap = Univ.cap ctx.univ in
+  let dim =
+    let d = ref 1 in
+    while 1 lsl !d < cap do
+      incr d
+    done;
+    !d
+  in
+  if dim > 21 then invalid_arg "Vcube: universe beyond 2^21 processes";
+  let cur_s = Bytes.make cap '\001' in
+  let out_t = Array.make cap (-1) in
+  let out_dl = Array.make cap 0 in
+  let cache = Array.make (cap * cache_slots) (-1) in
+  let cpos = Bytes.make cap '\000' in
+  let ack_tmo = (2 * ctx.period) + 2 in
+  let in_cache p q =
+    let base = p * cache_slots in
+    let found = ref false in
+    for j = 0 to cache_slots - 1 do
+      if cache.(base + j) = q then found := true
+    done;
+    !found
+  in
+  let cache_add p q =
+    let base = p * cache_slots in
+    let j = Char.code (Bytes.unsafe_get cpos p) in
+    cache.(base + j) <- q;
+    Bytes.unsafe_set cpos p (Char.chr ((j + 1) mod cache_slots))
+  in
+  let cache_remove p q =
+    let base = p * cache_slots in
+    for j = 0 to cache_slots - 1 do
+      if cache.(base + j) = q then cache.(base + j) <- -1
+    done
+  in
+  let clear_cache p =
+    let base = p * cache_slots in
+    for j = 0 to cache_slots - 1 do
+      cache.(base + j) <- -1
+    done;
+    Bytes.unsafe_set cpos p '\000'
+  in
+  (* binomial-tree forwarding: on learning CRASHED(q) at level [lvl],
+     tell the cube neighbors below that level *)
+  let disseminate p q lvl =
+    let n = Univ.count ctx.univ in
+    for j = lvl - 1 downto 0 do
+      let r = p lxor (1 lsl j) in
+      if r < n && r <> q then
+        ctx.send ~src:p ~dst:r ~tag:tag_crashed ~payload:(pack_crashed q j)
+    done
+  in
+  let learn p q lvl =
+    if q <> p && not (in_cache p q) then begin
+      cache_add p q;
+      ctx.suspect ~observer:p ~target:q ~suspected:true;
+      disseminate p q lvl
+    end
+  in
+  let on_start p =
+    Bytes.unsafe_set cur_s p '\001';
+    out_t.(p) <- -1;
+    clear_cache p;
+    ctx.set_timer ~p ~after:(1 + Rng.int ctx.det_rng ctx.period)
+  in
+  let on_stop p = out_t.(p) <- -1 in
+  let on_timer p =
+    let now = Calendar.now ctx.cal in
+    if out_t.(p) >= 0 && now >= out_dl.(p) then begin
+      (* ack deadline missed: diagnose and disseminate from the top *)
+      let q = out_t.(p) in
+      out_t.(p) <- -1;
+      learn p q dim
+    end;
+    if out_t.(p) < 0 then begin
+      let n = Univ.count ctx.univ in
+      let s = Char.code (Bytes.unsafe_get cur_s p) in
+      Bytes.unsafe_set cur_s p (Char.chr ((s mod dim) + 1));
+      let head = p lxor (1 lsl (s - 1)) in
+      (* first cluster member not believed crashed, bounded fallback *)
+      let width = 1 lsl (s - 1) in
+      let cand = ref (-1) in
+      let e = ref 0 in
+      while !cand < 0 && !e < min width cache_slots do
+        let c = head lxor !e in
+        if c < n && c <> p && not (in_cache p c) then cand := c;
+        incr e
+      done;
+      if !cand >= 0 then begin
+        ctx.send ~src:p ~dst:!cand ~tag:tag_ping ~payload:0;
+        out_t.(p) <- !cand;
+        out_dl.(p) <- now + ack_tmo
+      end
+    end;
+    ctx.set_timer ~p ~after:ctx.period
+  in
+  let on_receive ~src ~dst ~tag ~payload =
+    let p = dst in
+    if tag = tag_ping then ctx.send ~src:p ~dst:src ~tag:tag_ack ~payload:0
+    else if tag = tag_ack then begin
+      if out_t.(p) = src then out_t.(p) <- -1;
+      if in_cache p src then begin
+        (* a believed-crashed process answered: recovery (or a false
+           diagnosis) observed *)
+        cache_remove p src;
+        ctx.suspect ~observer:p ~target:src ~suspected:false
+      end
+    end
+    else begin
+      let q = crashed_target payload in
+      let lvl = crashed_level payload in
+      if q <> p then learn p q lvl
+    end
+  in
+  { Detector.dname = "vcube"; on_start; on_stop; on_timer; on_receive }
+
+let spec =
+  { Detector.sname = "vcube";
+    sdoc =
+      "hierarchical log-n testing over a virtual hypercube with \
+       binomial-tree crash dissemination (VCube-style diagnosis)";
+    instantiate = make;
+  }

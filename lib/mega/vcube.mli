@@ -1,0 +1,23 @@
+(** Hierarchical log-n testing in the VCube style (Duarte et al.'s
+    system-level-diagnosis line, PAPERS.md).
+
+    The dense id space is organized as a virtual hypercube of
+    dimension [d = ceil log2 cap].  Each process [p] round-robins over
+    its [d] clusters, one test per protocol period: it pings the
+    current cluster's first candidate (the cluster head [p xor
+    2^(s-1)], falling back to the next few cluster members it believes
+    crashed) and diagnoses a crash when the ack misses its deadline.
+    A diagnosed crash is disseminated along the binomial broadcast
+    tree — forward to [p xor 2^j] for all [j] below the receiving
+    level — reaching the whole cube in O(n) messages and O(log n)
+    delivery hops, deduplicated by a small per-process cache of
+    recently learned crashes.  An ack from a process believed crashed
+    (a recovery) clears the belief.
+
+    State: 4 ints + a 4-slot cache per process; every reaction is
+    O(log n) worst case, O(1) typical. *)
+
+val cache_slots : int
+
+val spec : Detector.spec
+(** Registered as ["vcube"]. *)

@@ -102,5 +102,5 @@ let components ~n ~initial_timeout =
     (fun i -> Component.C (automaton ~n ~initial_timeout ~loc:i))
     (Loc.universe ~n)
 
-let net ~n ~initial_timeout ~crashable =
-  Net.assemble ~n ~crashable ~processes:(components ~n ~initial_timeout) ()
+let net ?channels ~n ~initial_timeout ~crashable () =
+  Net.assemble ~n ?channels ~crashable ~processes:(components ~n ~initial_timeout) ()

@@ -35,7 +35,17 @@ val automaton : n:int -> initial_timeout:int -> loc:Loc.t -> (st * bool, Act.t) 
 
 val components : n:int -> initial_timeout:int -> Act.t Component.t list
 
-val net : n:int -> initial_timeout:int -> crashable:Loc.Set.t -> Net.t
+val net :
+  ?channels:Act.t Component.t list ->
+  n:int ->
+  initial_timeout:int ->
+  crashable:Loc.Set.t ->
+  unit ->
+  Net.t
 (** Heartbeat components + channels + crash automaton, ready to run;
     project the detector stream with
-    [Act.fd_trace_set ~detector:detector_name]. *)
+    [Act.fd_trace_set ~detector:detector_name].  [channels] defaults
+    to the reliable FIFO pairs and can be replaced by
+    {!Channel.lossy_pairs} for the loss/recovery experiments — the
+    adaptive timeout must absorb bounded loss the same way it absorbs
+    bounded delay. *)

@@ -33,4 +33,6 @@ let () =
       ("retention-matrix", Test_retention_matrix.suite);
       ("seed-derive", Test_seed_derive.suite);
       ("runner", Test_runner.suite);
+      ("mega", Test_mega.suite);
+      ("heartbeat-loss", Test_heartbeat_loss.suite);
     ]

@@ -111,7 +111,7 @@ let prop_heartbeat_validity =
   QCheck2.Test.make ~name:"heartbeat detector: validity under random faults" ~count:40
     (scenario_gen ~n ~maxf:2 ~horizon:100)
     (fun (seed, crash_at, _values) ->
-      let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:(crashable_of crash_at) in
+      let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:(crashable_of crash_at) () in
       let r = Net.run net ~seed ~crash_at ~steps:1200 in
       let fd = Act.fd_trace_set ~detector:Heartbeat.detector_name r.Net.trace in
       not (Verdict.is_violated (Trace_ops.validity ~n fd)))

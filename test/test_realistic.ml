@@ -17,7 +17,7 @@ let hb_trace net run =
 
 let test_fair_no_crash () =
   let n = 3 in
-  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty in
+  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty () in
   List.iter
     (fun seed ->
       let t = hb_trace net (`Fair (seed, [], 900)) in
@@ -28,7 +28,7 @@ let test_fair_no_crash () =
 
 let test_fair_with_crash () =
   let n = 3 in
-  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) in
+  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:(Loc.Set.singleton 2) () in
   List.iter
     (fun seed ->
       let t = hb_trace net (`Fair (seed, [ (60, 2) ], 1400)) in
@@ -39,7 +39,7 @@ let test_fair_with_crash () =
 
 let test_starved_channel_breaks_evp () =
   let n = 3 in
-  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty in
+  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty () in
   let t = hb_trace net (`Custom (Adversary.starve_channel ~seed:9 ~src:1 ~dst:0, 1500)) in
   (* p0 must end up (wrongly, permanently) suspecting the live p1 *)
   (match Fd_event.last_output_at 0 t with
@@ -52,7 +52,7 @@ let test_starved_channel_breaks_evp () =
 
 let test_delayed_channel_adapts () =
   let n = 3 in
-  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty in
+  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty () in
   let t = hb_trace net (`Custom (Adversary.delay_channel ~seed:9 ~src:1 ~dst:0 ~period:97, 4000)) in
   (* transient false suspicions are allowed; eventual accuracy must return *)
   let false_suspicions =
@@ -91,7 +91,7 @@ let test_fair_random_baseline () =
   (* the Adversary.fair_random choose function behaves like a fair
      scheduler for the heartbeat system *)
   let n = 2 in
-  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty in
+  let net = Heartbeat.net ~n ~initial_timeout:2 ~crashable:Loc.Set.empty () in
   let t = hb_trace net (`Custom (Adversary.fair_random ~seed:4, 800)) in
   match Afd.check Ev_perfect.spec ~n t with
   | Verdict.Sat -> ()
