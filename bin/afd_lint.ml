@@ -12,15 +12,26 @@
    truthful subjects are proved — safety AND liveness — and every
    deliberately broken one yields a confirmed counterexample or lasso.
 
-   Under --strict, any truncated exploration (lint or MC) fails the
-   exit gate with its own message: a "proved" verdict computed under a
-   state budget is about a sample, and CI must not mistake it for an
-   exhaustive one. *)
+   With --symmetry the equivariance analyzer (Afd_analysis.Symm) runs
+   over every subject: certified subjects explore orbit representatives
+   instead of states, breaking subjects get a named witness (the
+   symmetry rules report both), and with --mc each CHK subject is
+   additionally re-verified under its declared quotient — the "mc"
+   results and JSON stay byte-identical to a non-symmetry run, the
+   quotiented runs land in their own SY table / "symmetry" JSON array,
+   and certified subjects climb the parametric cutoff ladder.
+
+   Exit codes (Report.exit_code): 0 clean; 1 on error findings, a
+   failed MC/SY gate, or warnings under --strict; 2 when --strict and
+   some exploration (lint or MC) was truncated at its state budget — a
+   "proved" verdict computed under a budget is about a sample, and CI
+   must not mistake it for an exhaustive one.  (Usage errors — unknown
+   rule or fixture ids — also exit 2, before any report exists.) *)
 
 let usage =
   "afd_lint [--json] [--strict] [--rule ID]... [--fixture ID] [--list-rules] \
-   [--catalog] [--mc] [--max-states N] [--por on|off] [--jobs N] [--compiled] \
-   [--profile]"
+   [--catalog] [--mc] [--symmetry] [--max-states N] [--por on|off] [--jobs N] \
+   [--compiled] [--profile]"
 
 let () =
   let json = ref false in
@@ -30,6 +41,7 @@ let () =
   let selected = ref [] in
   let fixture = ref None in
   let mc = ref false in
+  let symmetry = ref false in
   let max_states = ref None in
   let por = ref false in
   let jobs = ref 1 in
@@ -54,6 +66,12 @@ let () =
         Arg.Set mc,
         "also run the graph rules and exhaustively model-check the bench \
          subjects' safety clauses" );
+      ( "--symmetry",
+        Arg.Set symmetry,
+        "run the equivariance analyzer on every subject (certified subjects \
+         explore orbit representatives; breaking ones get a named witness); \
+         with --mc, also re-verify each CHK subject under its declared \
+         quotient and climb the parametric cutoff ladder" );
       ( "--max-states",
         Arg.Int (fun n -> max_states := Some n),
         "N override every exploration's state budget" );
@@ -86,7 +104,9 @@ let () =
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let open Afd_analysis in
-  let rule_universe = Rules.all @ Rules.mc in
+  let rule_universe =
+    Rules.all @ Rules.mc @ (if !symmetry then Rules.symmetry else [])
+  in
   if !list_rules then begin
     List.iter
       (fun r ->
@@ -115,7 +135,9 @@ let () =
   end;
   let rules =
     match !selected with
-    | [] -> if !mc then rule_universe else Rules.all
+    | [] ->
+      if !mc then rule_universe
+      else Rules.all @ (if !symmetry then Rules.symmetry else [])
     | ids ->
       List.map
         (fun id ->
@@ -128,12 +150,17 @@ let () =
   in
   let report =
     Engine.run ~rules ?max_states:!max_states ~por:!por ~jobs:!jobs
-      ~compiled:!compiled items
+      ~compiled:!compiled ~symmetry:!symmetry items
   in
   let mc_results =
     if !mc && !fixture = None then
       Afd_bench.Check.mc_all ?max_states:!max_states ~por:!por ~jobs:!jobs
         ~compiled:!compiled ~profile:!profile ()
+    else []
+  in
+  let sy_results =
+    if !mc && !symmetry && !fixture = None then
+      Afd_bench.Check.sy_all ?max_states:!max_states ()
     else []
   in
   (* Per-phase timing breakdown on stderr, never stdout: the JSON and
@@ -174,12 +201,27 @@ let () =
               r.Afd_bench.Check.mc_json)
           mc_results
       in
+      (* the "mc" array is byte-identical with and without --symmetry;
+         quotiented runs land in their own "symmetry" array *)
+      let sy_field =
+        if sy_results = [] then ""
+        else
+          Printf.sprintf ", \"symmetry\": [%s]"
+            (String.concat ", "
+               (List.map
+                  (fun r ->
+                    Printf.sprintf
+                      "{\"subject\": \"%s\", \"ok\": %b, \"outcome\": %s}"
+                      (String.escaped r.Afd_bench.Check.sy_id)
+                      r.Afd_bench.Check.sy_ok r.Afd_bench.Check.sy_json)
+                  sy_results))
+      in
       Printf.printf
-        "{\"lint\": %s, \"mc\": [%s], \"strict\": %b, \"strict_truncated\": \
+        "{\"lint\": %s, \"mc\": [%s]%s, \"strict\": %b, \"strict_truncated\": \
          %b, \"truncated_explorations\": %d}\n"
         (Report.to_json report)
         (String.concat ", " rows)
-        !strict strict_truncated
+        sy_field !strict strict_truncated
         (List.length truncated_lint + List.length truncated_mc)
     end
   end
@@ -223,6 +265,23 @@ let () =
                 l.lreason)
             r.mc_lassos)
         mc_results
+    end;
+    if sy_results <> [] then begin
+      Fmt.pr
+        "@.SY  orbit reduction (equivariance certificates, cutoff ladders)@.";
+      List.iter
+        (fun r ->
+          let open Afd_bench.Check in
+          Fmt.pr "  %-14s %-28s %-10s %5d states (%d unreduced)  %s@." r.sy_id
+            r.sy_label r.sy_status r.sy_states r.sy_raw_states
+            (if r.sy_ok then "ok" else "FAIL");
+          (match r.sy_status with
+          | "certified" -> ()
+          | _ -> Fmt.pr "    %s@." r.sy_detail);
+          match r.sy_parametric with
+          | None -> ()
+          | Some p -> Fmt.pr "    %a@." Afd_analysis.Mc.pp_parametric p)
+        sy_results
     end
   end;
   if strict_truncated then
@@ -231,11 +290,10 @@ let () =
        every \"proved\" or absence verdict about them is sampled, not \
        exhaustive@."
       (List.length truncated_lint + List.length truncated_mc);
-  let mc_fail = List.exists (fun r -> not r.Afd_bench.Check.mc_ok) mc_results in
-  let fail =
-    Report.has_errors report
-    || (!strict && Report.warnings report <> [])
-    || strict_truncated
-    || mc_fail
+  let mc_fail =
+    List.exists (fun r -> not r.Afd_bench.Check.mc_ok) mc_results
+    || List.exists (fun r -> not r.Afd_bench.Check.sy_ok) sy_results
   in
-  exit (if fail then 1 else 0)
+  exit
+    (Report.exit_code ~strict:!strict ~mc_fail
+       ~mc_truncated:(truncated_mc <> []) report)

@@ -17,11 +17,12 @@ let leader_acts =
     Fd_event.Output (2, 2);
   ]
 
-let leader_probe ?equal_state ?hash_state ?max_states () =
+let leader_probe ?actions ?equal_state ?hash_state ?max_states ?symm () =
   Probe.make
     ~equal_action:(Fd_event.equal Loc.equal)
     ~pp_action:(Fd_event.pp Loc.pp)
-    ?equal_state ?hash_state ?max_states leader_acts
+    ?equal_state ?hash_state ?max_states ?symm
+    (Option.value ~default:leader_acts actions)
 
 let set_acts =
   [ Fd_event.Crash 0;
@@ -33,11 +34,94 @@ let set_acts =
     Fd_event.Output (2, Loc.set_of_universe ~n);
   ]
 
-let set_probe ?equal_state ?hash_state ?max_states () =
+let set_probe ?actions ?equal_state ?hash_state ?max_states ?symm () =
   Probe.make
     ~equal_action:(Fd_event.equal Loc.Set.equal)
     ~pp_action:(Fd_event.pp Loc.pp_set)
-    ?equal_state ?hash_state ?max_states set_acts
+    ?equal_state ?hash_state ?max_states ?symm
+    (Option.value ~default:set_acts actions)
+
+(* S_3-closed probe universes for the symmetry-declared subjects: the
+   analyzer demands that every probed action's whole orbit is probed
+   (otherwise a quotient run could skip an action the unreduced run
+   takes).  Supersets of [set_acts] / [leader_acts]. *)
+let sym_set_acts =
+  let locs = Loc.universe ~n in
+  let rec subsets = function
+    | [] -> [ Loc.Set.empty ]
+    | x :: rest ->
+      let ss = subsets rest in
+      ss @ List.map (Loc.Set.add x) ss
+  in
+  List.map (fun i -> Fd_event.Crash i) locs
+  @ List.concat_map
+      (fun i -> List.map (fun s -> Fd_event.Output (i, s)) (subsets locs))
+      locs
+
+let sym_leader_acts =
+  let locs = Loc.universe ~n in
+  List.map (fun i -> Fd_event.Crash i) locs
+  @ List.concat_map
+      (fun i -> List.map (fun l -> Fd_event.Output (i, l)) locs)
+      locs
+
+(* Declared S_3 actions.  Declaring is a claim to be {e checked}, never
+   an assertion: the analyzer certifies fd_perfect/fd_sigma/... and
+   produces concrete breaking witnesses for the min-based leader
+   detectors (fd_omega, fd_anti_omega) and the k-set ones. *)
+let set_symm =
+  { Probe.sy_n = n;
+    sy_state = Symm.perm_set;
+    sy_action = Symm.perm_event Symm.perm_set;
+    sy_cmp = Symm.cmp_set;
+    sy_fields =
+      [ Probe.F
+          { f_name = "crashset";
+            f_proj = (fun s -> s);
+            f_perm = Symm.perm_set;
+            f_equal = Loc.Set.equal;
+          }
+      ];
+  }
+
+let leader_symm =
+  { Probe.sy_n = n;
+    sy_state = Symm.perm_set;
+    sy_action = Symm.perm_event (fun pif l -> pif l);
+    sy_cmp = Symm.cmp_set;
+    sy_fields =
+      [ Probe.F
+          { f_name = "crashset";
+            f_proj = (fun s -> s);
+            f_perm = Symm.perm_set;
+            f_equal = Loc.Set.equal;
+          }
+      ];
+  }
+
+let flip_symm =
+  { Probe.sy_n = n;
+    sy_state = (fun pif (c, t) -> (Symm.perm_set pif c, t));
+    sy_action = Symm.perm_event (fun pif l -> pif l);
+    sy_cmp =
+      (fun (c1, t1) (c2, t2) ->
+        let c = Symm.cmp_set c1 c2 in
+        if c <> 0 then c else Bool.compare t1 t2);
+    sy_fields =
+      [ Probe.F
+          { f_name = "crashset";
+            f_proj = fst;
+            f_perm = Symm.perm_set;
+            f_equal = Loc.Set.equal;
+          };
+        Probe.F
+          { f_name = "toggle";
+            f_proj = snd;
+            f_perm = (fun _ t -> t);
+            f_equal = Bool.equal;
+          };
+      ];
+  }
 
 (* Hashes congruent with the custom state equalities above: AVL sets
    that are [Loc.Set.equal] can differ in tree shape, so hash the sorted
@@ -59,27 +143,23 @@ let hash_set_noisy (c, q) =
 let register_core () =
   let reg e = Registry.register ~origin:"core" e in
   let crashable = Loc.set_of_universe ~n in
+  let sym_set_probe () =
+    set_probe ~actions:sym_set_acts ~equal_state:Loc.Set.equal
+      ~hash_state:hash_set ~symm:set_symm ()
+  in
+  let sym_leader_probe () =
+    leader_probe ~actions:sym_leader_acts ~equal_state:Loc.Set.equal
+      ~hash_state:hash_set ~symm:leader_symm ()
+  in
   reg
     (Registry.Automaton
-       (Afd_automata.crash_automaton ~n ~crashable, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
-  reg
-    (Registry.Automaton
-       (Afd_automata.fd_omega ~n, leader_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
-  reg
-    (Registry.Automaton
-       (Afd_automata.fd_anti_omega ~n, leader_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
-  reg
-    (Registry.Automaton
-       (Afd_automata.fd_perfect ~n, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
-  reg
-    (Registry.Automaton
-       (Afd_automata.fd_sigma ~n, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
-  reg
-    (Registry.Automaton
-       (Afd_automata.fd_omega_k ~n ~k:2, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
-  reg
-    (Registry.Automaton
-       (Afd_automata.fd_psi_k ~n ~k:2, set_probe ~equal_state:Loc.Set.equal ~hash_state:hash_set ()));
+       (Afd_automata.crash_automaton ~n ~crashable, sym_set_probe ()));
+  reg (Registry.Automaton (Afd_automata.fd_omega ~n, sym_leader_probe ()));
+  reg (Registry.Automaton (Afd_automata.fd_anti_omega ~n, sym_leader_probe ()));
+  reg (Registry.Automaton (Afd_automata.fd_perfect ~n, sym_set_probe ()));
+  reg (Registry.Automaton (Afd_automata.fd_sigma ~n, sym_set_probe ()));
+  reg (Registry.Automaton (Afd_automata.fd_omega_k ~n ~k:2, sym_set_probe ()));
+  reg (Registry.Automaton (Afd_automata.fd_psi_k ~n ~k:2, sym_set_probe ()));
   (* FD-FlipFlop is a well-formed automaton (its defect is a fair
      cycle, not a malformed signature): lint it like the truthful ones.
      FD-Silent stays out — its never-enabled fair tasks trip dead-task
@@ -89,7 +169,8 @@ let register_core () =
   reg
     (Registry.Automaton
        ( Afd_automata.fd_flip_flop ~n,
-         leader_probe ~equal_state:eq_flip_flop ~hash_state:hash_flip_flop () ));
+         leader_probe ~actions:sym_leader_acts ~equal_state:eq_flip_flop
+           ~hash_state:hash_flip_flop ~symm:flip_symm () ));
   let eq_leader_noisy (c1, q1) (c2, q2) =
     Loc.Set.equal c1 c2 && Loc.Map.equal (List.equal Loc.equal) q1 q2
   in

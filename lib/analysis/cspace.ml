@@ -817,13 +817,20 @@ let backend_of_composition (type a) (comp : a Composition.t)
 
 let sequential m ~round:_ ~expanded:_ _r i = direct m i
 
-let explore ?(por = false) ?(jobs = 1) ?profile aut probe =
-  if jobs > 1 then Pspace.explore ~por ~jobs aut probe
+let explore ?(por = false) ?symmetry ?(jobs = 1) ?profile aut probe =
+  if jobs > 1 then Pspace.explore ~por ?symmetry ~jobs aut probe
   else
+    (* Quotient before interning: representatives are interned, so the
+       dense id space is the orbit quotient. *)
+    let aut, probe =
+      match symmetry with
+      | None -> (aut, probe)
+      | Some canon -> Space.quotient canon aut probe
+    in
     let m = machine_of_automaton aut probe in
     run_core ~por ~probe ?profile m ~expansions:(sequential m) ()
 
-let explore_composition ?(por = false) ?(jobs = 1) ?profile comp probe =
+let explore_composition_packed ~por ~jobs ?profile comp probe =
   let b = backend_of_composition comp probe in
   let m = b.cb_machine in
   if jobs <= 1 then run_core ~por ~probe ?profile m ~expansions:(sequential m) ()
@@ -844,3 +851,14 @@ let explore_composition ?(por = false) ?(jobs = 1) ?profile comp probe =
             | None -> direct m i
         in
         run_core ~por ~probe ?profile m ~expansions ())
+
+let explore_composition ?(por = false) ?symmetry ?(jobs = 1) ?profile comp probe =
+  match symmetry with
+  | Some canon ->
+    (* A global permutation cuts across the per-component factorization
+       the packed tables rely on (component states are interned
+       independently, and canonization mixes slots), so the quotient
+       runs on the flattened automaton through the generic backend —
+       same Space.t structure, same verdicts. *)
+    explore ~por ~symmetry:canon ~jobs ?profile (Composition.as_automaton comp) probe
+  | None -> explore_composition_packed ~por ~jobs ?profile comp probe

@@ -23,6 +23,7 @@
 
 val explore :
   ?por:bool ->
+  ?symmetry:('s -> 's) ->
   ?jobs:int ->
   ?profile:(string -> float -> unit) ->
   ('s, 'a) Afd_ioa.Automaton.t ->
@@ -37,6 +38,7 @@ val explore :
 
 val explore_composition :
   ?por:bool ->
+  ?symmetry:('a Afd_ioa.Composition.state -> 'a Afd_ioa.Composition.state) ->
   ?jobs:int ->
   ?profile:(string -> float -> unit) ->
   'a Afd_ioa.Composition.t ->
@@ -45,6 +47,14 @@ val explore_composition :
 (** Packed backend: product states are fixed-width keys of per-component
     interned ids, product steps are per-component table lookups, and the
     POR commute diamond closes over id tuples.
+
+    [symmetry] (an orbit canonicalizer over product states) is honored
+    by falling back to the generic {!explore} on
+    {!Afd_ioa.Composition.as_automaton}: a global process permutation
+    mixes the per-component slots the packed tables factor over, so the
+    quotient cannot run on the packed representation — the result is
+    still the same [Space.t] structure the quotiented boxed explorer
+    produces.
 
     Precondition: the probe's [equal_state]/[hash_state] must agree
     with {!Afd_ioa.Composition.equal_state}/[hash_state] (pointwise

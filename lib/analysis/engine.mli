@@ -11,13 +11,17 @@ val run :
   ?por:bool ->
   ?jobs:int ->
   ?compiled:bool ->
+  ?symmetry:bool ->
   Registry.item list ->
   Report.t
 (** Defaults to {!Rules.all}.  [max_states] overrides every subject's
     exploration cap; [por] turns on the sleep-set reduction; [jobs]
     spreads each subject's exploration over that many domains;
     [compiled] routes it to {!Cspace} (see {!Subject.make} — findings
-    and reports are identical at any [jobs], compiled or not). *)
+    and reports are identical at any [jobs], compiled or not);
+    [symmetry] runs the {!Symm} equivariance analysis per subject and
+    orbit-quotients certified explorations (pair it with
+    {!Rules.symmetry} so the verdicts surface as findings). *)
 
 val run_entry :
   ?rules:Rule.t list ->
@@ -25,6 +29,7 @@ val run_entry :
   ?por:bool ->
   ?jobs:int ->
   ?compiled:bool ->
+  ?symmetry:bool ->
   origin:string ->
   Registry.entry ->
   Report.t

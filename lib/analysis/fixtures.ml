@@ -293,6 +293,114 @@ let mc =
     ("unsatisfiable-fairness-obligation", pinned_spinner);
   ]
 
+(* --- fixtures for the symmetry rules (the --symmetry set) --- *)
+
+module Fd_event = Afd_prop.Fd_event
+
+(* A two-process detector family in the shape of the catalog's
+   truthful automata: state is the crashed-so-far set, every live
+   location keeps outputting [output crashset].  Symmetric or not is
+   decided entirely by [output]. *)
+let sym_n = 2
+
+let suspector ~name ~output =
+  let kind = function
+    | Fd_event.Crash _ -> Some Automaton.Input
+    | Fd_event.Output _ -> Some Automaton.Output
+  in
+  let step crashset = function
+    | Fd_event.Crash i -> Some (Loc.Set.add i crashset)
+    | Fd_event.Output (i, o) ->
+      if (not (Loc.Set.mem i crashset)) && Loc.Set.equal (output crashset) o then
+        Some crashset
+      else None
+  in
+  let task i =
+    { Automaton.task_name = Printf.sprintf "fd_%s" (Loc.to_string i);
+      fair = true;
+      enabled =
+        (fun crashset ->
+          if Loc.Set.mem i crashset then None
+          else Some (Fd_event.Output (i, output crashset)));
+    }
+  in
+  { Automaton.name;
+    kind;
+    start = Loc.Set.empty;
+    step;
+    tasks = List.map task (Loc.universe ~n:sym_n);
+  }
+
+(* The probe universe must be closed under S_2 for the analyzer's
+   probe-closure check: every crash, every (location, payload) pair. *)
+let sym_acts =
+  let locs = Loc.universe ~n:sym_n in
+  let payloads =
+    [ Loc.Set.empty;
+      Loc.Set.singleton 0;
+      Loc.Set.singleton 1;
+      Loc.set_of_universe ~n:sym_n;
+    ]
+  in
+  List.map (fun i -> Fd_event.Crash i) locs
+  @ List.concat_map
+      (fun i -> List.map (fun s -> Fd_event.Output (i, s)) payloads)
+      locs
+
+let sym_probe ?symm () =
+  Probe.make
+    ~equal_action:(Fd_event.equal Loc.Set.equal)
+    ~pp_action:(Fd_event.pp Loc.pp_set)
+    ~equal_state:Loc.Set.equal
+    ~hash_state:(fun s -> Hashtbl.hash (Loc.Set.elements s))
+    ?symm sym_acts
+
+let sym_descriptor =
+  { Probe.sy_n = sym_n;
+    sy_state = Symm.perm_set;
+    sy_action = Symm.perm_event Symm.perm_set;
+    sy_cmp = Symm.cmp_set;
+    sy_fields =
+      [ Probe.F
+          { f_name = "crashset";
+            f_proj = (fun s -> s);
+            f_perm = Symm.perm_set;
+            f_equal = Loc.Set.equal;
+          }
+      ];
+  }
+
+let symmetry_breaking =
+  (* suspects the smallest live location: permuting the processes moves
+     the suspicion to the wrong place, so the declared symmetry breaks
+     (the same defect as a min-based leader election) *)
+  let output crashset =
+    match Loc.min_not_in ~n:sym_n (fun j -> Loc.Set.mem j crashset) with
+    | Some l -> Loc.Set.singleton l
+    | None -> Loc.Set.empty
+  in
+  Registry.Automaton
+    (suspector ~name:"min-suspector" ~output, sym_probe ~symm:sym_descriptor ())
+
+let symmetry_undeclared =
+  (* genuinely equivariant (outputs the crash set itself), but the
+     probe declares no S_n action — certification has nothing to
+     check, so a symmetry-requested run falls back to unreduced *)
+  Registry.Automaton
+    (suspector ~name:"undeclared-suspector" ~output:(fun c -> c), sym_probe ())
+
+let symmetry_certifiable =
+  (* the same equivariant automaton with the symmetry declared: the
+     analyzer certifies it and both symmetry rules stay silent *)
+  Registry.Automaton
+    ( suspector ~name:"declared-suspector" ~output:(fun c -> c),
+      sym_probe ~symm:sym_descriptor () )
+
+let symmetry =
+  [ ("symmetry-breaking-state", symmetry_breaking);
+    ("uncertified-symmetry", symmetry_undeclared);
+  ]
+
 let find id =
   Option.map snd
-    (List.find_opt (fun (id', _) -> String.equal id id') (all @ mc))
+    (List.find_opt (fun (id', _) -> String.equal id id') (all @ mc @ symmetry))

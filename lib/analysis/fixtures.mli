@@ -43,5 +43,18 @@ val harmless_cycle : Registry.entry
     {e output} ticks: visibly productive, so the livelock rule (and
     every other rule) must stay silent on it. *)
 
+val symmetry : (string * Registry.entry) list
+(** Fixtures for the symmetry rules ({!Rules.symmetry}), same
+    convention: a min-based suspector whose declared S_2 action breaks
+    for [symmetry-breaking-state], and an equivariant suspector with
+    no declared action for [uncertified-symmetry].  Lint them with the
+    engine's [~symmetry:true] — without it both rules are silent by
+    design. *)
+
+val symmetry_certifiable : Registry.entry
+(** The equivariant suspector {e with} its S_2 action declared: the
+    analyzer certifies it, the exploration quotients, and both
+    symmetry rules must stay silent. *)
+
 val find : string -> Registry.entry option
-(** Searches {!all} and {!mc}. *)
+(** Searches {!all}, {!mc} and {!symmetry}. *)

@@ -24,6 +24,51 @@ type 'o lasso = {
   l_confirmed : bool;
 }
 
+(* How symmetry reduction went for a run: off, engaged with a
+   certificate, refused with a concrete breaking witness, or refused
+   because the spec or system lacks the transports certification
+   needs.  Breaking and fallback runs are plain unreduced runs. *)
+type sym_status =
+  | Sym_off
+  | Sym_quotient of Symm.certificate
+  | Sym_breaking of Symm.witness
+  | Sym_fallback of string
+
+(* A permutation action on detector states together with a semantic
+   total order and congruent hash.  All three are required: polymorphic
+   compare/hash are AVL-shape-sensitive on sets and maps, so a
+   [Loc.Set.map]-transported state could spuriously differ from a
+   stepped one. *)
+type 's state_symmetry = {
+  ss_perm : (int -> int) -> 's -> 's;
+  ss_cmp : 's -> 's -> int;
+  ss_hash : 's -> int;
+}
+
+let sym_set =
+  { ss_perm = (fun pif s -> Loc.Set.map pif s);
+    ss_cmp = Loc.Set.compare;
+    ss_hash = (fun s -> Hashtbl.hash (Loc.Set.elements s));
+  }
+
+let sym_pair a b =
+  { ss_perm = (fun pif (x, y) -> (a.ss_perm pif x, b.ss_perm pif y));
+    ss_cmp =
+      (fun (x1, y1) (x2, y2) ->
+        let c = a.ss_cmp x1 x2 in
+        if c <> 0 then c else b.ss_cmp y1 y2);
+    ss_hash = (fun (x, y) -> Hashtbl.hash (a.ss_hash x, b.ss_hash y));
+  }
+
+(* For identity-independent components carried alongside symmetric
+   ones (flags, counters, scripted noise): the permutation leaves the
+   component alone and structural identity is exact. *)
+let sym_rigid =
+  { ss_perm = (fun _ x -> x);
+    ss_cmp = Stdlib.compare;
+    ss_hash = Hashtbl.hash;
+  }
+
 type 'o outcome = {
   verdict : Space.verdict;
   states : int;
@@ -37,6 +82,7 @@ type 'o outcome = {
   safety_proved : bool;
   proved : bool;
   por : bool;
+  sym : sym_status;
   stats : Space.stats;
 }
 
@@ -69,6 +115,29 @@ let rt_equal a b =
   | C_fold f, C_fold g -> obj_equal f.acc g.acc
   | _ -> false
 
+(* Total order on runtimes with accumulators compared through the
+   fold's declared {e semantic} order ([fcmp]) when present: under a
+   symmetry quotient, transported accumulators must merge with stepped
+   ones even when their AVL shapes differ.  The two [C_fold]s at one
+   array index carry the same clause's fold, so the cast stays inside
+   one existential instance. *)
+let rt_cmp_sem a b =
+  match (a, b) with
+  | C_always _, C_always _ -> 0
+  | C_until u, C_until v -> Bool.compare u.released v.released
+  | C_fold f, C_fold g -> (
+    match f.fold.P.fcmp with
+    | Some c -> c f.acc (Obj.magic g.acc)
+    | None -> (
+      try Stdlib.compare (Obj.repr f.acc) (Obj.repr g.acc)
+      with Invalid_argument _ -> 0))
+  | C_always _, _ -> -1
+  | _, C_always _ -> 1
+  | C_until _, C_fold _ -> -1
+  | C_fold _, C_until _ -> 1
+
+let rt_equal_sem a b = rt_cmp_sem a b = 0
+
 type ('s, 'o) pstate =
   | Running of { sys : 's; summary : 'o P.state; rts : 'o rt array }
   | Latched of { clause : string; reason : string }
@@ -77,7 +146,8 @@ exception Latch of string * string
 
 let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
     ?(compiled = false) ?timings ?(len_cap = 8) ?(count_cap = 1)
-    ?(equal_out = Stdlib.( = )) ~equal_state ~hash_state ~n prop sys =
+    ?(equal_out = Stdlib.( = )) ?symmetry ?perm_out ~equal_state ~hash_state ~n
+    prop sys =
   (* Phase timings are an out-parameter, never part of the outcome
      record: a profiled run stays byte-identical to an unprofiled
      one. *)
@@ -97,12 +167,6 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
         | _ -> Either.Left (nm, c))
       (P.clauses prop)
   in
-  (* Stable judges read [last_output]/[output_counts], so when liveness
-     is in scope those fields join the product identity (counts capped
-     at [count_cap] — the catalog judges only test [>= live_min = 1]).
-     Under POR the sleep sets preserve states, not edges, so fair-cycle
-     search is off and the coarser safety identity suffices. *)
-  let track_live = stables <> [] && not por in
   let names = Array.of_list (List.map fst safety) in
   let init_rts =
     Array.of_list
@@ -166,16 +230,17 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
   (* Product identity: exactly the fields a safety clause may read (see
      the interface).  The trace summary is compared through the capped
      length and the crashed set; the stored representative is the one
-     discovered first. *)
-  let pequal a b =
+     discovered first.  [tl] is whether the liveness enrichment
+     (last outputs, capped counts) joins the identity. *)
+  let pequal_gen ~rt_eq tl a b =
     match (a, b) with
     | Latched a, Latched b -> String.equal a.clause b.clause && String.equal a.reason b.reason
     | Running a, Running b ->
       equal_state a.sys b.sys
       && min a.summary.P.len len_cap = min b.summary.P.len len_cap
       && Loc.Set.equal a.summary.P.crashed b.summary.P.crashed
-      && Array.for_all2 rt_equal a.rts b.rts
-      && (not track_live
+      && Array.for_all2 rt_eq a.rts b.rts
+      && (not tl
          || Loc.Map.equal equal_out a.summary.P.last_output b.summary.P.last_output
             && Loc.Map.equal
                  (fun x y -> min x count_cap = min y count_cap)
@@ -183,7 +248,7 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
     | Latched _, Running _ | Running _, Latched _ -> false
   in
   let mix h v = (h * 131) + v in
-  let phash = function
+  let phash_gen tl = function
     | Latched { clause; reason } -> Hashtbl.hash (clause, reason)
     | Running r ->
       let h = mix (hash_state r.sys) (min r.summary.P.len len_cap) in
@@ -195,7 +260,7 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
           (fun h c -> match c with C_until u -> mix h (Bool.to_int u.released) | _ -> h)
           h r.rts
       in
-      if not track_live then h
+      if not tl then h
       else begin
         (* Congruent with the enriched equality: [equal_out] may be
            coarser than structural equality on payloads, so only the
@@ -210,16 +275,155 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
                 (Loc.Map.bindings r.summary.P.output_counts)))
       end
   in
+  (* --- symmetry: lift the declared system action to product states,
+     certify equivariance over the quotient, or fall back --- *)
+  let t0s = Unix.gettimeofday () in
+  let sym_resolved =
+    match (symmetry, perm_out) with
+    | None, _ -> `Off
+    | Some _, None -> `Fallback "spec declares no output transport (perm_out)"
+    | Some sy, Some perm_o -> (
+      match
+        List.find_map
+          (fun (nm, c) ->
+            match c with
+            | P.Fold f when f.P.fperm = None ->
+              Some (nm, "accumulator transport (fperm)")
+            | P.Fold f when f.P.fcmp = None ->
+              Some (nm, "semantic accumulator order (fcmp)")
+            | _ -> None)
+          (P.clauses prop)
+      with
+      | Some (nm, what) ->
+        `Fallback (Printf.sprintf "fold clause %s has no %s" nm what)
+      | None ->
+        let perm_summary pif st = P.permute pif (perm_o pif) st in
+        let perm_rt pif = function
+          | (C_always _ | C_until _) as c -> c
+          | C_fold { fold; acc } -> (
+            match fold.P.fperm with
+            | Some fp -> C_fold { fold; acc = fp pif acc }
+            | None -> assert false)
+        in
+        let pperm pif = function
+          | Latched _ as st -> st
+          | Running r ->
+            Running
+              { sys = sy.Probe.sy_state pif r.sys;
+                summary = perm_summary pif r.summary;
+                rts = Array.map (perm_rt pif) r.rts;
+              }
+        in
+        (* A total order congruent with [pequal_gen false]: orbit minima
+           are canonical representatives.  The liveness enrichment is
+           deliberately absent — under a quotient, liveness is not
+           checked (see below), exactly as under POR. *)
+        let pcmp a b =
+          match (a, b) with
+          | Latched a, Latched b ->
+            Stdlib.compare (a.clause, a.reason) (b.clause, b.reason)
+          | Latched _, Running _ -> -1
+          | Running _, Latched _ -> 1
+          | Running a, Running b ->
+            let c = sy.Probe.sy_cmp a.sys b.sys in
+            if c <> 0 then c
+            else
+              let c =
+                Stdlib.compare (min a.summary.P.len len_cap) (min b.summary.P.len len_cap)
+              in
+              if c <> 0 then c
+              else
+                let c = Symm.cmp_set a.summary.P.crashed b.summary.P.crashed in
+                if c <> 0 then c
+                else begin
+                  let res = ref 0 and i = ref 0 in
+                  let la = Array.length a.rts in
+                  while !res = 0 && !i < la do
+                    res := rt_cmp_sem a.rts.(!i) b.rts.(!i);
+                    incr i
+                  done;
+                  !res
+                end
+        in
+        let psy =
+          { Probe.sy_n = n;
+            sy_state = pperm;
+            sy_action = sy.Probe.sy_action;
+            sy_cmp = pcmp;
+            sy_fields = [];
+          }
+        in
+        (* Certification sweep over the quotient product.  Latched
+           states compare by clause only: latch reasons embed permuted
+           location names, and a latch is absorbing, so the coarse
+           identity is still a bisimulation on the part that matters. *)
+        let arelax a b =
+          match (a, b) with
+          | Latched a, Latched b -> String.equal a.clause b.clause
+          | _ -> pequal_gen ~rt_eq:rt_equal_sem false a b
+        in
+        let ahash = function
+          | Latched { clause; _ } -> Hashtbl.hash clause
+          | st -> phash_gen false st
+        in
+        (* Event equality through [equal_out]: permuted payloads are
+           rebuilt sets/maps whose AVL shape may differ from stepped
+           ones, so structural equality would yield spurious breaking
+           witnesses. *)
+        let equal_event a b =
+          match (a, b) with
+          | Fd_event.Crash i, Fd_event.Crash j -> i = j
+          | Fd_event.Output (i, x), Fd_event.Output (j, y) ->
+            i = j && equal_out x y
+          | Fd_event.Crash _, Fd_event.Output _
+          | Fd_event.Output _, Fd_event.Crash _ -> false
+        in
+        let aprobe =
+          Probe.make ~equal_state:arelax ~hash_state:ahash
+            ~equal_action:equal_event ~max_states ~symm:psy []
+        in
+        (match Symm.analyze product aprobe with
+        | Symm.Certified cert -> `Quotient (cert, psy)
+        | Symm.Breaking w -> `Breaking w
+        | Symm.Unsupported r -> `Fallback r))
+  in
+  if Option.is_some symmetry then t_rec "symmetry" (Unix.gettimeofday () -. t0s);
+  let quotient =
+    match sym_resolved with `Quotient (_, psy) -> Some psy | _ -> None
+  in
+  let sym =
+    match sym_resolved with
+    | `Off -> Sym_off
+    | `Fallback r -> Sym_fallback r
+    | `Breaking w -> Sym_breaking w
+    | `Quotient (cert, _) -> Sym_quotient cert
+  in
+  (* Stable judges read [last_output]/[output_counts], so when liveness
+     is in scope those fields join the product identity (counts capped
+     at [count_cap] — the catalog judges only test [>= live_min = 1]).
+     Under POR the sleep sets preserve states, not edges, so fair-cycle
+     search is off and the coarser safety identity suffices; a symmetry
+     quotient merges fair cycles the same way, so liveness is off
+     there too. *)
+  let track_live = stables <> [] && not por && Option.is_none quotient in
+  (* Unreduced runs keep the historical structural accumulator
+     identity (byte-identical outcomes); quotient runs need the
+     semantic one so transported accumulators merge. *)
+  let rt_eq = if Option.is_some quotient then rt_equal_sem else rt_equal in
+  let pequal = pequal_gen ~rt_eq track_live in
+  let phash = phash_gen track_live in
   let probe = Probe.make ~equal_state:pequal ~hash_state:phash ~max_states [] in
+  let symmetry_fn = Option.map Symm.canonizer quotient in
   (* Pspace and Cspace are structurally identical to Space at any
      [jobs], so every verdict, counterexample, and liveness lasso below
      is byte-for-byte independent of the domain count and of
      [compiled]. *)
   let t0 = Unix.gettimeofday () in
   let space =
-    if compiled then Cspace.explore ~por ~jobs ?profile:sub_profile product probe
-    else if jobs <= 1 then Space.explore ~por product probe
-    else Pspace.explore ~por ~jobs ?profile:sub_profile product probe
+    if compiled then
+      Cspace.explore ~por ?symmetry:symmetry_fn ~jobs ?profile:sub_profile product probe
+    else if jobs <= 1 then Space.explore ~por ?symmetry:symmetry_fn product probe
+    else Pspace.explore ~por ?symmetry:symmetry_fn ~jobs ?profile:sub_profile product probe
   in
   let t1 = Unix.gettimeofday () in
   t_rec "explore" (t1 -. t0);
@@ -295,12 +499,60 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
       | Some (clause, reason) -> record `Judgement clause reason
       | None -> ()
   done;
+  (* Under a quotient the stored parent edges carry representative
+     states and orbit-internal actions; stitching them together is not
+     a run of the original system.  Lift instead: walk the chain
+     maintaining the permutation [rho] with s_i = rho_i(r_i) for the
+     genuine original run s_0 s_1 ... — each emitted action is
+     rho_i(a_i), and rho advances by the canonizing permutation of the
+     raw successor.  The lifted path replays through the monitor, which
+     independently re-derives the violation. *)
+  let lift_path psy i =
+    let cw = Symm.canonizer_w psy in
+    let rec collect j acc =
+      match space.Space.parent.(j) with
+      | None -> acc
+      | Some (p, a) -> collect p ((p, a) :: acc)
+    in
+    let steps = collect i [] in
+    let _, sigma0 = cw product.Automaton.start in
+    let rho = ref (Symm.Perm.inverse sigma0) in
+    List.map
+      (fun (j, a) ->
+        let b = psy.Probe.sy_action (Symm.Perm.apply !rho) a in
+        (match pstep space.Space.states.(j) a with
+        | Some t ->
+          let _, sigma = cw t in
+          rho := Symm.Perm.compose !rho (Symm.Perm.inverse sigma)
+        | None -> ());
+        b)
+      steps
+  in
+  let path_of i =
+    match quotient with
+    | None -> Space.path_actions space i
+    | Some psy -> lift_path psy i
+  in
   let violations =
     List.rev_map
       (fun (i, kind, clause, reason) ->
-        let path = Space.path_actions space i in
+        let path = path_of i in
+        let replay = Monitor.replay ~n prop path in
+        let confirmed = Verdict.is_violated replay in
+        (* A quotient-discovered latch reason names representative
+           locations; the replay of the lifted path names the real
+           ones (minus the clause prefix the monitor prepends). *)
+        let reason =
+          match (quotient, replay) with
+          | Some _, Verdict.Violated r ->
+            let prefix = clause ^ ": " in
+            let lp = String.length prefix in
+            if String.length r >= lp && String.equal (String.sub r 0 lp) prefix
+            then String.sub r lp (String.length r - lp)
+            else r
+          | _ -> reason
+        in
         let counterexample = Counterexample.of_path ~clause ~reason path in
-        let confirmed = Verdict.is_violated (Monitor.replay ~n prop path) in
         { clause; reason; kind; depth = space.Space.depth.(i); counterexample; confirmed })
       !candidates
     |> List.sort (fun a b -> compare a.depth b.depth)
@@ -317,7 +569,7 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
      {e absence} of a pivot proves the clause only under [Exhausted]. *)
   let liveness_proved, liveness_skipped, lassos =
     if stables = [] then ([], [], [])
-    else if por then ([], List.map fst stables, [])
+    else if por || Option.is_some quotient then ([], List.map fst stables, [])
     else begin
       let live = Live.analyze product space in
       let proved = ref [] and skipped = ref [] and lassos = ref [] in
@@ -396,11 +648,53 @@ let check ?(max_states = default_max_states) ?(por = false) ?(jobs = 1)
     safety_proved;
     proved = safety_proved && liveness_skipped = [] && lassos = [];
     por;
+    sym;
     stats = space.Space.stats;
   }
 
+(* The detector+crash pair as a plain automaton, replicating
+   [Composition.as_automaton] on exactly two components: same signature
+   priority (Output > Internal > Input), same rule that every
+   in-signature component must accept the action (out-of-signature
+   components pass their state through), same "<component>/<task>"
+   task names — so the pair is trace-equivalent to the composition the
+   unreduced path explores.  The point of the replica: the pair state
+   is a first-order tuple a process permutation can act on, while
+   [Composition.state] hides component states behind an existential. *)
+let pair_automaton (det : ('s, 'a) Automaton.t) (crash : (Loc.Set.t, 'a) Automaton.t) :
+    ('s * Loc.Set.t, 'a) Automaton.t =
+  let kind a =
+    match (det.Automaton.kind a, crash.Automaton.kind a) with
+    | Some Automaton.Output, _ | _, Some Automaton.Output -> Some Automaton.Output
+    | Some Automaton.Internal, _ | _, Some Automaton.Internal ->
+      Some Automaton.Internal
+    | Some Automaton.Input, _ | _, Some Automaton.Input -> Some Automaton.Input
+    | None, None -> None
+  in
+  let step (s, c) a =
+    let ds = if det.Automaton.kind a = None then Some s else det.Automaton.step s a in
+    let cs =
+      if crash.Automaton.kind a = None then Some c else crash.Automaton.step c a
+    in
+    match (ds, cs) with Some s', Some c' -> Some (s', c') | _ -> None
+  in
+  let lift name proj (tk : _ Automaton.task) =
+    { Automaton.task_name = name ^ "/" ^ tk.Automaton.task_name;
+      fair = tk.Automaton.fair;
+      enabled = (fun st -> tk.Automaton.enabled (proj st));
+    }
+  in
+  { Automaton.name = det.Automaton.name ^ "+crash";
+    kind;
+    start = (det.Automaton.start, crash.Automaton.start);
+    step;
+    tasks =
+      List.map (lift det.Automaton.name fst) det.Automaton.tasks
+      @ List.map (lift crash.Automaton.name snd) crash.Automaton.tasks;
+  }
+
 let check_spec ?max_states ?por ?jobs ?compiled ?timings ?len_cap ?count_cap
-    ?crashable ~n spec ~detector =
+    ?crashable ?symmetry ~n spec ~detector =
   match spec.Afd_core.Afd.prop with
   | None ->
     Error
@@ -408,18 +702,165 @@ let check_spec ?max_states ?por ?jobs ?compiled ?timings ?len_cap ?count_cap
          spec.Afd_core.Afd.name)
   | Some prop ->
     let crashable = Option.value ~default:(Loc.set_of_universe ~n) crashable in
-    let comp =
-      Composition.make
-        ~name:(detector.Automaton.name ^ "+crash")
-        [ Component.C detector;
-          Component.C (Afd_core.Afd_automata.crash_automaton ~n ~crashable);
-        ]
+    let crash = Afd_core.Afd_automata.crash_automaton ~n ~crashable in
+    let unreduced ?sym () =
+      let comp =
+        Composition.make
+          ~name:(detector.Automaton.name ^ "+crash")
+          [ Component.C detector; Component.C crash ]
+      in
+      let o =
+        check ?max_states ?por ?jobs ?compiled ?timings ?len_cap ?count_cap
+          ~equal_out:spec.Afd_core.Afd.equal_out ~equal_state:Composition.equal_state
+          ~hash_state:Composition.hash_state ~n (prop ~n)
+          (Composition.as_automaton comp)
+      in
+      match sym with None -> o | Some s -> { o with sym = s }
     in
-    Ok
-      (check ?max_states ?por ?jobs ?compiled ?timings ?len_cap ?count_cap
-         ~equal_out:spec.Afd_core.Afd.equal_out ~equal_state:Composition.equal_state
-         ~hash_state:Composition.hash_state ~n (prop ~n)
-         (Composition.as_automaton comp))
+    (match symmetry with
+    | None -> Ok (unreduced ())
+    | Some dsym -> (
+      match spec.Afd_core.Afd.perm_out with
+      | None ->
+        Ok
+          (unreduced
+             ~sym:(Sym_fallback "spec declares no output transport (perm_out)")
+             ())
+      | Some perm_o ->
+        (* Pair identity through the declared semantic order — shape
+           differences introduced by [ss_perm] must not split
+           states. *)
+        let psym = sym_pair dsym sym_set in
+        let eq_pair a b = psym.ss_cmp a b = 0 in
+        let sy =
+          { Probe.sy_n = n;
+            sy_state = psym.ss_perm;
+            sy_action = Symm.perm_event perm_o;
+            sy_cmp = psym.ss_cmp;
+            sy_fields = [];
+          }
+        in
+        Ok
+          (check ?max_states ?por ?jobs ?compiled ?timings ?len_cap ?count_cap
+             ~equal_out:spec.Afd_core.Afd.equal_out ~symmetry:sy ~perm_out:perm_o
+             ~equal_state:eq_pair ~hash_state:psym.ss_hash ~n (prop ~n)
+             (pair_automaton detector crash))))
+
+(* --- parametric cutoff search --- *)
+
+type point = {
+  pt_n : int;
+  pt_orbits : int;  (** quotient states explored at this n *)
+  pt_transitions : int;
+  pt_verdict : Space.verdict;
+  pt_proved : bool;  (** safety proved at this n (quotient exhausted, no violation) *)
+  pt_violated : string list;  (** violated clauses, when any *)
+  pt_raw_states : int option;
+      (** unreduced state count at the same n, when the unreduced run
+          exhausts within budget; [None] when it truncates *)
+}
+
+type parametric_verdict =
+  | Cutoff_candidate of { n0 : int; upto : int }
+  | Proved_upto of int
+  | Refuted_at of int
+  | Unverified of string
+
+type parametric = {
+  par_points : point list;
+  par_verdict : parametric_verdict;
+  par_sym : sym_status;
+}
+
+(* Proved points needed before a run of exhausted-and-proved instances
+   is reported as a cutoff candidate rather than a plain bounded
+   result.  Heuristic in the spirit of Emerson–Namjoshi cutoffs: the
+   verdict is explicitly a candidate, never a proof for all n. *)
+let cutoff_window = 3
+
+let parametric ?max_states ?(ns = [ 2; 3; 4; 5 ]) ?crashable ~symmetry spec
+    ~detector =
+  let points = ref [] in
+  let sym = ref Sym_off in
+  let halted = ref None in
+  (try
+     List.iter
+       (fun n ->
+         match
+           check_spec ?max_states ?crashable ~symmetry ~n spec
+             ~detector:(detector n)
+         with
+         | Error e ->
+           halted := Some (Unverified e);
+           raise Exit
+         | Ok o ->
+           sym := o.sym;
+           (match o.sym with
+           | Sym_quotient _ ->
+             let raw =
+               match check_spec ?max_states ?crashable ~n spec ~detector:(detector n) with
+               | Ok r when r.verdict = Space.Exhausted -> Some r.states
+               | Ok _ | Error _ -> None
+             in
+             let violated =
+               List.map (fun v -> v.clause) o.violations
+               @ List.map (fun l -> l.l_clause) o.lassos
+             in
+             let pt =
+               { pt_n = n;
+                 pt_orbits = o.states;
+                 pt_transitions = o.transitions;
+                 pt_verdict = o.verdict;
+                 pt_proved = o.safety_proved;
+                 pt_violated = violated;
+                 pt_raw_states = raw;
+               }
+             in
+             points := pt :: !points;
+             if violated <> [] then begin
+               halted := Some (Refuted_at n);
+               raise Exit
+             end;
+             (* Larger instances only grow: once the budget truncates,
+                stop climbing. *)
+             if o.verdict <> Space.Exhausted then raise Exit
+           | Sym_breaking _ | Sym_fallback _ | Sym_off ->
+             (* Not quotientable (or symmetry was not engaged): the
+                parametric ladder has no sound footing; report why. *)
+             raise Exit))
+       ns
+   with Exit -> ());
+  let par_points = List.rev !points in
+  let proved =
+    List.filter (fun p -> p.pt_proved && p.pt_verdict = Space.Exhausted) par_points
+  in
+  let par_verdict =
+    match !halted with
+    | Some v -> v
+    | None -> (
+      match proved with
+      | [] ->
+        Unverified
+          (match !sym with
+          | Sym_breaking w -> Fmt.str "symmetry-breaking: %a" Symm.pp_witness w
+          | Sym_fallback r -> "uncertified: " ^ r
+          | Sym_off | Sym_quotient _ -> "no instance exhausted within budget")
+      | ps ->
+        let n0 = (List.hd ps).pt_n in
+        let upto = (List.nth ps (List.length ps - 1)).pt_n in
+        if List.length ps >= cutoff_window then Cutoff_candidate { n0; upto }
+        else Proved_upto upto)
+  in
+  { par_points; par_verdict; par_sym = !sym }
+
+let pp_sym_status fmt = function
+  | Sym_off -> Fmt.string fmt "off"
+  | Sym_quotient c ->
+    Format.fprintf fmt "certified (%d reps x %d perms%s)" c.Symm.c_states
+      c.Symm.c_perms
+      (if c.Symm.c_exhaustive then "" else ", bounded")
+  | Sym_breaking w -> Format.fprintf fmt "breaking: %a" Symm.pp_witness w
+  | Sym_fallback r -> Format.fprintf fmt "uncertified: %s" r
 
 let pp_outcome ~pp_out fmt o =
   Format.fprintf fmt "@[<v>%s: %d states, %d transitions (%a%s)"
@@ -428,13 +869,17 @@ let pp_outcome ~pp_out fmt o =
      else "VIOLATED")
     o.states o.transitions Space.pp_verdict o.verdict
     (if o.por then Printf.sprintf ", por slept %d" o.stats.Space.slept else "");
+  (match o.sym with
+  | Sym_off -> ()
+  | s -> Format.fprintf fmt "@,symmetry: %a" pp_sym_status s);
   Format.fprintf fmt "@,safety clauses: %s" (String.concat ", " o.safety_clauses);
   if o.liveness_proved <> [] then
     Format.fprintf fmt "@,liveness proved (no fair violating cycle): %s"
       (String.concat ", " o.liveness_proved);
   if o.liveness_skipped <> [] then
     Format.fprintf fmt "@,liveness skipped (%s): %s"
-      (if o.por then "por" else "truncated")
+      (if o.por then "por"
+       else match o.sym with Sym_quotient _ -> "symmetry" | _ -> "truncated")
       (String.concat ", " o.liveness_skipped);
   List.iter
     (fun v ->
@@ -472,6 +917,37 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let sym_status_to_json s =
+  let str x = "\"" ^ json_escape x ^ "\"" in
+  match s with
+  | Sym_off -> "{\"status\":\"off\"}"
+  | Sym_quotient c ->
+    Printf.sprintf
+      "{\"status\":\"certified\",\"n\":%d,\"reps\":%d,\"perms\":%d,\"exhaustive\":%b,\"fields\":[%s]}"
+      c.Symm.c_n c.Symm.c_states c.Symm.c_perms c.Symm.c_exhaustive
+      (String.concat ","
+         (List.map
+            (fun (nm, cls) ->
+              Printf.sprintf "{\"name\":%s,\"class\":%s}" (str nm)
+                (str (match cls with `Indexed -> "indexed" | `Invariant -> "invariant")))
+            c.Symm.c_fields))
+  | Sym_breaking w ->
+    Printf.sprintf
+      "{\"status\":\"breaking\",\"kind\":%s,\"perm\":%s,\"state\":%d,\"field\":%s,\"task\":%s,\"detail\":%s}"
+      (str
+         (match w.Symm.w_kind with
+         | `Signature -> "signature"
+         | `Step -> "step"
+         | `Enabled -> "enabled"
+         | `Task -> "task"
+         | `Probe -> "probe"
+         | `Field -> "field"))
+      (str w.Symm.w_perm) w.Symm.w_state
+      (match w.Symm.w_field with None -> "null" | Some f -> str f)
+      (match w.Symm.w_task with None -> "null" | Some t -> str t)
+      (str w.Symm.w_detail)
+  | Sym_fallback r -> Printf.sprintf "{\"status\":\"uncertified\",\"reason\":%s}" (str r)
+
 let outcome_to_json ?(timings = []) ~pp_out o =
   let str s = "\"" ^ json_escape s ^ "\"" in
   let strs l = "[" ^ String.concat "," (List.map str l) ^ "]" in
@@ -493,8 +969,10 @@ let outcome_to_json ?(timings = []) ~pp_out o =
       (str (match l.l_kind with `Cycle -> "fair-cycle" | `Stop -> "fair-stop"))
       l.l_depth (str l.l_reason) l.l_confirmed (events l.l_stem) (events l.l_cycle)
   in
-  (* The profile field appears only when timings were collected, so
-     unprofiled reports stay byte-identical across explorer choices. *)
+  (* The profile field appears only when timings were collected, and
+     the sym field only when symmetry was requested, so default
+     reports stay byte-identical across explorer choices and across
+     this feature's introduction. *)
   let profile_field =
     match timings with
     | [] -> ""
@@ -503,12 +981,64 @@ let outcome_to_json ?(timings = []) ~pp_out o =
         (String.concat ","
            (List.map (fun (k, dt) -> Printf.sprintf "%s:%.6f" (str k) dt) ts))
   in
+  let sym_field =
+    match o.sym with
+    | Sym_off -> ""
+    | s -> Printf.sprintf ",\"sym\":%s" (sym_status_to_json s)
+  in
   Printf.sprintf
-    "{\"verdict\":%s,\"proved\":%b,\"safety_proved\":%b,\"states\":%d,\"transitions\":%d,\"por\":%b,\"slept\":%d,\"cut\":%d,\"safety_clauses\":%s,\"liveness_clauses\":%s,\"liveness_proved\":%s,\"liveness_skipped\":%s,\"violations\":[%s],\"lassos\":[%s]%s}"
+    "{\"verdict\":%s,\"proved\":%b,\"safety_proved\":%b,\"states\":%d,\"transitions\":%d,\"por\":%b,\"slept\":%d,\"cut\":%d,\"safety_clauses\":%s,\"liveness_clauses\":%s,\"liveness_proved\":%s,\"liveness_skipped\":%s,\"violations\":[%s],\"lassos\":[%s]%s%s}"
     (str (Space.verdict_string o.verdict))
     o.proved o.safety_proved o.states o.transitions o.por o.stats.Space.slept
     o.stats.Space.cut (strs o.safety_clauses) (strs o.liveness_clauses)
     (strs o.liveness_proved) (strs o.liveness_skipped)
     (String.concat "," (List.map violation o.violations))
     (String.concat "," (List.map lasso o.lassos))
-    profile_field
+    sym_field profile_field
+
+let pp_parametric fmt p =
+  Format.fprintf fmt "@[<v>parametric: %s"
+    (match p.par_verdict with
+    | Cutoff_candidate { n0; upto } ->
+      Printf.sprintf "cutoff candidate at n0=%d (proved for n=%d..%d)" n0 n0 upto
+    | Proved_upto n -> Printf.sprintf "proved up to n=%d" n
+    | Refuted_at n -> Printf.sprintf "refuted at n=%d" n
+    | Unverified r -> "unverified: " ^ r);
+  (match p.par_sym with
+  | Sym_off -> ()
+  | s -> Format.fprintf fmt "@,symmetry: %a" pp_sym_status s);
+  List.iter
+    (fun pt ->
+      Format.fprintf fmt "@,n=%d: %d orbits, %d transitions (%a)%s%s" pt.pt_n
+        pt.pt_orbits pt.pt_transitions Space.pp_verdict pt.pt_verdict
+        (match pt.pt_raw_states with
+        | Some s -> Printf.sprintf ", unreduced %d states" s
+        | None -> ", unreduced exceeds budget")
+        (if pt.pt_violated <> [] then
+           " VIOLATED: " ^ String.concat ", " pt.pt_violated
+         else ""))
+    p.par_points;
+  Format.fprintf fmt "@]"
+
+let parametric_to_json p =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let point pt =
+    Printf.sprintf
+      "{\"n\":%d,\"orbits\":%d,\"transitions\":%d,\"verdict\":%s,\"proved\":%b,\"violated\":[%s],\"raw_states\":%s}"
+      pt.pt_n pt.pt_orbits pt.pt_transitions
+      (str (Space.verdict_string pt.pt_verdict))
+      pt.pt_proved
+      (String.concat "," (List.map str pt.pt_violated))
+      (match pt.pt_raw_states with Some s -> string_of_int s | None -> "null")
+  in
+  let verdict =
+    match p.par_verdict with
+    | Cutoff_candidate { n0; upto } ->
+      Printf.sprintf "{\"kind\":\"cutoff-candidate\",\"n0\":%d,\"upto\":%d}" n0 upto
+    | Proved_upto n -> Printf.sprintf "{\"kind\":\"proved-upto\",\"n\":%d}" n
+    | Refuted_at n -> Printf.sprintf "{\"kind\":\"refuted\",\"n\":%d}" n
+    | Unverified r -> Printf.sprintf "{\"kind\":\"unverified\",\"reason\":%s}" (str r)
+  in
+  Printf.sprintf "{\"verdict\":%s,\"sym\":%s,\"points\":[%s]}" verdict
+    (sym_status_to_json p.par_sym)
+    (String.concat "," (List.map point p.par_points))

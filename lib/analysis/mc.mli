@@ -82,6 +82,44 @@ type 'o lasso = {
           every time *)
 }
 
+(** How symmetry reduction went for a run.  [Sym_quotient] carries the
+    equivariance certificate: the exploration ran on orbit
+    representatives, and the safety verdict transfers to the full
+    system (see the soundness argument in {!Symm}).  [Sym_breaking]
+    and [Sym_fallback] runs are plain unreduced runs — requesting
+    symmetry never makes a verdict weaker, only the state count
+    smaller. *)
+type sym_status =
+  | Sym_off  (** symmetry not requested *)
+  | Sym_quotient of Symm.certificate
+      (** certified equivariant; exploration was orbit-quotiented *)
+  | Sym_breaking of Symm.witness
+      (** a concrete equivariance failure; ran unreduced *)
+  | Sym_fallback of string
+      (** certification unavailable (missing [perm_out]/[fperm]
+          transport, n out of range, ...); ran unreduced *)
+
+(** A permutation action on detector states with a {e semantic} total
+    order and a congruent hash.  All three matter: polymorphic
+    compare/hash are AVL-shape-sensitive on sets and maps, so a
+    transported state could spuriously differ from a stepped one. *)
+type 's state_symmetry = {
+  ss_perm : (int -> int) -> 's -> 's;
+  ss_cmp : 's -> 's -> int;  (** [ss_cmp x y = 0] iff semantically equal *)
+  ss_hash : 's -> int;  (** congruent with [ss_cmp]-equality *)
+}
+
+val sym_set : Loc.Set.t state_symmetry
+(** The action on suspect-set states: [Loc.Set.map]. *)
+
+val sym_pair : 'a state_symmetry -> 'b state_symmetry -> ('a * 'b) state_symmetry
+
+val sym_rigid : 'a state_symmetry
+(** The trivial action, for identity-independent state components
+    (flags, counters, scripted noise) — structural order and hash.
+    Declaring a genuinely process-indexed component rigid yields a
+    breaking witness, never an unsound quotient. *)
+
 type 'o outcome = {
   verdict : Space.verdict;  (** completeness of the product exploration *)
   states : int;  (** product states discovered *)
@@ -93,8 +131,9 @@ type 'o outcome = {
           violating fair stop, under an [Exhausted] unreduced
           exploration: they hold on every fair execution *)
   liveness_skipped : string list;
-      (** [Stable] clauses left undecided — exploration truncated or
-          [por] on *)
+      (** [Stable] clauses left undecided — exploration truncated,
+          [por] on, or symmetry quotient engaged (orbit merging
+          preserves states, not fair cycles) *)
   violations : 'o violation list;
       (** at most one per safety clause (the shallowest), ascending depth *)
   lassos : 'o lasso list;  (** one per refuted [Stable] clause *)
@@ -104,6 +143,7 @@ type 'o outcome = {
       (** [safety_proved] and every [Stable] clause proved: the whole
           formula holds on every fair execution of the system *)
   por : bool;
+  sym : sym_status;
   stats : Space.stats;
 }
 
@@ -119,6 +159,8 @@ val check :
   ?len_cap:int ->
   ?count_cap:int ->
   ?equal_out:('o -> 'o -> bool) ->
+  ?symmetry:('s, 'o Fd_event.t) Probe.symmetry ->
+  ?perm_out:((int -> int) -> 'o -> 'o) ->
   equal_state:('s -> 's -> bool) ->
   hash_state:('s -> int) ->
   n:int ->
@@ -143,7 +185,18 @@ val check :
     [timings], when given, accumulates per-phase wall-clock seconds
     ([explore], [clause_eval], [lasso], plus [explore.*] sub-phases
     from the parallel/compiled explorers) without touching the
-    outcome. *)
+    outcome.
+
+    [symmetry], when given, is the process-permutation action on
+    system states; [perm_out] the action on output payloads.  The
+    checker lifts them to product states, runs the {!Symm} equivariance
+    sweep over the quotient, and — only on a certificate — explores
+    orbit representatives instead of states.  Counterexamples found in
+    the quotient are lifted back to genuine runs of the original
+    system (and replay-confirmed as always); liveness is skipped, as
+    under [por].  [sy_cmp] in the descriptor must order exactly the
+    states [equal_state] merges ([sy_cmp x y = 0] iff
+    [equal_state x y]). *)
 
 val check_spec :
   ?max_states:int ->
@@ -154,6 +207,7 @@ val check_spec :
   ?len_cap:int ->
   ?count_cap:int ->
   ?crashable:Loc.Set.t ->
+  ?symmetry:'s state_symmetry ->
   n:int ->
   'o Afd_core.Afd.spec ->
   detector:('s, 'o Fd_event.t) Automaton.t ->
@@ -161,7 +215,72 @@ val check_spec :
 (** Compose [detector] with the crash automaton over [crashable]
     (default: the full universe, i.e. {e all} fault patterns) and
     {!check} the spec's compiled formula against it.  [Error] when the
-    spec is raw (no formula to check). *)
+    spec is raw (no formula to check).
+
+    [symmetry], when given, is the permutation action on the
+    {e detector's} state.  The detector+crash pair is then built as a
+    first-order pair automaton trace-equivalent to the composition
+    (whose existential component states a permutation cannot reach),
+    the crash set permutes by {!sym_set}, actions by the spec's
+    [perm_out], and {!check} runs with the lifted descriptor.  A spec
+    without [perm_out] falls back to the unreduced composition with
+    [sym = Sym_fallback]. *)
+
+(** {1 Parametric cutoff search}
+
+    Verify a certified-symmetric subject at n0, n0+1, ... and report a
+    parametric verdict with the orbit-vs-state growth curve.  In the
+    spirit of parameterized cutoff results (Emerson–Namjoshi; Tran,
+    Konnov, Widder's failure-detector case study): a run of
+    consecutively proved instances is reported as a {e cutoff
+    candidate} — explicitly a candidate, never a proof for all n. *)
+
+type point = {
+  pt_n : int;
+  pt_orbits : int;  (** quotient states explored at this n *)
+  pt_transitions : int;
+  pt_verdict : Space.verdict;
+  pt_proved : bool;  (** safety proved at this n *)
+  pt_violated : string list;  (** violated clauses, when any *)
+  pt_raw_states : int option;
+      (** unreduced state count at the same n when the unreduced run
+          exhausts within budget; [None] when it truncates — the
+          quotient reached an instance brute force cannot *)
+}
+
+type parametric_verdict =
+  | Cutoff_candidate of { n0 : int; upto : int }
+      (** >= 3 consecutive instances proved from [n0]; candidate only *)
+  | Proved_upto of int  (** some instances proved, fewer than the window *)
+  | Refuted_at of int  (** a violation at this instance size *)
+  | Unverified of string  (** no footing: breaking, uncertified, or budget *)
+
+type parametric = {
+  par_points : point list;  (** ascending n, one per instance attempted *)
+  par_verdict : parametric_verdict;
+  par_sym : sym_status;  (** status at the last instance attempted *)
+}
+
+val parametric :
+  ?max_states:int ->
+  ?ns:int list ->
+  ?crashable:Loc.Set.t ->
+  symmetry:'s state_symmetry ->
+  'o Afd_core.Afd.spec ->
+  detector:(int -> ('s, 'o Fd_event.t) Automaton.t) ->
+  parametric
+(** Run {!check_spec} with [symmetry] at each [n] in [ns] (default
+    [2; 3; 4; 5], must be ascending).  The ladder stops at the first
+    refutation, the first instance whose symmetry certification fails
+    (per-n statuses differ: a k-set detector can be equivariant at
+    n = k and breaking above), or the first budget truncation.  Each
+    proved point also runs the unreduced instance to record the
+    orbit-vs-state curve ([pt_raw_states]). *)
+
+val pp_parametric : Format.formatter -> parametric -> unit
+val parametric_to_json : parametric -> string
+
+val pp_sym_status : Format.formatter -> sym_status -> unit
 
 val pp_outcome : pp_out:'o Fmt.t -> Format.formatter -> 'o outcome -> unit
 
@@ -170,5 +289,6 @@ val outcome_to_json :
 (** One JSON object: verdict, proved, state/transition counts, clause
     lists, POR stats and the violations with their counterexamples.
     [timings] (default empty) appends a ["profile"] object of per-phase
-    seconds; when empty the output is byte-identical to earlier
+    seconds; a ["sym"] object appears only when symmetry was requested
+    ([sym <> Sym_off]) — so default output is byte-identical to earlier
     versions. *)

@@ -11,6 +11,37 @@
     weakens the lint, never the automaton — the rules report a
     [Warning] when a universe is empty rather than silently passing. *)
 
+(** One declared state field for the symmetry analyzer ({!Symm}): a
+    name, a projection, how a process permutation {e would} transport
+    the field's content, and an equality to compare transported
+    contents.  The analyzer {e infers} the classification
+    (identity-independent / process-indexed / symmetry-breaking); the
+    declaration never asserts it. *)
+type 's sym_field =
+  | F : {
+      f_name : string;
+      f_proj : 's -> 'f;
+      f_perm : (int -> int) -> 'f -> 'f;
+      f_equal : 'f -> 'f -> bool;
+    }
+      -> 's sym_field
+
+(** How the symmetric group S_n acts on an automaton's states and
+    actions.  Declaring a symmetry never asserts equivariance — the
+    {!Symm} analyzer checks the step/enabledness/signature functions
+    against the declared action and either certifies the subject or
+    produces a concrete breaking witness. *)
+type ('s, 'a) symmetry = {
+  sy_n : int;  (** the process universe the permutations act on *)
+  sy_state : (int -> int) -> 's -> 's;
+  sy_action : (int -> int) -> 'a -> 'a;
+  sy_cmp : 's -> 's -> int;
+      (** total order on states, congruent with [equal_state]
+          ([sy_cmp a b = 0] iff [equal_state a b]) — the orbit
+          canonicalizer takes the minimum of a state's orbit under it *)
+  sy_fields : 's sym_field list;
+}
+
 type ('s, 'a) t = {
   actions : 'a list;  (** representative actions, inputs and outputs alike *)
   seed_states : 's list;  (** extra exploration seeds besides the start state *)
@@ -32,6 +63,10 @@ type ('s, 'a) t = {
       (** For automata built by {!Afd_ioa.Automaton.hide}: the
           signature of the unhidden base.  The hiding sanity rule
           demands that hiding only reclassifies outputs as internal. *)
+  symm : ('s, 'a) symmetry option;
+      (** Declared S_n action for the symmetry analyzer; [None] means
+          the subject cannot be certified and always explores
+          unreduced. *)
 }
 
 val make :
@@ -43,6 +78,7 @@ val make :
   ?max_states:int ->
   ?rename_roundtrip:('a -> 'a option) ->
   ?base_kind:('a -> Afd_ioa.Automaton.kind option) ->
+  ?symm:('s, 'a) symmetry ->
   'a list ->
   ('s, 'a) t
 (** Defaults: no seed states, structural equality (total — comparison

@@ -46,7 +46,15 @@ type merge_stats = {
 let unresolved = -1
 let cut_class = -2
 
-let explore_pool ?(por = false) ?profile ?merge_stats pool aut probe =
+let explore_pool ?(por = false) ?symmetry ?profile ?merge_stats pool aut probe =
+  (* Orbit quotient: same wrapper as the sequential explorer, applied
+     before any state crosses a domain boundary — workers only ever see
+     representatives, so the sharded seen-set quotients for free. *)
+  let aut, probe =
+    match symmetry with
+    | None -> (aut, probe)
+    | Some canon -> Space.quotient canon aut probe
+  in
   let max_states = probe.Probe.max_states in
   let hash = match probe.Probe.hash_state with Some h -> h | None -> fun _ -> 0 in
   let equal = probe.Probe.equal_state in
@@ -392,9 +400,9 @@ let explore_pool ?(por = false) ?profile ?merge_stats pool aut probe =
         dup_seeds = !dup_seeds };
   }
 
-let explore ?(por = false) ?(jobs = 1) ?profile ?merge_stats aut probe =
+let explore ?(por = false) ?symmetry ?(jobs = 1) ?profile ?merge_stats aut probe =
   Afd_runner.Pool.with_pool ~jobs (fun pool ->
-      explore_pool ~por ?profile ?merge_stats pool aut probe)
+      explore_pool ~por ?symmetry ?profile ?merge_stats pool aut probe)
 
 let agree ~equal_state ~equal_action a b =
   let open Space in

@@ -64,6 +64,7 @@ type merge_stats = {
 
 val explore :
   ?por:bool ->
+  ?symmetry:('s -> 's) ->
   ?jobs:int ->
   ?profile:(string -> float -> unit) ->
   ?merge_stats:(merge_stats -> unit) ->
@@ -82,6 +83,7 @@ val explore :
 
 val explore_pool :
   ?por:bool ->
+  ?symmetry:('s -> 's) ->
   ?profile:(string -> float -> unit) ->
   ?merge_stats:(merge_stats -> unit) ->
   Afd_runner.Pool.t ->

@@ -63,6 +63,14 @@ let warnings t = List.filter (fun f -> f.severity = Warning) t.findings
 let has_errors t = errors t <> []
 let truncated t = List.filter (fun e -> not e.exhaustive) t.explorations
 
+(* The CLI exit-code contract, kept pure so the tests can pin it:
+   1 (rule/gate failures) dominates 2 (strict truncation) — a report
+   that is both wrong and sampled is first of all wrong. *)
+let exit_code ?(strict = false) ?(mc_fail = false) ?(mc_truncated = false) t =
+  if has_errors t || mc_fail || (strict && warnings t <> []) then 1
+  else if strict && (truncated t <> [] || mc_truncated) then 2
+  else 0
+
 let pp_where fmt w =
   Fmt.pf fmt "%s(%s)" w.name w.origin;
   Option.iter (Fmt.pf fmt "/%s") w.component;

@@ -73,6 +73,22 @@ val truncated : t -> exploration list
     sampled; [afd_lint --strict] fails the exit gate when this is
     nonempty. *)
 
+val exit_code : ?strict:bool -> ?mc_fail:bool -> ?mc_truncated:bool -> t -> int
+(** The [afd_lint] exit-code contract, as a pure function of the
+    report (so the tests pin it without spawning processes):
+
+    - [1] — error findings, a failed model-checking gate ([mc_fail]),
+      or warnings under [strict];
+    - [2] — [strict] and some exploration (lint or MC, via
+      [mc_truncated]) hit its state budget: every "proved" or absence
+      verdict about those subjects is sampled, not exhaustive;
+    - [0] — clean.
+
+    [1] dominates [2]: a report that is both wrong and sampled is
+    first of all wrong.  (The CLI separately exits [2] on usage
+    errors — unknown rule or fixture ids — before any report
+    exists.) *)
+
 val pp_finding : finding Fmt.t
 val pp : t Fmt.t
 (** Summary header (including exhausted/truncated exploration counts)

@@ -254,6 +254,12 @@ let dead_task =
              registered (and checked) individually *)
           []
         | Registry.Automaton _, Some (Subject.P { aut = a; space = sp; _ }) ->
+          if Subject.quotiented subj then
+            (* a task can be enabled only at its orbit-mates'
+               representatives: "never enabled" over representatives
+               proves nothing about the named task *)
+            []
+          else
           let sp = Lazy.force sp in
           let states = Space.reachable sp in
           List.filter_map
@@ -563,8 +569,13 @@ let dead_transition =
         | Some (Subject.P { aut = a; probe = p; space = sp; _ }) ->
           let sp = Lazy.force sp in
           (* Only an exhausted, unreduced exploration sees every edge:
-             under truncation or POR an untaken action proves nothing. *)
-          if sp.Space.verdict <> Space.Exhausted || sp.Space.por then []
+             under truncation, POR or an orbit quotient an untaken
+             action proves nothing (its orbit-mate may fire). *)
+          if
+            sp.Space.verdict <> Space.Exhausted
+            || sp.Space.por
+            || Subject.quotiented subj
+          then []
           else
             let candidates =
               List.filter (Automaton.in_signature a) p.Probe.actions
@@ -604,7 +615,9 @@ let livelock =
         | None -> []
         | Some (Subject.P { aut = a; space = sp; live; _ }) ->
           let sp = Lazy.force sp in
-          if sp.Space.por then []
+          (* a cycle of the orbit quotient lifts to a lasso only up to
+             a permutation — not necessarily a genuine cycle *)
+          if sp.Space.por || Subject.quotiented subj then []
           else
             let live = Lazy.force live in
             Array.to_list live.Live.sccs
@@ -648,7 +661,11 @@ let unsat_fairness =
           let sp = Lazy.force sp in
           (* terminality and the absence of witnesses are absence
              claims: only an exhausted, unreduced graph supports them *)
-          if sp.Space.verdict <> Space.Exhausted || sp.Space.por then []
+          if
+            sp.Space.verdict <> Space.Exhausted
+            || sp.Space.por
+            || Subject.quotiented subj
+          then []
           else
             let live = Lazy.force live in
             Array.to_list live.Live.sccs
@@ -681,3 +698,52 @@ let mc =
     unsat_fairness;
   ]
 let mc_ids = List.map (fun r -> r.Rule.id) mc
+
+(* --- the symmetry rules (the --symmetry set) --- *)
+
+let symmetry_breaking_state =
+  { Rule.id = "symmetry-breaking-state";
+    severity = Report.Info;
+    doc =
+      "a subject whose declared S_n action fails equivariance: the witness \
+       names the breaking permutation, the state, and the offending field, \
+       task or action";
+    paper = "2.1";
+    check =
+      (fun subj ->
+        match Subject.symm_verdict subj with
+        | Some (Symm.Breaking w) ->
+          [ mkf ~rule:"symmetry-breaking-state" ~severity:Report.Info
+              ~origin:subj.Subject.origin ~name:subj.Subject.name
+              ?task:w.Symm.w_task ~state:w.Symm.w_state
+              (Fmt.str
+                 "declared symmetry is broken — %a: the subject explores \
+                  unreduced"
+                 Symm.pp_witness w)
+          ]
+        | Some (Symm.Certified _ | Symm.Unsupported _) | None -> []);
+  }
+
+let uncertified_symmetry =
+  { Rule.id = "uncertified-symmetry";
+    severity = Report.Info;
+    doc =
+      "symmetry was requested but this subject carries no (usable) declared \
+       S_n action: the exploration fell back to unreduced";
+    paper = "2.1";
+    check =
+      (fun subj ->
+        match Subject.symm_verdict subj with
+        | Some (Symm.Unsupported reason) ->
+          [ mkf ~rule:"uncertified-symmetry" ~severity:Report.Info
+              ~origin:subj.Subject.origin ~name:subj.Subject.name
+              (Fmt.str
+                 "symmetry requested but not certifiable (%s): the \
+                  exploration fell back to unreduced"
+                 reason)
+          ]
+        | Some (Symm.Certified _ | Symm.Breaking _) | None -> []);
+  }
+
+let symmetry = [ symmetry_breaking_state; uncertified_symmetry ]
+let symmetry_ids = List.map (fun r -> r.Rule.id) symmetry

@@ -79,3 +79,24 @@ val ids : string list
 
 val mc : Rule.t list
 val mc_ids : string list
+
+(** {1 Symmetry rules}
+
+    The [--symmetry] set, meaningful only when the engine ran with
+    [~symmetry:true] (otherwise {!Subject.symm_verdict} is [None] and
+    both rules stay silent):
+
+    - [symmetry-breaking-state] (info, §2.1) — the subject declares an
+      S_n action ({!Probe.t}[.symm]) but the {!Symm} analyzer found a
+      concrete equivariance failure; the finding carries the witness
+      (permutation, state index, and the offending field, task or
+      action) and the subject explores unreduced;
+    - [uncertified-symmetry] (info, §2.1) — symmetry was requested but
+      the subject declares no usable S_n action, so the exploration
+      fell back to unreduced.
+
+    Both are info-severity: an asymmetric subject is a missed
+    optimization, never a defect. *)
+
+val symmetry : Rule.t list
+val symmetry_ids : string list

@@ -37,12 +37,39 @@ let commute aut probe s (tk_u, act_u) (tk_t, act_t) =
     | _ -> false)
   | _ -> false
 
+(* Orbit quotient as a wrapper: canonize the start state, the probe
+   seeds, and every successor the moment it is produced.  The explorer
+   below then sees only representatives, so its seen-set is the
+   quotient for free — one wrapper shared by the sequential, parallel
+   and compiled explorers.  Enabledness and edge actions are evaluated
+   at representatives, which is sound exactly when the subject carries
+   an equivariance certificate (see Symm / DESIGN.md). *)
+let quotient canon aut probe =
+  let open Automaton in
+  let aut' =
+    { aut with
+      start = canon aut.start;
+      step = (fun s a -> Option.map canon (aut.step s a));
+    }
+  in
+  let probe' =
+    { probe with Probe.seed_states = List.map canon probe.Probe.seed_states }
+  in
+  (aut', probe')
+
 (* The seen-set is a bucket table keyed by [probe.hash_state]: a bucket
    holds the indices of all discovered states with that hash, scanned
    with the probe's (authoritative) state equality.  When no congruent
    hash is known the table degrades to a single bucket — exactly the
    old list scan, still exact. *)
-let explore ?(por = false) aut probe =
+let rec explore ?(por = false) ?symmetry aut probe =
+  match symmetry with
+  | Some canon ->
+    let aut, probe = quotient canon aut probe in
+    explore ~por aut probe
+  | None -> explore_raw ~por aut probe
+
+and explore_raw ~por aut probe =
   let max_states = probe.Probe.max_states in
   let hash = match probe.Probe.hash_state with Some h -> h | None -> fun _ -> 0 in
   let equal = probe.Probe.equal_state in

@@ -65,13 +65,36 @@ type ('s, 'a) t = {
   stats : stats;
 }
 
-val explore : ?por:bool -> ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> ('s, 'a) t
+val explore :
+  ?por:bool ->
+  ?symmetry:('s -> 's) ->
+  ('s, 'a) Afd_ioa.Automaton.t ->
+  ('s, 'a) Probe.t ->
+  ('s, 'a) t
 (** Enumerate reachable states breadth-first from the automaton's start
     state (followed by the probe's deduplicated [seed_states]), taking
     every probed action and every task-enabled action, up to the
     probe's [max_states].  [por] (default [false]) switches the
     sleep-set reduction on.  Visit order with POR off matches the
-    historical {!Explore.reachable} order exactly. *)
+    historical {!Explore.reachable} order exactly.
+
+    [symmetry] is an orbit canonicalization function (see
+    {!Symm.canonizer}): when given, the start state, every probe seed
+    and every successor are canonized on production, so the explorer
+    enumerates orbit representatives and the seen-set becomes the orbit
+    quotient.  Sound only for subjects holding a {!Symm} equivariance
+    certificate — the engine enforces that; handing an uncertified
+    canonizer here silently merges genuinely distinct states. *)
+
+val quotient :
+  ('s -> 's) ->
+  ('s, 'a) Afd_ioa.Automaton.t ->
+  ('s, 'a) Probe.t ->
+  ('s, 'a) Afd_ioa.Automaton.t * ('s, 'a) Probe.t
+(** The wrapper [explore ~symmetry] applies: canonized start/seeds and a
+    step that canonizes every successor.  Exposed so the parallel
+    ({!Pspace}) and compiled ({!Cspace}) front-ends quotient the same
+    way. *)
 
 val reachable : ('s, 'a) t -> 's list
 (** The states in discovery order (compatible with the old

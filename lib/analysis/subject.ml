@@ -6,6 +6,8 @@ type packed =
       probe : ('s, 'a) Probe.t;
       space : ('s, 'a) Space.t Lazy.t;
       live : Live.t Lazy.t;
+      symm : Symm.verdict Lazy.t option;
+      quotiented : bool Lazy.t;
     }
       -> packed
 
@@ -16,22 +18,45 @@ type t = {
   packed : packed option;
 }
 
-let make ?(por = false) ?max_states ?(jobs = 1) ?(compiled = false) ~origin entry
-    =
+let make ?(por = false) ?max_states ?(jobs = 1) ?(compiled = false)
+    ?(symmetry = false) ~origin entry =
   let with_cap p =
     match max_states with None -> p | Some m -> { p with Probe.max_states = m }
   in
   let pack ?explore a p =
+    (* Orbit quotienting is gated on the analyzer's certificate: only a
+       subject whose declared S_n action survives the equivariance
+       check explores on representatives; breaking or undeclared
+       subjects silently fall back to the unreduced exploration (and
+       the symmetry rules report why). *)
+    let symm = if symmetry then Some (lazy (Symm.analyze a p)) else None in
+    let canon =
+      lazy
+        (match symm with
+        | None -> None
+        | Some v -> (
+          match (Lazy.force v, p.Probe.symm) with
+          | Symm.Certified _, Some sy -> Some (Symm.canonizer sy)
+          | (Symm.Certified _ | Symm.Breaking _ | Symm.Unsupported _), _ -> None))
+    in
     let space =
       lazy
-        (match explore with
-        | Some run -> run ()
-        | None ->
-          if compiled then Cspace.explore ~por ~jobs a p
-          else if jobs <= 1 then Space.explore ~por a p
-          else Pspace.explore ~por ~jobs a p)
+        (let symmetry = Lazy.force canon in
+         match explore with
+         | Some run -> run ?symmetry ()
+         | None ->
+           if compiled then Cspace.explore ?symmetry ~por ~jobs a p
+           else if jobs <= 1 then Space.explore ?symmetry ~por a p
+           else Pspace.explore ?symmetry ~por ~jobs a p)
     in
-    P { aut = a; probe = p; space; live = lazy (Live.analyze a (Lazy.force space)) }
+    P
+      { aut = a;
+        probe = p;
+        space;
+        live = lazy (Live.analyze a (Lazy.force space));
+        symm;
+        quotiented = lazy (Option.is_some (Lazy.force canon));
+      }
   in
   let packed =
     match entry with
@@ -51,13 +76,26 @@ let make ?(por = false) ?max_states ?(jobs = 1) ?(compiled = false) ~origin entr
           }
       in
       let explore =
-        if compiled then Some (fun () -> Cspace.explore_composition ~por ~jobs c p)
+        if compiled then
+          Some
+            (fun ?symmetry () ->
+              Cspace.explore_composition ?symmetry ~por ~jobs c p)
         else None
       in
       Some (pack ?explore a p)
     | Registry.Spec _ -> None
   in
   { origin; entry; name = Registry.entry_name entry; packed }
+
+let symm_verdict t =
+  match t.packed with
+  | Some (P { symm = Some v; _ }) -> Some (Lazy.force v)
+  | Some (P { symm = None; _ }) | None -> None
+
+let quotiented t =
+  match t.packed with
+  | Some (P { quotiented = q; _ }) -> Lazy.force q
+  | None -> false
 
 let exploration t =
   match t.packed with

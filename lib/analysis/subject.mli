@@ -22,6 +22,15 @@ type packed =
       probe : ('s, 'a) Probe.t;
       space : ('s, 'a) Space.t Lazy.t;
       live : Live.t Lazy.t;
+      symm : Symm.verdict Lazy.t option;
+          (** the equivariance analysis, when the engine ran with
+              symmetry on; forced lazily (the analyzer explores) *)
+      quotiented : bool Lazy.t;
+          (** whether the shared exploration runs orbit-quotiented —
+              true exactly when the analysis certified the declared
+              symmetry.  Absence-style rules (dead-task,
+              dead-transition, livelock, unsatisfiable fairness) skip
+              themselves on a quotient, as under POR. *)
     }
       -> packed
 
@@ -37,6 +46,7 @@ val make :
   ?max_states:int ->
   ?jobs:int ->
   ?compiled:bool ->
+  ?symmetry:bool ->
   origin:string ->
   Registry.entry ->
   t
@@ -47,7 +57,23 @@ val make :
     on {!Pspace} across that many domains; [compiled] (default
     [false]) on {!Cspace} — the packed composition backend for
     composition entries, the generic interned one otherwise.  Same
-    result in every combination, structurally ({!Pspace.agree}). *)
+    result in every combination, structurally ({!Pspace.agree}).
+
+    [symmetry] (default [false]) runs the {!Symm} equivariance
+    analysis on each packed subject; a certified subject's shared
+    exploration is then quotiented by orbit ({!Space.explore} with
+    [~symmetry]), an uncertified one explores unreduced and the
+    symmetry rules ({!Rules.symmetry}) report the verdict. *)
+
+val symm_verdict : t -> Symm.verdict option
+(** The equivariance analysis result; [None] when the engine ran
+    without symmetry or the subject is a spec entry.  Forces the
+    (bounded) analyzer exploration. *)
+
+val quotiented : t -> bool
+(** Whether the shared exploration runs on orbit representatives
+    (certified symmetry only).  Does not force the exploration
+    itself. *)
 
 val exploration : t -> Report.exploration option
 (** The exploration summary, only if some rule forced it ([None] for

@@ -1,0 +1,477 @@
+(* Static symmetry inference and orbit canonicalization.
+
+   The soundness contract is spelled out in symm.mli and DESIGN.md: we
+   check equivariance for EVERY permutation at EVERY representative a
+   bounded quotient exploration discovers.  Only the full group at the
+   representatives lets the inductive argument factor an arbitrary
+   reachable state s of the unreduced system as rho . r with r a
+   discovered representative; generator-only or sampled checks do not
+   compose into a certificate. *)
+
+open Afd_ioa
+
+module Perm = struct
+  type t = int array
+
+  let identity n = Array.init n (fun i -> i)
+  let apply (p : t) i = if i >= 0 && i < Array.length p then p.(i) else i
+
+  let inverse (p : t) =
+    let q = Array.make (Array.length p) 0 in
+    Array.iteri (fun i j -> q.(j) <- i) p;
+    q
+
+  let compose (p : t) (q : t) = Array.init (Array.length p) (fun i -> p.(q.(i)))
+
+  let all ~n =
+    if n < 0 || n > 8 then
+      invalid_arg (Printf.sprintf "Symm.Perm.all: n = %d out of range [0, 8]" n);
+    (* Insert element [k] into every position of every permutation of
+       [0..k-1]; n! results, identity first by construction for n <= 1. *)
+    let rec go k =
+      if k = 0 then [ [] ]
+      else
+        List.concat_map
+          (fun perm ->
+            let rec insert pre post =
+              (List.rev_append pre ((k - 1) :: post))
+              ::
+              (match post with [] -> [] | x :: rest -> insert (x :: pre) rest)
+            in
+            insert [] perm)
+          (go (k - 1))
+    in
+    go n |> List.map Array.of_list
+
+  let is_identity (p : t) =
+    let ok = ref true in
+    Array.iteri (fun i j -> if i <> j then ok := false) p;
+    !ok
+
+  let to_string (p : t) =
+    if is_identity p then "id"
+    else begin
+      (* Cycle notation over the moved points. *)
+      let n = Array.length p in
+      let seen = Array.make n false in
+      let buf = Buffer.create 16 in
+      for i = 0 to n - 1 do
+        if (not seen.(i)) && p.(i) <> i then begin
+          Buffer.add_char buf '(';
+          let j = ref i in
+          let first = ref true in
+          while not seen.(!j) do
+            seen.(!j) <- true;
+            if not !first then Buffer.add_char buf ' ';
+            first := false;
+            Buffer.add_string buf (Loc.to_string !j);
+            j := p.(!j)
+          done;
+          Buffer.add_char buf ')'
+        end
+      done;
+      Buffer.contents buf
+    end
+end
+
+(* Container actions.  [Set.map]/[Map] rebuilds re-balance the AVL
+   trees, so permuted containers have deterministic shape; the [cmp_*]
+   orders below compare element lists and stay congruent with the
+   semantic equalities regardless. *)
+
+let perm_set pi s = Loc.Set.map pi s
+
+let perm_map_keys pi m =
+  Loc.Map.fold (fun k v acc -> Loc.Map.add (pi k) v acc) m Loc.Map.empty
+
+let perm_map pi pv m =
+  Loc.Map.fold (fun k v acc -> Loc.Map.add (pi k) (pv pi v) acc) m Loc.Map.empty
+
+let perm_event perm_o pi = function
+  | Afd_prop.Fd_event.Crash i -> Afd_prop.Fd_event.Crash (pi i)
+  | Afd_prop.Fd_event.Output (i, o) -> Afd_prop.Fd_event.Output (pi i, perm_o pi o)
+
+let rename_locs ~n pi name =
+  let len = String.length name in
+  let buf = Buffer.create len in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_word c = is_digit c || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let i = ref 0 in
+  while !i < len do
+    let c = name.[!i] in
+    if
+      c = 'p'
+      && (!i = 0 || not (is_word name.[!i - 1]))
+      && !i + 1 < len
+      && is_digit name.[!i + 1]
+    then begin
+      let j = ref (!i + 1) in
+      while !j < len && is_digit name.[!j] do incr j done;
+      let idx = int_of_string (String.sub name (!i + 1) (!j - !i - 1)) in
+      if idx < n then Buffer.add_string buf (Loc.to_string (pi idx))
+      else Buffer.add_string buf (String.sub name !i (!j - !i));
+      i := !j
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let cmp_set a b =
+  Stdlib.compare (Loc.Set.elements a) (Loc.Set.elements b)
+
+let cmp_map cmp_v a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | (ka, va) :: xs, (kb, vb) :: ys ->
+        let c = Loc.compare ka kb in
+        if c <> 0 then c
+        else
+          let c = cmp_v va vb in
+          if c <> 0 then c else go xs ys
+  in
+  go (Loc.Map.bindings a) (Loc.Map.bindings b)
+
+(* ------------------------------------------------------------------ *)
+(* Orbit canonicalization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let canonizer_w (sy : ('s, 'a) Probe.symmetry) =
+  let perms = Perm.all ~n:sy.Probe.sy_n in
+  fun s ->
+    let best = ref s and best_pi = ref (Perm.identity sy.Probe.sy_n) in
+    List.iter
+      (fun pi ->
+        let s' = sy.Probe.sy_state (Perm.apply pi) s in
+        if sy.Probe.sy_cmp s' !best < 0 then begin
+          best := s';
+          best_pi := pi
+        end)
+      perms;
+    (!best, !best_pi)
+
+let canonizer sy =
+  let canon = canonizer_w sy in
+  fun s -> fst (canon s)
+
+(* ------------------------------------------------------------------ *)
+(* The analyzer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type witness = {
+  w_kind : [ `Signature | `Step | `Enabled | `Task | `Probe | `Field ];
+  w_field : string option;
+  w_task : string option;
+  w_perm : string;
+  w_state : int;
+  w_detail : string;
+}
+
+type certificate = {
+  c_n : int;
+  c_states : int;
+  c_perms : int;
+  c_exhaustive : bool;
+  c_fields : (string * [ `Indexed | `Invariant ]) list;
+}
+
+type verdict = Certified of certificate | Breaking of witness | Unsupported of string
+
+let pp_witness fmt w =
+  let kind =
+    match w.w_kind with
+    | `Signature -> "signature"
+    | `Step -> "step"
+    | `Enabled -> "enabledness"
+    | `Task -> "task"
+    | `Probe -> "probe"
+    | `Field -> "field"
+  in
+  Format.fprintf fmt "%s not equivariant under %s at state #%d%s%s: %s" kind w.w_perm
+    w.w_state
+    (match w.w_field with Some f -> " (field " ^ f ^ ")" | None -> "")
+    (match w.w_task with Some t -> " (task " ^ t ^ ")" | None -> "")
+    w.w_detail
+
+exception Broken of witness
+
+(* Name the declared field on which two states disagree, for witness
+   reporting.  [None] when every declared field agrees (the difference
+   hides outside the declared decomposition) or no fields are declared. *)
+let disagreeing_field fields s1 s2 =
+  List.find_map
+    (fun (Probe.F f) ->
+      if f.f_equal (f.f_proj s1) (f.f_proj s2) then None
+      else Some f.f_name)
+    fields
+
+let analyze (aut : ('s, 'a) Automaton.t) (probe : ('s, 'a) Probe.t) : verdict =
+  match probe.Probe.symm with
+  | None -> Unsupported "no declared symmetry"
+  | Some sy ->
+      let n = sy.Probe.sy_n in
+      if n < 1 || n > 8 then Unsupported (Printf.sprintf "n = %d out of range" n)
+      else begin
+        let perms = Perm.all ~n in
+        let nontrivial = List.filter (fun p -> not (Perm.is_identity p)) perms in
+        let canon = canonizer sy in
+        let pp_act a = Fmt.str "%a" probe.Probe.pp_action a in
+        let equal_state = probe.Probe.equal_state in
+        let equal_action = probe.Probe.equal_action in
+        (* State-independent checks first: signature stability and
+           probe-set closure under the group. *)
+        let check_global () =
+          List.iter
+            (fun pi ->
+              let pif = Perm.apply pi in
+              List.iter
+                (fun a ->
+                  let a' = sy.Probe.sy_action pif a in
+                  if Automaton.kind_of aut a <> Automaton.kind_of aut a' then
+                    raise
+                      (Broken
+                         { w_kind = `Signature;
+                           w_field = None;
+                           w_task = None;
+                           w_perm = Perm.to_string pi;
+                           w_state = 0;
+                           w_detail =
+                             Fmt.str "kind(%s) differs from kind(%s)" (pp_act a)
+                               (pp_act a');
+                         });
+                  if
+                    not
+                      (List.exists (fun b -> equal_action a' b) probe.Probe.actions)
+                  then
+                    raise
+                      (Broken
+                         { w_kind = `Probe;
+                           w_field = None;
+                           w_task = None;
+                           w_perm = Perm.to_string pi;
+                           w_state = 0;
+                           w_detail =
+                             Fmt.str "probe set not closed: %s has no image for %s"
+                               (pp_act a) (pp_act a');
+                         }))
+                probe.Probe.actions)
+            nontrivial
+        in
+        (* Field classification accumulator: Invariant until observed to
+           move, Breaking (raises) when the declared transport law
+           fails. *)
+        let field_status =
+          List.map (fun (Probe.F f) -> (Probe.F f, ref `Invariant)) sy.Probe.sy_fields
+        in
+        let check_fields pi pif r r' idx =
+          List.iter
+            (fun (Probe.F f, status) ->
+              let here = f.f_proj r in
+              let there = f.f_proj r' in
+              if not (f.f_equal there (f.f_perm pif here)) then
+                raise
+                  (Broken
+                     { w_kind = `Field;
+                       w_field = Some f.f_name;
+                       w_task = None;
+                       w_perm = Perm.to_string pi;
+                       w_state = idx;
+                       w_detail =
+                         "declared transport law fails: field of permuted state \
+                          is not the permuted field";
+                     });
+              if not (f.f_equal there here) then status := `Indexed)
+            field_status
+        in
+        (* Task mirroring is state-independent: resolve, once per
+           permutation, which task plays each task's role after
+           renaming, and that the fairness flags agree. *)
+        let mirrors () =
+          List.map
+            (fun pi ->
+              let pif = Perm.apply pi in
+              let ms =
+                List.map
+                  (fun (t : ('s, 'a) Automaton.task) ->
+                    let name' = rename_locs ~n pif t.Automaton.task_name in
+                    match
+                      List.find_opt
+                        (fun (t' : ('s, 'a) Automaton.task) ->
+                          String.equal t'.Automaton.task_name name')
+                        aut.Automaton.tasks
+                    with
+                    | None ->
+                        raise
+                          (Broken
+                             { w_kind = `Task;
+                               w_field = None;
+                               w_task = Some t.Automaton.task_name;
+                               w_perm = Perm.to_string pi;
+                               w_state = 0;
+                               w_detail =
+                                 Fmt.str "no task named %s to mirror it" name';
+                             })
+                    | Some t' ->
+                        if t'.Automaton.fair <> t.Automaton.fair then
+                          raise
+                            (Broken
+                               { w_kind = `Task;
+                                 w_field = None;
+                                 w_task = Some t.Automaton.task_name;
+                                 w_perm = Perm.to_string pi;
+                                 w_state = 0;
+                                 w_detail =
+                                   Fmt.str "fairness flag differs from task %s"
+                                     name';
+                               });
+                        (t, t'))
+                  aut.Automaton.tasks
+              in
+              (pi, pif, ms))
+            nontrivial
+        in
+        (* Per-representative equivariance: steps on probed actions, and
+           task correspondence (the mirrored task's enabled action is
+           the permuted one, successors permute).  [r'] is the permuted
+           representative, computed once per (state, permutation);
+           [a_img] the action standing for the permuted [a] on that
+           side — for task checks it is the mirror task's own enabled
+           action, which is [equal_action]-equal to the transported one
+           but produced by the automaton itself, exactly as quotient
+           exploration produces it (transported payloads may be
+           semantically equal yet structurally distinct rebuilds). *)
+        let check_step pi pif r r' idx a a_img =
+          let s1 = Option.map (sy.Probe.sy_state pif) (aut.Automaton.step r a) in
+          let s2 = aut.Automaton.step r' a_img in
+          match (s1, s2) with
+          | None, None -> ()
+          | Some t1, Some t2 when equal_state t1 t2 -> ()
+          | Some t1, Some t2 ->
+              raise
+                (Broken
+                   { w_kind = `Step;
+                     w_field = disagreeing_field sy.Probe.sy_fields t2 t1;
+                     w_task = None;
+                     w_perm = Perm.to_string pi;
+                     w_state = idx;
+                     w_detail =
+                       Fmt.str "successors of %s diverge from the permuted successor"
+                         (pp_act a);
+                   })
+          | Some _, None | None, Some _ ->
+              raise
+                (Broken
+                   { w_kind = `Step;
+                     w_field = None;
+                     w_task = None;
+                     w_perm = Perm.to_string pi;
+                     w_state = idx;
+                     w_detail =
+                       Fmt.str "%s %s in the permuted state"
+                         (pp_act a)
+                         (if s1 = None then "becomes enabled" else "is disabled");
+                   })
+        in
+        let check_tasks pi pif r r' idx ms =
+          List.iter
+            (fun ((t : ('s, 'a) Automaton.task), t') ->
+              let here = t.Automaton.enabled r in
+              let there = t'.Automaton.enabled r' in
+              match (here, there) with
+              | None, None -> ()
+              | Some a, Some a' when equal_action (sy.Probe.sy_action pif a) a' ->
+                  (* The enabled action permutes; its successor must too. *)
+                  check_step pi pif r r' idx a a'
+              | _ ->
+                  raise
+                    (Broken
+                       { w_kind = `Enabled;
+                         w_field = None;
+                         w_task = Some t.Automaton.task_name;
+                         w_perm = Perm.to_string pi;
+                         w_state = idx;
+                         w_detail =
+                           Fmt.str "task %s enabled action is not the permuted one"
+                             t'.Automaton.task_name;
+                       }))
+            ms
+        in
+        let check_rep mirrors r idx =
+          List.iter
+            (fun (pi, pif, ms) ->
+              let r' = sy.Probe.sy_state pif r in
+              check_fields pi pif r r' idx;
+              List.iter
+                (fun a -> check_step pi pif r r' idx a (sy.Probe.sy_action pif a))
+                probe.Probe.actions;
+              check_tasks pi pif r r' idx ms)
+            mirrors
+        in
+        (* Bounded quotient exploration over representatives: successors
+           via probed actions and enabled tasks, canonized on insert. *)
+        try
+          check_global ();
+          let mirrors = mirrors () in
+          let hash =
+            match probe.Probe.hash_state with Some h -> h | None -> fun _ -> 0
+          in
+          let seen : (int, 's list) Hashtbl.t = Hashtbl.create 256 in
+          let count = ref 0 in
+          let mem s =
+            let h = hash s in
+            match Hashtbl.find_opt seen h with
+            | None -> false
+            | Some bucket -> List.exists (fun r -> equal_state r s) bucket
+          in
+          let remember s =
+            let h = hash s in
+            let bucket =
+              match Hashtbl.find_opt seen h with Some b -> b | None -> []
+            in
+            Hashtbl.replace seen h (s :: bucket)
+          in
+          let queue = Queue.create () in
+          let push s =
+            let r = canon s in
+            if not (mem r) then begin
+              remember r;
+              Queue.add (r, !count) queue;
+              incr count
+            end
+          in
+          push aut.Automaton.start;
+          List.iter push probe.Probe.seed_states;
+          let exhaustive = ref true in
+          let budget = probe.Probe.max_states in
+          while not (Queue.is_empty queue) do
+            let r, idx = Queue.pop queue in
+            check_rep mirrors r idx;
+            if !count >= budget then exhaustive := false
+            else begin
+              let succ a =
+                match aut.Automaton.step r a with Some s -> push s | None -> ()
+              in
+              List.iter succ probe.Probe.actions;
+              List.iter
+                (fun (t : ('s, 'a) Automaton.task) ->
+                  match t.Automaton.enabled r with Some a -> succ a | None -> ())
+                aut.Automaton.tasks
+            end
+          done;
+          Certified
+            { c_n = n;
+              c_states = !count;
+              c_perms = List.length perms;
+              c_exhaustive = !exhaustive;
+              c_fields =
+                List.map
+                  (fun (Probe.F f, status) -> (f.f_name, !status))
+                  field_status;
+            }
+        with Broken w -> Breaking w
+      end

@@ -1,0 +1,134 @@
+(** Static symmetry inference and orbit canonicalization.
+
+    Failure-detector automata are (mostly) indifferent to process
+    identities: permuting the location universe permutes their states
+    and actions without changing behavior.  This module makes that
+    claim {e checkable} and then {e exploitable}:
+
+    - {!analyze} takes a subject (automaton + probe) whose probe
+      declares an S_n action ({!Probe.symmetry}) and checks, state by
+      state over a bounded quotient exploration and permutation by
+      permutation over the whole group, that the step relation, task
+      enabledness, signature, and probe set are equivariant under the
+      declared action — classifying every declared state field as
+      identity-independent, process-indexed, or symmetry-breaking.
+      The result is either a {!certificate} or a concrete breaking
+      {!witness} (the permutation, the state, the action or task, and
+      the offending field when one can be named).
+
+    - {!canonizer} turns a declared symmetry into an orbit
+      canonicalization function: the minimum of the state's orbit
+      under [sy_cmp].  Handed to [Space.explore ~symmetry] (or the
+      parallel/compiled explorers) it quotients the seen-set by orbit;
+      {!canonizer_w} additionally returns the witnessing permutation,
+      which {!Mc} uses to lift quotient counterexample paths back to
+      genuine runs of the unreduced system.
+
+    {b Soundness.}  Checking equivariance for {e every} permutation at
+    {e every representative} the quotient exploration discovers
+    certifies the quotient without ever building the unreduced space:
+    by induction every reachable state [s] of the original system
+    factors as [ρ·r] for a discovered representative [r], because an
+    equivariant step from [ρ·r] is [ρ]-conjugate to an explored step
+    from [r].  Checking only a generator set, or only sampled states,
+    does {e not} compose — the induction needs arbitrary [ρ] at the
+    representatives.  DESIGN.md ("Orbit reduction") spells the argument
+    out. *)
+
+module Perm : sig
+  type t = int array
+  (** [p.(i)] is the image of location [i]. *)
+
+  val identity : int -> t
+  val apply : t -> int -> int
+  val inverse : t -> t
+  val compose : t -> t -> t
+  (** [compose p q] maps [i] to [p.(q.(i))] (apply [q] first). *)
+
+  val all : n:int -> t list
+  (** Every permutation of [0..n-1] ([n!] of them); raises
+      [Invalid_argument] for [n > 8] — factorial enumeration is the
+      point, not a liability. *)
+
+  val to_string : t -> string
+  (** Compact one-line rendering, e.g. ["(p0 p1)"] for a transposition
+      (cycle notation, fixed points omitted, identity is ["id"]). *)
+end
+
+(** Helpers for building declared actions out of the standard
+    containers. *)
+
+val perm_set : (int -> int) -> Afd_ioa.Loc.Set.t -> Afd_ioa.Loc.Set.t
+val perm_map_keys : (int -> int) -> 'v Afd_ioa.Loc.Map.t -> 'v Afd_ioa.Loc.Map.t
+
+val perm_map :
+  (int -> int) -> ((int -> int) -> 'v -> 'v) -> 'v Afd_ioa.Loc.Map.t -> 'v Afd_ioa.Loc.Map.t
+(** Permute both the keys and (via the given action) the values. *)
+
+val perm_event :
+  ((int -> int) -> 'o -> 'o) ->
+  (int -> int) ->
+  'o Afd_prop.Fd_event.t ->
+  'o Afd_prop.Fd_event.t
+(** [Crash i ↦ Crash (π i)], [Output (i, o) ↦ Output (π i, π·o)]. *)
+
+val rename_locs : n:int -> (int -> int) -> string -> string
+(** Rewrite every maximal ["p<digits>"] token naming a location below
+    [n] through the permutation — the generic task renamer for the
+    catalog's ["fd_p0"] / ["crash_p1"] / ["FD-P/fd_p2"] conventions. *)
+
+val cmp_set : Afd_ioa.Loc.Set.t -> Afd_ioa.Loc.Set.t -> int
+(** Total order on location sets congruent with [Loc.Set.equal]
+    (element lists compared — AVL tree shape never leaks). *)
+
+val cmp_map : ('v -> 'v -> int) -> 'v Afd_ioa.Loc.Map.t -> 'v Afd_ioa.Loc.Map.t -> int
+(** Same for maps, with a value comparison. *)
+
+(** {1 The analyzer} *)
+
+type witness = {
+  w_kind : [ `Signature | `Step | `Enabled | `Task | `Probe | `Field ];
+  w_field : string option;
+      (** the offending declared field, when the breaking successor
+          disagrees on exactly one *)
+  w_task : string option;
+  w_perm : string;  (** rendering of the breaking permutation *)
+  w_state : int;  (** index in the analyzer's exploration *)
+  w_detail : string;
+}
+
+type certificate = {
+  c_n : int;
+  c_states : int;  (** representatives the check covered *)
+  c_perms : int;  (** permutations checked at each of them ([n!]) *)
+  c_exhaustive : bool;
+      (** the quotient exploration finished within the probe budget —
+          only then is the certificate a proof about the whole
+          reachable space *)
+  c_fields : (string * [ `Indexed | `Invariant ]) list;
+}
+
+type verdict =
+  | Certified of certificate
+  | Breaking of witness
+  | Unsupported of string
+      (** no declared symmetry (or an unusable one) — the subject can
+          only explore unreduced *)
+
+val pp_witness : witness Fmt.t
+
+val analyze : ('s, 'a) Afd_ioa.Automaton.t -> ('s, 'a) Probe.t -> verdict
+(** Run the static equivariance check described above over a bounded
+    quotient exploration (the probe's [max_states] budget).  Returns
+    [Unsupported] when the probe declares no symmetry. *)
+
+(** {1 Orbit canonicalization} *)
+
+val canonizer : ('s, 'a) Probe.symmetry -> 's -> 's
+(** Orbit minimum under [sy_cmp]: a representative function suitable
+    for [Space.explore ~symmetry] — constant on orbits, idempotent on
+    representatives. *)
+
+val canonizer_w : ('s, 'a) Probe.symmetry -> 's -> 's * Perm.t
+(** Same, returning the witnessing permutation [σ] with
+    [canon s = σ·s]. *)

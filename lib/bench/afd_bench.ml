@@ -19,6 +19,7 @@ module Pspace_bench = Pspace_bench
 module Cspace_bench = Cspace_bench
 module Live_bench = Live_bench
 module Churn_bench = Churn_bench
+module Symm_bench = Symm_bench
 
 let verdict_str = function
   | Verdict.Sat -> "sat"
@@ -282,3 +283,6 @@ let matrix ?(retention = Scheduler.Trace_only) () =
   (* CN: churn simulation on the mega event-queue engine (retention-
      independent: it never touches the task scheduler) *)
   @ Churn_bench.entries ()
+  (* SY: orbit reduction, quotiented runs differential against the
+     unreduced model checker (retention-independent: pure graph work) *)
+  @ Symm_bench.entries ()

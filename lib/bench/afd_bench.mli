@@ -30,6 +30,10 @@ module Churn_bench = Churn_bench
 (** Churn-simulation rows (CN) appended to {!matrix}: the mega
     discrete-event engine under the seeded churn adversary. *)
 
+module Symm_bench = Symm_bench
+(** Orbit-reduction rows (SY) appended to {!matrix}: quotiented model
+    checking differential against unreduced, plus cutoff ladders. *)
+
 val verdict_str : Afd_core.Verdict.t -> string
 (** ["sat"], ["VIOLATED: ..."] or ["undecided: ..."]. *)
 
@@ -44,7 +48,7 @@ val matrix :
     ({!Explore_bench}), the PX parallel-exploration rows
     ({!Pspace_bench}), the CX compiled-exploration rows
     ({!Cspace_bench}), the ML liveness model-checking rows
-    ({!Live_bench}) and the CN churn-simulation rows
-    ({!Churn_bench}).  [retention] (default
+    ({!Live_bench}), the CN churn-simulation rows ({!Churn_bench}) and
+    the SY orbit-reduction rows ({!Symm_bench}).  [retention] (default
     {!Afd_ioa.Scheduler.Trace_only}) is threaded into every
     scheduler-driven cell body; verdicts must not depend on it. *)

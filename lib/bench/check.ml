@@ -25,7 +25,8 @@ type subject =
       n : int;
       steps : int;
       crash_at : (int * Loc.t) list;
-      detector : unit -> ('s, 'o Fd_event.t) Automaton.t;
+      detector : int -> ('s, 'o Fd_event.t) Automaton.t;
+      symm : 's Afd_analysis.Mc.state_symmetry option;
       spec : 'o Afd.spec;
       expect_violated : bool;
     }
@@ -61,11 +62,11 @@ let run_subject ?window ~retention ~seed (S s) =
       ~observe:(fun e ->
         incr events;
         M.observe m e)
-      ~detector:(s.detector ()) ~n:s.n ~seed ~crash_at:s.crash_at ~steps:s.steps ()
+      ~detector:(s.detector s.n) ~n:s.n ~seed ~crash_at:s.crash_at ~steps:s.steps ()
   in
   let t =
     Afd_automata.generate_trace_with ~retention:Scheduler.Trace_only
-      ~detector:(s.detector ()) ~n:s.n ~seed ~crash_at:s.crash_at ~steps:s.steps
+      ~detector:(s.detector s.n) ~n:s.n ~seed ~crash_at:s.crash_at ~steps:s.steps
   in
   { online = M.verdict m;
     offline = Afd.check s.spec ~n:s.n t;
@@ -80,55 +81,68 @@ let run_subject ?window ~retention ~seed (S s) =
    event (the noisy ◇P implementation suspects a live location, which
    T_P forbids); [CHK.marabout] fails Marabout's exactness judgement
    (FD-P's pre-crash outputs differ from the final faulty set). *)
+let sym_set = Some Afd_analysis.Mc.sym_set
+
+(* Noisy and flip-flop states pair the crash set with an identity-
+   dependent component (scripted queues, a toggle).  Declaring that
+   component rigid is a {e claim}, not a cheat: when the claim is wrong
+   the certification sweep produces a breaking witness and the run
+   stays unreduced. *)
+let sym_noisy =
+  Some Afd_analysis.Mc.(sym_pair sym_set sym_rigid)
+
 let subjects =
   let noise01 = Afd_automata.noise_of_list [ (0, Loc.Set.singleton 1) ] in
   [ S { id = "CHK.p"; label = "P: FD-P (truthful)"; n = 3; steps = 150;
         crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_perfect ~n:3);
+        detector = (fun n -> Afd_automata.fd_perfect ~n); symm = sym_set;
         spec = Perfect.spec; expect_violated = false };
     S { id = "CHK.evp"; label = "EvP: FD-P (noisy)"; n = 3; steps = 150;
         crash_at = [ (11, 2) ];
-        detector = (fun () -> Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise01);
+        detector = (fun n -> Afd_automata.fd_ev_perfect_noisy ~n ~noise:noise01);
+        symm = sym_noisy;
         spec = Ev_perfect.spec; expect_violated = false };
     S { id = "CHK.s"; label = "S: FD-P (truthful)"; n = 3; steps = 150;
         crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_perfect ~n:3);
+        detector = (fun n -> Afd_automata.fd_perfect ~n); symm = sym_set;
         spec = Strong.spec; expect_violated = false };
     S { id = "CHK.evs"; label = "EvS: FD-P (noisy)"; n = 3; steps = 150;
         crash_at = [ (11, 2) ];
-        detector = (fun () -> Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise01);
+        detector = (fun n -> Afd_automata.fd_ev_perfect_noisy ~n ~noise:noise01);
+        symm = sym_noisy;
         spec = Ev_strong.spec; expect_violated = false };
     S { id = "CHK.omega"; label = "Omega: FD-Omega"; n = 3; steps = 150;
         crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_omega ~n:3);
+        detector = (fun n -> Afd_automata.fd_omega ~n); symm = sym_set;
         spec = Omega.spec; expect_violated = false };
     S { id = "CHK.antiomega"; label = "anti-Omega: FD-anti-Omega"; n = 3;
         steps = 150; crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_anti_omega ~n:3);
+        detector = (fun n -> Afd_automata.fd_anti_omega ~n); symm = sym_set;
         spec = Anti_omega.spec; expect_violated = false };
     S { id = "CHK.omega2"; label = "Omega_2: FD-Omega_k"; n = 3; steps = 150;
         crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_omega_k ~n:3 ~k:2);
+        detector = (fun n -> Afd_automata.fd_omega_k ~n ~k:2); symm = sym_set;
         spec = Omega_k.spec ~k:2; expect_violated = false };
     S { id = "CHK.psi2"; label = "Psi_2: FD-Psi_k"; n = 3; steps = 150;
         crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_psi_k ~n:3 ~k:2);
+        detector = (fun n -> Afd_automata.fd_psi_k ~n ~k:2); symm = sym_set;
         spec = Psi_k.spec ~k:2; expect_violated = false };
     S { id = "CHK.sigma"; label = "Sigma: FD-Sigma"; n = 3; steps = 150;
         crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_sigma ~n:3);
+        detector = (fun n -> Afd_automata.fd_sigma ~n); symm = sym_set;
         spec = Sigma.spec; expect_violated = false };
     S { id = "CHK.dk"; label = "D_2: FD-P (truthful)"; n = 3; steps = 150;
         crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_perfect ~n:3);
+        detector = (fun n -> Afd_automata.fd_perfect ~n); symm = sym_set;
         spec = D_k.spec ~k:2; expect_violated = false };
     S { id = "CHK.lying-p"; label = "P vs noisy EvP (broken)"; n = 3;
         steps = 120; crash_at = [];
-        detector = (fun () -> Afd_automata.fd_ev_perfect_noisy ~n:3 ~noise:noise01);
+        detector = (fun n -> Afd_automata.fd_ev_perfect_noisy ~n ~noise:noise01);
+        symm = sym_noisy;
         spec = Perfect.spec; expect_violated = true };
     S { id = "CHK.marabout"; label = "Marabout vs FD-P (broken)"; n = 3;
         steps = 150; crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_perfect ~n:3);
+        detector = (fun n -> Afd_automata.fd_perfect ~n); symm = sym_set;
         spec = Marabout.spec; expect_violated = true };
   ]
 
@@ -227,11 +241,12 @@ type mc_result = {
 let liveness_subjects =
   [ S { id = "CHK.flipflop"; label = "Omega vs FD-FlipFlop (livelocked leader)";
         n = 3; steps = 150; crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_flip_flop ~n:3);
+        detector = (fun n -> Afd_automata.fd_flip_flop ~n);
+        symm = Some Afd_analysis.Mc.(sym_pair sym_set sym_rigid);
         spec = Omega.spec; expect_violated = true };
     S { id = "CHK.silent"; label = "P vs FD-Silent (starved liveness)"; n = 3;
         steps = 150; crash_at = [ (10, 1) ];
-        detector = (fun () -> Afd_automata.fd_silent ~n:3);
+        detector = (fun n -> Afd_automata.fd_silent ~n); symm = sym_set;
         spec = Perfect.spec; expect_violated = true };
   ]
 
@@ -241,7 +256,7 @@ let mc_subject ?max_states ?(por = false) ?jobs ?compiled ?(profile = false)
   let timings = if profile then Some (ref []) else None in
   match
     Mc.check_spec ?max_states ~por ?jobs ?compiled ?timings ~n:s.n s.spec
-      ~detector:(s.detector ())
+      ~detector:(s.detector s.n)
   with
   | Error e -> Error e
   | Ok o ->
@@ -345,3 +360,115 @@ let mc_all ?max_states ?(por = false) ?jobs ?compiled ?profile () =
           mc_json = Printf.sprintf "{\"error\": \"%s\"}" (String.escaped e);
         })
     all
+
+(* --- orbit-quotiented re-verification of the same subjects --- *)
+
+type sy_result = {
+  sy_id : string;
+  sy_label : string;
+  sy_status : string;
+  sy_detail : string;
+  sy_states : int;
+  sy_raw_states : int;
+  sy_agree : bool;
+  sy_parametric : Afd_analysis.Mc.parametric option;
+  sy_ok : bool;
+  sy_json : string;
+}
+
+let json_escape s = String.concat "" [ "\""; String.escaped s; "\"" ]
+
+let sy_subject ?max_states ?ns (S s) =
+  let open Afd_analysis in
+  match s.symm with
+  | None -> Error "no declared symmetry"
+  | Some kit -> (
+    match Mc.check_spec ?max_states ~n:s.n s.spec ~detector:(s.detector s.n) with
+    | Error e -> Error e
+    | Ok raw -> (
+      match
+        Mc.check_spec ?max_states ~symmetry:kit ~n:s.n s.spec
+          ~detector:(s.detector s.n)
+      with
+      | Error e -> Error e
+      | Ok sym ->
+        (* The quotient must not change what is {e claimed}: same
+           safety verdict, same violated clauses, every witness still
+           replay-confirmed.  Depths and windows may differ (a
+           quotient-shortest path lifts to a genuine but not
+           necessarily shortest run), so they are not compared. *)
+        let key v = (v.Mc.clause, v.Mc.confirmed) in
+        let keys o = List.sort compare (List.map key o.Mc.violations) in
+        let agree =
+          raw.Mc.safety_proved = sym.Mc.safety_proved && keys raw = keys sym
+        in
+        let status, detail =
+          match sym.Mc.sym with
+          | Mc.Sym_off -> ("off", "")
+          | Mc.Sym_quotient c ->
+            ( "certified",
+              Printf.sprintf "%d reps x %d perms" c.Symm.c_states c.Symm.c_perms )
+          | Mc.Sym_breaking w -> ("breaking", Fmt.str "%a" Symm.pp_witness w)
+          | Mc.Sym_fallback r -> ("fallback", r)
+        in
+        let par =
+          match sym.Mc.sym with
+          | Mc.Sym_quotient _ ->
+            Some
+              (Mc.parametric ?max_states ?ns ~symmetry:kit s.spec
+                 ~detector:(fun n -> s.detector n))
+          | Mc.Sym_off | Mc.Sym_breaking _ | Mc.Sym_fallback _ -> None
+        in
+        let par_ok =
+          match par with
+          | None -> true
+          | Some p -> (
+            match p.Mc.par_verdict with
+            | Mc.Refuted_at _ -> s.expect_violated
+            | Mc.Cutoff_candidate _ | Mc.Proved_upto _ -> not s.expect_violated
+            | Mc.Unverified _ -> false)
+        in
+        let exhaustive o = o.Mc.verdict = Space.Exhausted in
+        let ok = agree && exhaustive raw && exhaustive sym && par_ok in
+        Ok
+          { sy_id = s.id;
+            sy_label = s.label;
+            sy_status = status;
+            sy_detail = detail;
+            sy_states = sym.Mc.states;
+            sy_raw_states = raw.Mc.states;
+            sy_agree = agree;
+            sy_parametric = par;
+            sy_ok = ok;
+            sy_json =
+              Printf.sprintf
+                "{\"id\": %s, \"status\": %s, \"detail\": %s, \"states\": %d, \
+                 \"raw_states\": %d, \"agree\": %b, \"ok\": %b, \"parametric\": %s}"
+                (json_escape s.id) (json_escape status) (json_escape detail)
+                sym.Mc.states raw.Mc.states agree ok
+                (match par with
+                | None -> "null"
+                | Some p -> Mc.parametric_to_json p);
+          }))
+
+let sy_all ?max_states ?ns () =
+  List.map
+    (fun subj ->
+      match sy_subject ?max_states ?ns subj with
+      | Ok r -> r
+      | Error e ->
+        let (S s) = subj in
+        { sy_id = s.id;
+          sy_label = s.label;
+          sy_status = "error";
+          sy_detail = e;
+          sy_states = 0;
+          sy_raw_states = 0;
+          sy_agree = false;
+          sy_parametric = None;
+          sy_ok = false;
+          sy_json =
+            Printf.sprintf "{\"id\": %s, \"error\": %s}" (json_escape s.id)
+              (json_escape e);
+        })
+    (subjects @ liveness_subjects)

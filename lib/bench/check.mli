@@ -18,10 +18,16 @@ type subject =
   | S : {
       id : string;  (** stable matrix id, e.g. ["CHK.p"] *)
       label : string;
-      n : int;
+      n : int;  (** default instance size; matrix and MC rows run here *)
       steps : int;
       crash_at : (int * Loc.t) list;
-      detector : unit -> ('s, 'o Fd_event.t) Automaton.t;
+      detector : int -> ('s, 'o Fd_event.t) Automaton.t;
+          (** instance builder — the parametric ladder ({!sy_subject})
+              re-instantiates it at growing sizes *)
+      symm : 's Afd_analysis.Mc.state_symmetry option;
+          (** declared process-permutation action on detector states;
+              a wrong declaration yields a breaking witness and an
+              unreduced run, never an unsound quotient *)
       spec : 'o Afd.spec;
       expect_violated : bool;
           (** deliberate detector/spec mismatch: the cell demands a
@@ -164,3 +170,44 @@ val mc_all :
 (** All {!subjects}, plus {!liveness_subjects} when [por] is off; a
     raw spec yields a failing row ([mc_ok = false],
     [mc_verdict = "error"]) instead of an exception. *)
+
+(** {1 Orbit-quotiented re-verification}
+
+    Each subject is model-checked twice — unreduced and with its
+    declared {!Afd_analysis.Mc.state_symmetry} — and the two runs must
+    {e claim} the same things: identical safety verdict and identical
+    violated-clause sets, every witness replay-confirmed.
+    Certified-symmetric subjects additionally climb the
+    {!Afd_analysis.Mc.parametric} ladder, re-instantiating the
+    detector at growing sizes. *)
+
+type sy_result = {
+  sy_id : string;
+  sy_label : string;
+  sy_status : string;
+      (** ["certified"], ["breaking"], ["fallback"] or ["error"] *)
+  sy_detail : string;
+      (** certificate summary, breaking witness or fallback reason *)
+  sy_states : int;  (** product states with symmetry requested *)
+  sy_raw_states : int;  (** unreduced product states *)
+  sy_agree : bool;
+      (** same safety verdict and violated-clause/confirmed sets as the
+          unreduced run (depths and windows are {e not} compared: a
+          quotient-shortest path lifts to a genuine but not necessarily
+          shortest run) *)
+  sy_parametric : Afd_analysis.Mc.parametric option;
+      (** the cutoff ladder, for certified subjects only *)
+  sy_ok : bool;
+      (** [sy_agree], both runs exhaustive, and the ladder verdict
+          matches the expectation (refuted iff [expect_violated]) *)
+  sy_json : string;
+}
+
+val sy_subject :
+  ?max_states:int -> ?ns:int list -> subject -> (sy_result, string) result
+(** [Error] on a raw spec or a subject with no declared symmetry.
+    [ns] (default [2; 3; 4; 5]) are the parametric instance sizes. *)
+
+val sy_all : ?max_states:int -> ?ns:int list -> unit -> sy_result list
+(** All {!subjects} plus {!liveness_subjects}; errors become failing
+    rows ([sy_ok = false], [sy_status = "error"]). *)

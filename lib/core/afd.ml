@@ -4,16 +4,19 @@ type 'o spec = {
   equal_out : 'o -> 'o -> bool;
   check : n:int -> 'o Fd_event.t list -> Verdict.t;
   prop : (n:int -> 'o Afd_prop.Prop.t) option;
+  perm_out : ((int -> int) -> 'o -> 'o) option;
 }
 
-let raw ~name ~pp_out ~equal_out check = { name; pp_out; equal_out; check; prop = None }
+let raw ?perm_out ~name ~pp_out ~equal_out check =
+  { name; pp_out; equal_out; check; prop = None; perm_out }
 
-let of_prop ~name ~pp_out ~equal_out prop =
+let of_prop ?perm_out ~name ~pp_out ~equal_out prop =
   { name;
     pp_out;
     equal_out;
     check = (fun ~n t -> Afd_prop.Monitor.replay ~n (prop ~n) t);
     prop = Some prop;
+    perm_out;
   }
 
 let check spec ~n t = spec.check ~n t

@@ -27,9 +27,16 @@ type 'o spec = {
       (** the temporal formula the spec compiles to, when built with
           {!of_prop}; [check] is then its offline replay wrapper, so
           online and offline verdicts coincide definitionally. *)
+  perm_out : ((int -> int) -> 'o -> 'o) option;
+      (** how a process permutation transports an output value
+          ([Loc.Set.map] for suspect sets, application for leader
+          outputs).  Needed by the symmetry-quotiented model checker to
+          permute trace summaries; [None] leaves the spec uncertifiable
+          (unreduced exploration), never unsound. *)
 }
 
 val of_prop :
+  ?perm_out:((int -> int) -> 'o -> 'o) ->
   name:string ->
   pp_out:'o Fmt.t ->
   equal_out:('o -> 'o -> bool) ->
@@ -40,6 +47,7 @@ val of_prop :
     include the validity clauses (use {!Afd_prop.Prop.validity}). *)
 
 val raw :
+  ?perm_out:((int -> int) -> 'o -> 'o) ->
   name:string ->
   pp_out:'o Fmt.t ->
   equal_out:('o -> 'o -> bool) ->

@@ -24,8 +24,11 @@ let crash_automaton ~n ~crashable =
   }
 
 (* Shared shape of Algorithms 1 and 2: state is the crash set; each
-   non-crashed location continually outputs [f crashset i]. *)
-let truthful ~name ~n ~output =
+   non-crashed location continually outputs [f crashset i].
+   [equal_out] must be the payload's semantic equality: polymorphic
+   compare is AVL-shape-sensitive on sets, so a structural guard would
+   make acceptance depend on how the probed payload was built. *)
+let truthful ~name ~n ~equal_out ~output =
   let kind = function
     | Fd_event.Crash _ -> Some Automaton.Input
     | Fd_event.Output _ -> Some Automaton.Output
@@ -34,7 +37,10 @@ let truthful ~name ~n ~output =
     | Fd_event.Crash i -> Some (Loc.Set.add i crashset)
     | Fd_event.Output (i, o) ->
       (* Enabled iff this is the action our task would produce. *)
-      if (not (Loc.Set.mem i crashset)) && output crashset i = Some o then Some crashset
+      if
+        (not (Loc.Set.mem i crashset))
+        && Option.equal equal_out (output crashset i) (Some o)
+      then Some crashset
       else None
   in
   let task i =
@@ -54,14 +60,15 @@ let truthful ~name ~n ~output =
   }
 
 let fd_omega ~n =
-  truthful ~name:"FD-Omega" ~n ~output:(fun crashset _i ->
+  truthful ~name:"FD-Omega" ~n ~equal_out:Loc.equal ~output:(fun crashset _i ->
       Loc.min_not_in ~n (fun j -> Loc.Set.mem j crashset))
 
 let fd_perfect ~n =
-  truthful ~name:"FD-P" ~n ~output:(fun crashset _i -> Some crashset)
+  truthful ~name:"FD-P" ~n ~equal_out:Loc.Set.equal ~output:(fun crashset _i ->
+      Some crashset)
 
 let fd_sigma ~n =
-  truthful ~name:"FD-Sigma" ~n ~output:(fun crashset _i ->
+  truthful ~name:"FD-Sigma" ~n ~equal_out:Loc.Set.equal ~output:(fun crashset _i ->
       Some (Loc.Set.diff (Loc.set_of_universe ~n) crashset))
 
 (* Spare the smallest live location by naming the smallest other one.
@@ -71,7 +78,7 @@ let fd_sigma ~n =
    with a single live location it named it forever, so no live
    location was ever spared; the fair-cycle pass refutes that corner). *)
 let fd_anti_omega ~n =
-  truthful ~name:"FD-antiOmega" ~n ~output:(fun crashset _i ->
+  truthful ~name:"FD-antiOmega" ~n ~equal_out:Loc.equal ~output:(fun crashset _i ->
       match Loc.min_not_in ~n (fun j -> Loc.Set.mem j crashset) with
       | None -> None
       | Some spared -> Loc.min_not_in ~n (fun j -> Loc.equal j spared))
@@ -90,13 +97,13 @@ let k_smallest_preferring_live ~n ~k crashset =
 
 let fd_omega_k ~n ~k =
   if k < 1 || k > n then invalid_arg "Afd_automata.fd_omega_k: need 1 <= k <= n";
-  truthful ~name:(Printf.sprintf "FD-Omega%d" k) ~n ~output:(fun crashset _i ->
-      Some (k_smallest_preferring_live ~n ~k crashset))
+  truthful ~name:(Printf.sprintf "FD-Omega%d" k) ~n ~equal_out:Loc.Set.equal
+    ~output:(fun crashset _i -> Some (k_smallest_preferring_live ~n ~k crashset))
 
 let fd_psi_k ~n ~k =
   if k < 1 || k > n then invalid_arg "Afd_automata.fd_psi_k: need 1 <= k <= n";
-  truthful ~name:(Printf.sprintf "FD-Psi%d" k) ~n ~output:(fun crashset _i ->
-      Some (k_smallest_preferring_live ~n ~k crashset))
+  truthful ~name:(Printf.sprintf "FD-Psi%d" k) ~n ~equal_out:Loc.Set.equal
+    ~output:(fun crashset _i -> Some (k_smallest_preferring_live ~n ~k crashset))
 
 (* Liveness-broken detectors for the model checker's lasso search.
    Both are safe on every finite prefix (no sampled schedule can latch
@@ -122,7 +129,8 @@ let fd_flip_flop ~n =
   let step ((crashset, toggle) as st) = function
     | Fd_event.Crash i -> Some (Loc.Set.add i crashset, toggle)
     | Fd_event.Output (i, o) ->
-      if (not (Loc.Set.mem i crashset)) && leader st = Some o then
+      if (not (Loc.Set.mem i crashset)) && Option.equal Loc.equal (leader st) (Some o)
+      then
         Some (crashset, not toggle)
       else None
   in
@@ -149,7 +157,7 @@ let fd_flip_flop ~n =
    weak fairness is vacuous) keeps [validity.liveness] pending
    forever. *)
 let fd_silent ~n =
-  truthful ~name:"FD-Silent" ~n ~output:(fun crashset i ->
+  truthful ~name:"FD-Silent" ~n ~equal_out:Loc.Set.equal ~output:(fun crashset i ->
       if i = 0 then Some crashset else None)
 
 type 'o noise = 'o list Loc.Map.t
@@ -161,8 +169,8 @@ let noise_of_list l =
     l Loc.Map.empty
 
 (* Noisy variant: state carries per-location noise queues, drained
-   before the truthful output. *)
-let noisy ~name ~n ~noise ~output =
+   before the truthful output.  Same [equal_out] caveat as [truthful]. *)
+let noisy ~name ~n ~equal_out ~noise ~output =
   let kind = function
     | Fd_event.Crash _ -> Some Automaton.Input
     | Fd_event.Output _ -> Some Automaton.Output
@@ -182,7 +190,8 @@ let noisy ~name ~n ~noise ~output =
   let step (crashset, queues) = function
     | Fd_event.Crash i -> Some (Loc.Set.add i crashset, queues)
     | Fd_event.Output (i, o) ->
-      if next (crashset, queues) i = Some o then Some (crashset, consume queues i)
+      if Option.equal equal_out (next (crashset, queues) i) (Some o) then
+        Some (crashset, consume queues i)
       else None
   in
   let task i =
@@ -200,11 +209,12 @@ let noisy ~name ~n ~noise ~output =
   }
 
 let fd_omega_noisy ~n ~noise =
-  noisy ~name:"FD-Omega-noisy" ~n ~noise ~output:(fun crashset _i ->
-      Loc.min_not_in ~n (fun j -> Loc.Set.mem j crashset))
+  noisy ~name:"FD-Omega-noisy" ~n ~equal_out:Loc.equal ~noise
+    ~output:(fun crashset _i -> Loc.min_not_in ~n (fun j -> Loc.Set.mem j crashset))
 
 let fd_ev_perfect_noisy ~n ~noise =
-  noisy ~name:"FD-EvP-noisy" ~n ~noise ~output:(fun crashset _i -> Some crashset)
+  noisy ~name:"FD-EvP-noisy" ~n ~equal_out:Loc.Set.equal ~noise
+    ~output:(fun crashset _i -> Some crashset)
 
 let run_system ?(record_fired = true) ?observer ~retention ~detector ~n ~seed
     ~crash_at ~steps () =

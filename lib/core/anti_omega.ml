@@ -19,4 +19,4 @@ let spared =
           else P.J_sat)
 
 let prop ~n:_ = P.conj [ P.validity (); spared ]
-let spec = Afd.of_prop ~name:"anti-Omega" ~pp_out:Loc.pp ~equal_out:Loc.equal prop
+let spec = Afd.of_prop ~perm_out:(fun pi i -> pi i) ~name:"anti-Omega" ~pp_out:Loc.pp ~equal_out:Loc.equal prop

@@ -39,6 +39,7 @@ let prop ~k ~n:_ = P.conj [ P.validity (); accuracy_after_k ~k; completeness ]
 
 let spec ~k =
   Afd.of_prop
+    ~perm_out:(fun pi -> Loc.Set.map pi)
     ~name:(Printf.sprintf "D_%d" k)
     ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal (prop ~k)
 

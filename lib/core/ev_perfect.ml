@@ -29,4 +29,4 @@ let convergence =
           last P.J_sat)
 
 let prop ~n:_ = P.conj [ P.validity (); convergence ]
-let spec = Afd.of_prop ~name:"EvP" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop
+let spec = Afd.of_prop ~perm_out:(fun pi -> Loc.Set.map pi) ~name:"EvP" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop

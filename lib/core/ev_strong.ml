@@ -31,4 +31,4 @@ let convergence =
           P.j_and completeness accuracy)
 
 let prop ~n:_ = P.conj [ P.validity (); convergence ]
-let spec = Afd.of_prop ~name:"EvS" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop
+let spec = Afd.of_prop ~perm_out:(fun pi -> Loc.Set.map pi) ~name:"EvS" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop

@@ -11,7 +11,13 @@ type out = Loc.Set.t
    crashed-so-far set, which at the end of the trace is the final
    faulty set. *)
 let exactness =
-  P.folding ~name:"exactness" ~init:[]
+  P.folding
+    ~perm:(fun pi -> List.map (fun (s, i) -> (Loc.Set.map pi s, pi i)))
+    ~cmp:
+      (List.compare (fun (s1, i1) (s2, i2) ->
+           let c = Loc.Set.compare s1 s2 in
+           if c <> 0 then c else Int.compare i1 i2))
+    ~name:"exactness" ~init:[]
     ~step:(fun _st seen e ->
       match e with
       | Fd_event.Crash _ -> Ok seen
@@ -31,7 +37,7 @@ let exactness =
         P.J_sat seen)
 
 let prop ~n:_ = P.conj [ P.validity (); exactness ]
-let spec = Afd.of_prop ~name:"Marabout" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop
+let spec = Afd.of_prop ~perm_out:(fun pi -> Loc.Set.map pi) ~name:"Marabout" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop
 
 type refutation = {
   pattern_a : Loc.Set.t;

@@ -22,4 +22,4 @@ let stable_leader =
             else P.J_undecided (Fmt.str "stable leader %a is faulty" Loc.pp l))
 
 let prop ~n:_ = P.conj [ P.validity (); stable_leader ]
-let spec = Afd.of_prop ~name:"Omega" ~pp_out:Loc.pp ~equal_out:Loc.equal prop
+let spec = Afd.of_prop ~perm_out:(fun pi i -> pi i) ~name:"Omega" ~pp_out:Loc.pp ~equal_out:Loc.equal prop

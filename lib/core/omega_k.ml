@@ -34,5 +34,6 @@ let prop ~k ~n:_ = P.conj [ P.validity (); shape ~k; common_live ]
 let spec ~k =
   if k < 1 then invalid_arg "Omega_k.spec: k must be >= 1";
   Afd.of_prop
+    ~perm_out:(fun pi -> Loc.Set.map pi)
     ~name:(Printf.sprintf "Omega_%d" k)
     ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal (prop ~k)

@@ -34,4 +34,4 @@ let completeness =
           last P.J_sat)
 
 let prop ~n:_ = P.conj [ P.validity (); accuracy; completeness ]
-let spec = Afd.of_prop ~name:"P" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop
+let spec = Afd.of_prop ~perm_out:(fun pi -> Loc.Set.map pi) ~name:"P" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop

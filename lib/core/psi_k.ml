@@ -38,5 +38,6 @@ let prop ~k ~n:_ = P.conj [ P.validity (); shape ~k; convergence ]
 let spec ~k =
   if k < 1 then invalid_arg "Psi_k.spec: k must be >= 1";
   Afd.of_prop
+    ~perm_out:(fun pi -> Loc.Set.map pi)
     ~name:(Printf.sprintf "Psi_%d" k)
     ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal (prop ~k)

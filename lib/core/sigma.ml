@@ -10,7 +10,9 @@ type out = Loc.Set.t
    tested against itself: two occurrences of a self-disjoint (empty)
    quorum form a violating pair. *)
 let intersection =
-  P.folding ~name:"intersection" ~init:[]
+  P.folding
+    ~perm:(fun pi -> List.map (Loc.Set.map pi))
+    ~cmp:(List.compare Loc.Set.compare) ~name:"intersection" ~init:[]
     ~step:(fun _st seen e ->
       match e with
       | Fd_event.Crash _ -> Ok seen
@@ -40,4 +42,4 @@ let completeness =
           last P.J_sat)
 
 let prop ~n:_ = P.conj [ P.validity (); intersection; completeness ]
-let spec = Afd.of_prop ~name:"Sigma" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop
+let spec = Afd.of_prop ~perm_out:(fun pi -> Loc.Set.map pi) ~name:"Sigma" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop

@@ -9,7 +9,8 @@ type out = Loc.Set.t
    last never-suspected live location crashes.  The fold carries the
    union of all suspect sets seen so far. *)
 let weak_accuracy =
-  P.folding ~name:"weak-accuracy" ~init:Loc.Set.empty
+  P.folding ~perm:Loc.Set.map ~cmp:Loc.Set.compare ~name:"weak-accuracy"
+    ~init:Loc.Set.empty
     ~step:(fun _st suspected e ->
       match e with
       | Fd_event.Crash _ -> Ok suspected
@@ -38,4 +39,4 @@ let completeness =
           last P.J_sat)
 
 let prop ~n:_ = P.conj [ P.validity (); weak_accuracy; completeness ]
-let spec = Afd.of_prop ~name:"S" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop
+let spec = Afd.of_prop ~perm_out:(fun pi -> Loc.Set.map pi) ~name:"S" ~pp_out:Loc.pp_set ~equal_out:Loc.Set.equal prop

@@ -29,6 +29,20 @@ let update st e =
       output_counts = Loc.Map.add i (c + 1) st.output_counts;
     }
 
+(* Transport a process permutation through the summary: relabel the
+   crashed set and the per-location maps, mapping payloads through the
+   output transport.  Needed by the symmetry-quotiented model checker;
+   the length is invariant under relabelling. *)
+let permute pif pout st =
+  let map_keys f m =
+    Loc.Map.fold (fun k v acc -> Loc.Map.add (pif k) (f v) acc) m Loc.Map.empty
+  in
+  { st with
+    crashed = Loc.Set.map pif st.crashed;
+    last_output = map_keys pout st.last_output;
+    output_counts = map_keys (fun c -> c) st.output_counts;
+  }
+
 let live st = Loc.Set.diff (Loc.set_of_universe ~n:st.n) st.crashed
 
 let output_count st i =
@@ -90,6 +104,17 @@ and ('o, 'acc) fold = {
   finit : 'acc;
   fstep : 'o state -> 'acc -> 'o Fd_event.t -> ('acc, string) result;
   fjudge : 'o state -> 'acc -> judgement;
+  fperm : ((Loc.t -> Loc.t) -> 'acc -> 'acc) option;
+      (* how a process permutation transports the accumulator; needed
+         (only) by the symmetry-quotiented model checker, which permutes
+         whole product states — [None] makes the clause's spec
+         uncertifiable, never wrong *)
+  fcmp : ('acc -> 'acc -> int) option;
+      (* a semantic total order on accumulators (e.g.
+         [Loc.Set.compare]): polymorphic compare is AVL-shape-sensitive
+         on sets and maps, so a transported accumulator could spuriously
+         differ from a stepped one; required alongside [fperm] for
+         certification *)
 }
 
 type 'o t = Clause of string * 'o clause | Conj of 'o t list
@@ -98,8 +123,11 @@ let always ~name check = Clause (name, Always check)
 let until ~name ~release check = Clause (name, Until (release, check))
 let eventually_stable ~name judge = Clause (name, Stable judge)
 
-let folding ~name ~init ~step ~judge =
-  Clause (name, Fold { finit = init; fstep = step; fjudge = judge })
+(* Every argument is labeled, so [?perm]/[?cmp] are never erased by a
+   positional application — callers always name what they pass. *)
+let[@warning "-16"] folding ?perm ?cmp ~name ~init ~step ~judge =
+  Clause
+    (name, Fold { finit = init; fstep = step; fjudge = judge; fperm = perm; fcmp = cmp })
 
 let conj ts = Conj ts
 let ( &&& ) a b = Conj [ a; b ]

@@ -28,6 +28,12 @@ type 'o state = private {
 val init : n:int -> 'o state
 val update : 'o state -> 'o Fd_event.t -> 'o state
 
+val permute : (Loc.t -> Loc.t) -> ('o -> 'o) -> 'o state -> 'o state
+(** [permute pi pout st] relabels the summary under a process
+    permutation: crashed set and per-location maps move through [pi],
+    last-output payloads through [pout]; the length is untouched.  Used
+    by the symmetry-quotiented model checker ({!Afd_analysis.Mc}). *)
+
 val live : 'o state -> Loc.Set.t
 (** [universe \ crashed]. *)
 
@@ -84,6 +90,19 @@ and ('o, 'acc) fold = {
   fstep : 'o state -> 'acc -> 'o Fd_event.t -> ('acc, string) result;
       (** [Error] is a latched violation at the current event *)
   fjudge : 'o state -> 'acc -> judgement;
+  fperm : ((Loc.t -> Loc.t) -> 'acc -> 'acc) option;
+      (** how a process permutation transports the accumulator.  The
+          symmetry-quotiented model checker ({!Afd_analysis.Mc})
+          permutes whole product states, accumulators included; a fold
+          without a transport makes its spec uncertifiable (the subject
+          falls back to unreduced exploration), never unsound. *)
+  fcmp : ('acc -> 'acc -> int) option;
+      (** a {e semantic} total order on accumulators (e.g.
+          [Loc.Set.compare], [List.compare Loc.Set.compare]).
+          Polymorphic compare is AVL-shape-sensitive on sets and maps,
+          so a transported accumulator could spuriously differ from a
+          stepped one; certification requires [fcmp] alongside
+          [fperm]. *)
 }
 
 type 'o t = Clause of string * 'o clause | Conj of 'o t list
@@ -93,6 +112,8 @@ val until : name:string -> release:('o state -> bool) -> 'o event_check -> 'o t
 val eventually_stable : name:string -> 'o state_judge -> 'o t
 
 val folding :
+  ?perm:((Loc.t -> Loc.t) -> 'acc -> 'acc) ->
+  ?cmp:('acc -> 'acc -> int) ->
   name:string ->
   init:'acc ->
   step:('o state -> 'acc -> 'o Fd_event.t -> ('acc, string) result) ->

@@ -23,6 +23,7 @@ let () =
       ("channel-variants", Test_channel_variants.suite);
       ("k-set", Test_kset.suite);
       ("lint", Test_lint.suite);
+      ("symm", Test_symm.suite);
       ("space", Test_space.suite);
       ("pspace", Test_pspace.suite);
       ("cspace", Test_cspace.suite);

@@ -23,7 +23,7 @@ let subject_agrees ~packed ~por ~jobs ~max_states (BC.S { n; detector; _ }) =
   let crashable = Loc.set_of_universe ~n in
   let comp =
     Composition.make ~name:"chk-closed"
-      [ Component.C (detector ());
+      [ Component.C (detector n);
         Component.C (Afd_automata.crash_automaton ~n ~crashable);
       ]
   in
@@ -97,7 +97,7 @@ let test_profile_does_not_perturb () =
   let crashable = Loc.set_of_universe ~n in
   let comp =
     Composition.make ~name:"chk-closed"
-      [ Component.C (detector ());
+      [ Component.C (detector n);
         Component.C (Afd_automata.crash_automaton ~n ~crashable);
       ]
   in

@@ -214,6 +214,101 @@ let test_explorations_in_report () =
   Alcotest.(check bool) "json spells out the verdict" true
     (contains json "\"verdict\":\"exhausted\"")
 
+(* --- the symmetry rules (equivariance analysis, Rules.symmetry) --- *)
+
+let sym_universe = Rules.all @ Rules.mc @ Rules.symmetry
+
+let test_each_symmetry_rule_fires () =
+  List.iter
+    (fun (id, entry) ->
+      let report =
+        Engine.run_entry ~rules:sym_universe ~symmetry:true ~origin:"fixture"
+          entry
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "symmetry rule %s fires on its fixture" id)
+        true
+        (List.mem id (rule_ids report)))
+    Fixtures.symmetry
+
+let test_symmetry_rules_silent_without_flag () =
+  (* without ~symmetry:true the analyzer never runs, so the rules have
+     nothing to report even over their own fixtures *)
+  List.iter
+    (fun (id, entry) ->
+      let report =
+        Engine.run_entry ~rules:sym_universe ~origin:"fixture" entry
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "symmetry rule %s silent without the flag" id)
+        false
+        (List.mem id (rule_ids report)))
+    Fixtures.symmetry
+
+let test_symmetry_findings_are_info () =
+  (* both symmetry rules are Info: a broken or missing declaration is
+     advice about reduction opportunity, not a well-formedness error *)
+  List.iter
+    (fun (_, entry) ->
+      let report =
+        Engine.run_entry ~rules:sym_universe ~symmetry:true ~origin:"fixture"
+          entry
+      in
+      Alcotest.(check bool) "no error findings" false (Report.has_errors report);
+      Alcotest.(check (list string)) "no warning findings" []
+        (List.map (fun f -> f.Report.rule) (Report.warnings report)))
+    Fixtures.symmetry
+
+let test_certifiable_fixture_quotients_silently () =
+  let report =
+    Engine.run_entry ~rules:sym_universe ~symmetry:true ~origin:"fixture"
+      Fixtures.symmetry_certifiable
+  in
+  Alcotest.(check (list string)) "certified subject yields no findings" []
+    (rule_ids report)
+
+(* --- the exit-code contract (pinned without spawning processes) --- *)
+
+let finding severity =
+  { Report.rule = "r";
+    severity;
+    where = Report.subject ~origin:"fixture" "a";
+    message = "m";
+  }
+
+let report ?explorations findings =
+  Report.make ?explorations ~rules_run:1 ~subjects_checked:1 findings
+
+let truncated_exploration =
+  { Report.explored = "a"; exp_origin = "fixture"; states = 10; transitions = 9;
+    verdict = "truncated"; exhaustive = false; por = false; slept = 0;
+  }
+
+let test_exit_code_contract () =
+  let check name expect code = Alcotest.(check int) name expect code in
+  check "clean report exits 0" 0 (Report.exit_code (report []));
+  check "info findings exit 0" 0 (Report.exit_code (report [ finding Report.Info ]));
+  check "errors exit 1" 1 (Report.exit_code (report [ finding Report.Error ]));
+  check "warnings exit 0 by default" 0
+    (Report.exit_code (report [ finding Report.Warning ]));
+  check "warnings exit 1 under strict" 1
+    (Report.exit_code ~strict:true (report [ finding Report.Warning ]));
+  check "mc failure exits 1" 1 (Report.exit_code ~mc_fail:true (report []));
+  let truncated = report ~explorations:[ truncated_exploration ] [] in
+  check "truncation exits 0 by default" 0 (Report.exit_code truncated);
+  check "truncation exits 2 under strict" 2
+    (Report.exit_code ~strict:true truncated);
+  check "mc truncation exits 2 under strict" 2
+    (Report.exit_code ~strict:true ~mc_truncated:true (report []));
+  (* 1 dominates 2: a report that is both wrong and sampled is first of
+     all wrong *)
+  check "errors dominate strict truncation" 1
+    (Report.exit_code ~strict:true
+       (report ~explorations:[ truncated_exploration ]
+          [ finding Report.Error ]));
+  check "mc failure dominates strict truncation" 1
+    (Report.exit_code ~strict:true ~mc_fail:true ~mc_truncated:true (report []))
+
 (* --- the refactored library-side checks (satellite: shared kernels) --- *)
 
 let counter_probes = [ Fixtures.Tick 1; Fixtures.Tick 2; Fixtures.Reset ]
@@ -270,6 +365,15 @@ let suite =
       test_verdict_surfaces_in_messages;
     Alcotest.test_case "report carries exploration stats" `Quick
       test_explorations_in_report;
+    Alcotest.test_case "each symmetry rule fires on its fixture" `Quick
+      test_each_symmetry_rule_fires;
+    Alcotest.test_case "symmetry rules silent without the flag" `Quick
+      test_symmetry_rules_silent_without_flag;
+    Alcotest.test_case "symmetry findings are info-severity" `Quick
+      test_symmetry_findings_are_info;
+    Alcotest.test_case "certified fixture quotients silently" `Quick
+      test_certifiable_fixture_quotients_silently;
+    Alcotest.test_case "exit-code contract" `Quick test_exit_code_contract;
     Alcotest.test_case "check_input_enabled rejects empty probes" `Quick
       test_check_input_enabled_empty;
     Alcotest.test_case "check_compatible rejects empty probes" `Quick

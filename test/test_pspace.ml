@@ -31,7 +31,7 @@ let subject_agrees ~por ~jobs ~max_states (BC.S { n; detector; _ }) =
   let crashable = Loc.set_of_universe ~n in
   let comp =
     Composition.make ~name:"chk-closed"
-      [ Component.C (detector ());
+      [ Component.C (detector n);
         Component.C (Afd_automata.crash_automaton ~n ~crashable);
       ]
   in

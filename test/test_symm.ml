@@ -1,0 +1,191 @@
+(* Differential tests for the orbit reduction (lib/analysis/symm and
+   the Mc quotient hook).
+
+   The soundness claim under test: requesting symmetry never changes
+   what the model checker {e claims} — same safety verdict, same
+   violated clauses, every witness still replay-confirmed — it only
+   changes how many states it visits.  Certified subjects quotient,
+   breaking and undeclared ones fall back to unreduced, and either way
+   the claims must match a plain unreduced run.  Depths and windows are
+   not compared: a quotient-shortest path lifts to a genuine but not
+   necessarily shortest run. *)
+
+open Afd_analysis
+module BC = Afd_bench.Check
+
+let chk_subjects = BC.subjects @ BC.liveness_subjects
+
+(* Run one CHK subject unreduced and with its declared symmetry at
+   instance size [n]; both runs must exhaust and claim the same things.
+   The GADT match and everything typed by its existentials stay inside
+   this one function. *)
+let claims_agree ~por ~jobs ~n (BC.S { detector; symm; spec; _ }) =
+  match symm with
+  | None -> true
+  | Some kit ->
+    let run use_sym =
+      let r =
+        if use_sym then
+          Mc.check_spec ~max_states:20_000 ~por ~jobs ~symmetry:kit ~n spec
+            ~detector:(detector n)
+        else
+          Mc.check_spec ~max_states:20_000 ~por ~jobs ~n spec
+            ~detector:(detector n)
+      in
+      match r with
+      | Ok o -> o
+      | Error e -> Alcotest.failf "unexpected raw spec: %s" e
+    in
+    let raw = run false and sym = run true in
+    let claims o =
+      List.sort compare
+        (List.map (fun v -> (v.Mc.clause, v.Mc.confirmed)) o.Mc.violations)
+    in
+    raw.Mc.verdict = Space.Exhausted
+    && sym.Mc.verdict = Space.Exhausted
+    && raw.Mc.safety_proved = sym.Mc.safety_proved
+    && claims raw = claims sym
+    && List.for_all (fun v -> v.Mc.confirmed) sym.Mc.violations
+
+(* --- qcheck: quotiented == unreduced claims across the catalog --- *)
+
+let differential_prop =
+  let gen =
+    QCheck2.Gen.(
+      let* subj_ix = int_bound (List.length chk_subjects - 1) in
+      let* por = bool in
+      let* jobs = oneofl [ 1; 2; 4 ] in
+      let* n = oneofl [ 2; 3 ] in
+      return (subj_ix, por, jobs, n))
+  in
+  QCheck2.Test.make
+    ~name:"Mc quotient == unreduced claims on CHK subjects x por x jobs x n"
+    ~count:40
+    ~print:(fun (i, por, jobs, n) ->
+      Printf.sprintf "subject=%s por=%b jobs=%d n=%d"
+        (BC.id (List.nth chk_subjects i))
+        por jobs n)
+    gen
+    (fun (subj_ix, por, jobs, n) ->
+      claims_agree ~por ~jobs ~n (List.nth chk_subjects subj_ix))
+
+(* --- deterministic pins --- *)
+
+(* n = 4 is where the quotient starts to pay: FD-P's unreduced product
+   is 17976 states, its quotient 35 orbits. *)
+let test_quotient_at_n4 () =
+  let subj = List.find (fun s -> BC.id s = "CHK.p") chk_subjects in
+  Alcotest.(check bool) "CHK.p claims agree at n=4" true
+    (claims_agree ~por:false ~jobs:1 ~n:4 subj)
+
+let statuses =
+  [ ("CHK.p", `Certified); ("CHK.evp", `Breaking); ("CHK.s", `Certified);
+    ("CHK.evs", `Breaking); ("CHK.omega", `Breaking);
+    ("CHK.antiomega", `Breaking); ("CHK.omega2", `Breaking);
+    ("CHK.psi2", `Breaking); ("CHK.sigma", `Certified); ("CHK.dk", `Certified);
+    ("CHK.lying-p", `Breaking); ("CHK.marabout", `Certified);
+    ("CHK.flipflop", `Breaking); ("CHK.silent", `Breaking);
+  ]
+
+(* Which subjects certify is itself part of the analyzer's contract:
+   the crash-set detectors whose outputs are set-valued functions of
+   the crash set certify; anything electing a {e particular} location
+   (min/max), consulting its own id, or carrying scripted noise breaks
+   — with a witness naming a concrete task and permutation. *)
+let test_certification_statuses () =
+  List.iter
+    (fun (id, expect) ->
+      let (BC.S { n; detector; symm; spec; _ }) =
+        List.find (fun s -> BC.id s = id) chk_subjects
+      in
+      let kit = Option.get symm in
+      match Mc.check_spec ~symmetry:kit ~n spec ~detector:(detector n) with
+      | Error e -> Alcotest.failf "%s: raw spec: %s" id e
+      | Ok o -> (
+        match (o.Mc.sym, expect) with
+        | Mc.Sym_quotient _, `Certified | Mc.Sym_breaking _, `Breaking -> ()
+        | status, _ ->
+          Alcotest.failf "%s: unexpected certification status %a" id
+            (fun ppf -> Mc.pp_sym_status ppf)
+            status))
+    statuses
+
+let test_breaking_witness_is_named () =
+  let (BC.S { n; detector; symm; spec; _ }) =
+    List.find (fun s -> BC.id s = "CHK.omega") chk_subjects
+  in
+  match
+    Mc.check_spec ~symmetry:(Option.get symm) ~n spec ~detector:(detector n)
+  with
+  | Error e -> Alcotest.failf "raw spec: %s" e
+  | Ok o -> (
+    match o.Mc.sym with
+    | Mc.Sym_breaking w ->
+      let s = Fmt.str "%a" Symm.pp_witness w in
+      Alcotest.(check bool) "witness names the detector's task" true
+        (Option.is_some w.Symm.w_task);
+      Alcotest.(check bool) "witness names a permutation" true
+        (String.length w.Symm.w_perm > 0);
+      Alcotest.(check bool) "witness renders non-trivially" true
+        (String.length s > 20)
+    | _ -> Alcotest.fail "FD-Omega must produce a breaking witness")
+
+let test_parametric_ladder_pin () =
+  let (BC.S { detector; symm; spec; _ }) =
+    List.find (fun s -> BC.id s = "CHK.p") chk_subjects
+  in
+  let p = Mc.parametric ~symmetry:(Option.get symm) spec ~detector in
+  (match p.Mc.par_verdict with
+  | Mc.Cutoff_candidate { n0; upto } ->
+    Alcotest.(check int) "cutoff candidate starts at n0=2" 2 n0;
+    Alcotest.(check int) "proved up to n=5" 5 upto
+  | _ -> Alcotest.fail "expected a cutoff candidate for FD-P vs P");
+  Alcotest.(check (list int)) "one point per instance" [ 2; 3; 4; 5 ]
+    (List.map (fun pt -> pt.Mc.pt_n) p.Mc.par_points);
+  List.iter
+    (fun pt ->
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d proved on the quotient" pt.Mc.pt_n)
+        true pt.Mc.pt_proved)
+    p.Mc.par_points;
+  (* orbit counts grow polynomially where raw states explode: the last
+     instance is out of the unreduced explorer's default budget *)
+  let orbits = List.map (fun pt -> pt.Mc.pt_orbits) p.Mc.par_points in
+  Alcotest.(check bool) "orbit curve is increasing" true
+    (List.for_all2 ( < ) (List.filteri (fun i _ -> i < 3) orbits) (List.tl orbits));
+  let last = List.nth p.Mc.par_points 3 in
+  Alcotest.(check bool) "n=5 is beyond the unreduced budget" true
+    (last.Mc.pt_raw_states = None);
+  (* and the JSON rendering carries the verdict and the curve *)
+  let json = Mc.parametric_to_json p in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "json has the verdict" true
+    (contains json "\"kind\":\"cutoff-candidate\"");
+  Alcotest.(check bool) "json has raw-state nulls past the budget" true
+    (contains json "\"raw_states\":null")
+
+let test_sy_all_rows_ok () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (%s): quotiented run agrees" r.BC.sy_id r.BC.sy_status)
+        true r.BC.sy_ok)
+    (BC.sy_all ~max_states:4_000 ())
+
+let suite =
+  [ QCheck_alcotest.to_alcotest differential_prop;
+    Alcotest.test_case "quotient pays at n=4 (FD-P)" `Quick test_quotient_at_n4;
+    Alcotest.test_case "certification statuses are pinned" `Quick
+      test_certification_statuses;
+    Alcotest.test_case "breaking witness names task and permutation" `Quick
+      test_breaking_witness_is_named;
+    Alcotest.test_case "parametric ladder: FD-P cutoff candidate" `Quick
+      test_parametric_ladder_pin;
+    Alcotest.test_case "sy_all: every row agrees" `Quick test_sy_all_rows_ok;
+  ]
